@@ -1,0 +1,31 @@
+# Convenience targets for the NN-Baton reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -x -q -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The paper-fidelity run: exhaustive mapping search and the full Figure 15
+# memory sweep (tens of minutes on one core).
+bench-full:
+	REPRO_BENCH_PROFILE=exhaustive REPRO_FIG15_STRIDE=1 \
+		pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/simulate_and_trace.py
+	python examples/map_model_vs_simba.py alexnet 224
+	python examples/design_space_sweep.py alexnet 512 48
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

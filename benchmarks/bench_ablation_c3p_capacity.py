@@ -1,0 +1,50 @@
+"""Ablation: buffer capacity vs reload penalty (the C3P core mechanism).
+
+Sweeps the W-L1 and A-L1 capacities of the case-study machine for the
+weight-intensive layer and reports the reload factor staircase -- the
+step-function behavior of Equation 2 that drives the memory-allocation
+recommendations of the pre-design flow.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.arch.config import KB, case_study_hardware
+from repro.core.c3p import analyze_activation_l1, analyze_weight_buffer
+from repro.core.loopnest import LoopNest
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.extraction import LayerKind, representative_layers
+
+
+def capacity_staircase():
+    hw = case_study_hardware()
+    layer = representative_layers(224)[LayerKind.WEIGHT_INTENSIVE]
+    mapping = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer).mapping
+    nest = LoopNest(layer=layer, hw=hw, mapping=mapping)
+    sizes_kb = [1, 2, 4, 8, 18, 36, 72, 144, 288]
+    rows = []
+    for size in sizes_kb:
+        weight = analyze_weight_buffer(nest, size * KB)
+        act = analyze_activation_l1(nest, size * KB)
+        rows.append((size, weight.reload_factor, act.reload_factor))
+    return nest, rows
+
+
+def test_capacity_staircase(benchmark, record):
+    nest, rows = benchmark.pedantic(capacity_staircase, rounds=1, iterations=1)
+    record(
+        "ablation_c3p_capacity",
+        format_table(
+            ["Buffer KB", "W-L1 reload factor", "A-L1 reload factor"],
+            [[s, f"{w:.0f}x", f"{a:.0f}x"] for s, w, a in rows],
+            title=(
+                "Ablation -- C3P reload staircase for the weight-intensive layer "
+                f"(mapping: {nest.mapping.describe()})"
+            ),
+        ),
+    )
+    weight_factors = [w for _, w, _ in rows]
+    act_factors = [a for _, _, a in rows]
+    # Monotone non-increasing staircases that end penalty-free.
+    assert weight_factors == sorted(weight_factors, reverse=True)
+    assert act_factors == sorted(act_factors, reverse=True)
+    assert weight_factors[-1] == 1.0

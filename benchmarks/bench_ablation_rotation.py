@@ -1,0 +1,62 @@
+"""Ablation: the rotating transfer (Figure 3's mechanism).
+
+Quantifies what the directional-ring rotating transfer buys: for each
+representative layer, the best mapping's energy with rotation enabled vs the
+same mapping with rotation stripped (shared data refetched from DRAM by
+every chiplet).  Under Table I, one DRAM access plus N_P - 1 ring hops
+should always beat N_P DRAM accesses.
+"""
+
+import dataclasses
+
+from repro.analysis.reporting import format_table
+from repro.arch.config import case_study_hardware
+from repro.core.cost import evaluate_mapping
+from repro.core.mapper import Mapper
+from repro.core.primitives import RotationKind
+from repro.core.space import SearchProfile
+from repro.workloads.extraction import representative_layers
+
+
+def rotation_ablation():
+    hw = case_study_hardware()
+    mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+    rows = []
+    for kind, layer in representative_layers(224).items():
+        best = mapper.search_layer(layer).best
+        if best.mapping.rotation is RotationKind.NONE:
+            rows.append((kind.value, best, None))
+            continue
+        stripped = dataclasses.replace(best.mapping, rotation=RotationKind.NONE)
+        without = evaluate_mapping(layer, hw, stripped)
+        rows.append((kind.value, best, without))
+    return rows
+
+
+def test_rotation_always_helps(benchmark, record):
+    rows = benchmark.pedantic(rotation_ablation, rounds=1, iterations=1)
+    table_rows = []
+    for name, with_rot, without_rot in rows:
+        if without_rot is None:
+            table_rows.append([name, f"{with_rot.energy_pj / 1e9:.4f}", "-", "-"])
+            continue
+        benefit = 1 - with_rot.energy_pj / without_rot.energy_pj
+        table_rows.append(
+            [
+                name,
+                f"{with_rot.energy_pj / 1e9:.4f}",
+                f"{without_rot.energy_pj / 1e9:.4f}",
+                f"{benefit:.1%}",
+            ]
+        )
+    record(
+        "ablation_rotation",
+        format_table(
+            ["Layer type", "With rotation mJ", "Without mJ", "Benefit"],
+            table_rows,
+            title="Ablation -- rotating transfer on the 4-chiplet case-study machine",
+        ),
+    )
+    for name, with_rot, without_rot in rows:
+        if without_rot is not None:
+            assert with_rot.energy_pj < without_rot.energy_pj, name

@@ -1,0 +1,77 @@
+"""Extension: scaling past the paper's 8-chiplet ring with a 2D-mesh NoP.
+
+The paper motivates its directional ring as a simplification "rather than an
+intricate network for tens of chiplets" and leaves the latter to systems
+like Simba's 6x6 mesh.  This bench extends the DSE to 16 and 32 chiplets on
+the mesh model and regenerates the granularity trend: energy keeps rising
+with chiplet count (die-to-die sharing hops grow as N_P - 1) even when each
+chiplet comfortably meets the area budget.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.arch.config import build_hardware
+from repro.arch.topology import Topology
+from repro.arch.area import AreaModel
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.models import resnet50
+
+
+def mesh_scaling(total_macs: int = 2048):
+    layers = resnet50(include_fc=True)
+    rows = []
+    for n_chiplets, cores in ((2, 16), (4, 8), (8, 4), (16, 2), (32, 1)):
+        topology = Topology.RING if n_chiplets <= 8 else Topology.MESH
+        hw = build_hardware(n_chiplets, cores, 8, 8, topology=topology)
+        assert hw.total_macs == total_macs
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        results = mapper.search_model(layers)
+        energy = sum(r.best.energy_pj for r in results)
+        d2d = sum(r.best.energy.d2d_pj for r in results)
+        rows.append(
+            {
+                "config": hw.label(),
+                "topology": topology.value,
+                "area": AreaModel(hw).chiplet_area_mm2(),
+                "energy_pj": energy,
+                "d2d_pj": d2d,
+            }
+        )
+    return rows
+
+
+def test_mesh_scaling_trend(benchmark, record):
+    rows = benchmark.pedantic(mesh_scaling, rounds=1, iterations=1)
+    record(
+        "ext_mesh_scaling",
+        format_table(
+            ["Config", "Topology", "Chiplet mm^2", "Energy mJ", "D2D mJ"],
+            [
+                [
+                    r["config"],
+                    r["topology"],
+                    f"{r['area']:.2f}",
+                    f"{r['energy_pj'] / 1e9:.2f}",
+                    f"{r['d2d_pj'] / 1e9:.3f}",
+                ]
+                for r in rows
+            ],
+            title=(
+                "Extension -- ResNet-50 on 2048 MACs from 2 to 32 chiplets "
+                "(ring <= 8, mesh beyond)"
+            ),
+        ),
+    )
+    # D2D energy grows monotonically with chiplet count (sharing hops are
+    # N_P - 1 regardless of topology).
+    d2d = [r["d2d_pj"] for r in rows]
+    assert d2d == sorted(d2d)
+    # Total energy rises with granularity beyond 4 chiplets; the 32-chiplet
+    # point pays a clear scattering penalty over the coarse designs (the
+    # 2- vs 4-chiplet points may swap within search noise).
+    energies = [r["energy_pj"] for r in rows]
+    assert energies[1:] == sorted(energies[1:])
+    assert energies[-1] > 1.2 * min(energies)
+    # But chiplet area keeps shrinking -- the manufacturing-cost trade-off.
+    areas = [r["area"] for r in rows]
+    assert areas == sorted(areas, reverse=True)

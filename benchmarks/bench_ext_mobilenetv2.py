@@ -1,0 +1,83 @@
+"""Extension: MobileNetV2 on the case-study machine (grouped convolutions).
+
+The paper lists MobileNetV2 [53] among its workload sources but evaluates
+dense models only.  This bench exercises the grouped/depthwise support:
+NN-Baton still beats the baseline, the depthwise layers map with the
+expected poor vector-MAC utilization, and the per-category energy split
+shows the inverted-residual structure (pointwise layers dominate energy
+while depthwise layers dominate neither energy nor utilization).
+"""
+
+from collections import defaultdict
+
+from conftest import bench_profile
+from repro.analysis.reporting import format_table
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.simba import evaluate_simba_model
+from repro.workloads.extraction import LayerKind, classify_layer
+from repro.workloads.models import mobilenetv2
+
+
+def mobilenet_study():
+    hw = case_study_hardware()
+    layers = mobilenetv2(include_fc=True)
+    mapper = Mapper(hw=hw, profile=bench_profile())
+    results = mapper.search_model(layers)
+    simba_energy, _, _ = evaluate_simba_model(layers, hw)
+
+    by_kind = defaultdict(lambda: {"energy": 0.0, "count": 0, "util": 0.0})
+    for result in results:
+        kind = classify_layer(result.layer)
+        bucket = by_kind[kind]
+        bucket["energy"] += result.best.energy_pj
+        bucket["count"] += 1
+        bucket["util"] += result.best.utilization
+    total = sum(r.best.energy_pj for r in results)
+    return by_kind, total, simba_energy.total_pj
+
+
+def test_mobilenetv2_grouped_support(benchmark, record):
+    by_kind, baton_total, simba_total = benchmark.pedantic(
+        mobilenet_study, rounds=1, iterations=1
+    )
+    rows = []
+    for kind, bucket in sorted(by_kind.items(), key=lambda kv: -kv[1]["energy"]):
+        rows.append(
+            [
+                kind.value,
+                bucket["count"],
+                f"{bucket['energy'] / 1e9:.3f}",
+                f"{bucket['energy'] / baton_total:.1%}",
+                f"{bucket['util'] / bucket['count']:.1%}",
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL (vs Simba)",
+            sum(b["count"] for b in by_kind.values()),
+            f"{baton_total / 1e9:.3f}",
+            f"saving {1 - baton_total / simba_total:.1%}",
+            "",
+        ]
+    )
+    record(
+        "ext_mobilenetv2",
+        format_table(
+            ["Layer kind", "Layers", "Energy mJ", "Share", "Mean util"],
+            rows,
+            title="Extension -- MobileNetV2@224 on the case-study machine",
+        ),
+    )
+
+    # Structural expectations of the inverted-residual workload:
+    assert baton_total < simba_total
+    depthwise = by_kind[LayerKind.DEPTHWISE]
+    pointwise = by_kind[LayerKind.POINTWISE]
+    assert depthwise["count"] == 17
+    # Depthwise layers: poor vector-MAC utilization (about 1/P), while the
+    # pointwise expansions run near full utilization.
+    assert depthwise["util"] / depthwise["count"] < 0.3
+    assert pointwise["util"] / pointwise["count"] > 0.5
+    # Pointwise layers carry most of the model's MACs and energy.
+    assert pointwise["energy"] > depthwise["energy"]

@@ -1,0 +1,72 @@
+"""Extension: sensitivity of the Figure 14 conclusion to calibration.
+
+DESIGN.md 5b documents one deliberately calibrated constant -- the SRAM area
+slope -- chosen so the paper's area story holds.  This bench sweeps that
+slope and re-runs the granularity study on ResNet-50, reporting how the
+EDP winner and the 1-chiplet feasibility verdict move: the paper's
+*qualitative* conclusion (area pushes designs to ~4 chiplets) should be
+robust across a plausible density range, and the bench asserts exactly that.
+"""
+
+import dataclasses
+
+from repro.analysis.reporting import format_table
+from repro.arch.technology import DEFAULT_TECHNOLOGY
+from repro.core.dse import best_point, granularity_study
+from repro.core.space import SearchProfile
+from repro.workloads.models import resnet50
+
+
+def sensitivity_sweep(slopes_mm2_per_kb=(2.0e-3, 3.0e-3, 4.0e-3, 5.0e-3)):
+    layers = {"resnet50": resnet50(include_fc=True)}
+    rows = []
+    for slope in slopes_mm2_per_kb:
+        tech = dataclasses.replace(DEFAULT_TECHNOLOGY, sram_area_mm2_per_kb=slope)
+        points = granularity_study(
+            layers, total_macs=2048, profile=SearchProfile.MINIMAL, tech=tech
+        )
+        winner = best_point(points, "resnet50", objective="edp", max_chiplet_mm2=2.0)
+        one_chip_fits = any(
+            p.valid and p.hw.n_chiplets == 1 and p.meets_area(2.0) for p in points
+        )
+        rows.append(
+            {
+                "slope": slope,
+                "winner": winner.label if winner else "none",
+                "winner_chiplets": winner.hw.n_chiplets if winner else 0,
+                "one_chiplet_feasible": one_chip_fits,
+            }
+        )
+    return rows
+
+
+def test_figure14_conclusion_is_robust(benchmark, record):
+    rows = benchmark.pedantic(sensitivity_sweep, rounds=1, iterations=1)
+    record(
+        "ext_sensitivity",
+        format_table(
+            ["SRAM mm^2/KB", "EDP winner (2mm^2)", "Chiplets", "1-chiplet fits?"],
+            [
+                [
+                    f"{r['slope']:.1e}",
+                    r["winner"],
+                    r["winner_chiplets"],
+                    "yes" if r["one_chiplet_feasible"] else "no",
+                ]
+                for r in rows
+            ],
+            title=(
+                "Extension -- sensitivity of the granularity conclusion to the "
+                "calibrated SRAM density (ResNet-50, 2048 MACs, 2 mm^2 budget)"
+            ),
+        ),
+    )
+    # Across the plausible density range, a winner always exists and the
+    # single-chiplet design never becomes feasible.
+    for r in rows:
+        assert r["winner"] != "none", r
+        assert not r["one_chiplet_feasible"], r
+    # Denser SRAM (lower slope) can only shift the winner toward *fewer*
+    # chiplets, never more.
+    chiplet_counts = [r["winner_chiplets"] for r in rows]
+    assert chiplet_counts == sorted(chiplet_counts)

@@ -1,0 +1,34 @@
+"""Figure 7: redundant memory access of planar partition patterns.
+
+Regenerates the two curves (1:1 square vs 1:4 rectangle tiles) for
+ResNet-50 conv1 (7x7 stride 2) and a VGG-16 3x3 layer at 512x512 input.
+"""
+
+from repro.analysis.experiments import fig7_data
+from repro.analysis.reporting import format_table
+
+
+def test_fig7_redundancy_curves(benchmark, record):
+    points = benchmark(fig7_data)
+    table = format_table(
+        ["Layer", "Tile elems", "Pattern", "Grid", "Redundant access"],
+        [
+            [p.layer, p.tile_elements, p.pattern, p.grid.describe(), f"{p.redundancy:.1%}"]
+            for p in points
+        ],
+        title="Figure 7 -- halo-induced redundant memory access (512x512 input)",
+    )
+    record("fig07", table)
+
+    # Paper claims encoded as assertions on the regenerated series:
+    by_key = {(p.layer, p.tile_elements, p.pattern): p.redundancy for p in points}
+    # (1) square beats 1:4 at equal element count;
+    assert by_key[("conv1", 64, "1:1")] < by_key[("conv1", 64, "1:4")]
+    # (2) the 7x7-s2 layer pays more than the 3x3 layer;
+    assert by_key[("conv1", 64, "1:1")] > by_key[("conv2", 64, "1:1")]
+    # (3) fine tiles reach multi-hundred-percent overhead (paper: up to 650%).
+    assert by_key[("conv1", 4, "1:4")] > 3.0
+    # (4) the pattern gap shrinks as tiles grow.
+    gap_fine = by_key[("conv1", 16, "1:4")] - by_key[("conv1", 16, "1:1")]
+    gap_coarse = by_key[("conv1", 1024, "1:4")] - by_key[("conv1", 1024, "1:1")]
+    assert gap_coarse < gap_fine

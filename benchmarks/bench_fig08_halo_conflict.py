@@ -1,0 +1,27 @@
+"""Figure 8: DRAM access conflict of square vs rectangle package splits.
+
+Regenerates the conflict-degree comparison: a square 2x2 chiplet split makes
+the central halo region visible to all four chiplets (and all four DRAMs),
+while a 1x4 rectangle caps the sharing degree at two.
+"""
+
+from repro.analysis.experiments import fig8_data
+from repro.analysis.reporting import format_table
+
+
+def test_fig8_conflict_degrees(benchmark, record):
+    points = benchmark(fig8_data)
+    table = format_table(
+        ["Pattern", "Grid", "Max conflict degree", "Conflicted input elements"],
+        [
+            [p.pattern, p.grid.describe(), p.max_conflict_degree, p.conflict_elements]
+            for p in points
+        ],
+        title="Figure 8 -- halo conflict of 4-way package partitions (ResNet-50 conv1 @512)",
+    )
+    record("fig08", table)
+
+    by_pattern = {p.pattern: p for p in points}
+    # The paper's claim: square -> 4-way conflicts, rectangle -> at most 2.
+    assert by_pattern["square"].max_conflict_degree == 4
+    assert by_pattern["rectangle"].max_conflict_degree == 2

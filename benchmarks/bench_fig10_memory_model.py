@@ -1,0 +1,38 @@
+"""Figure 10: the linear memory size -> area/energy relationship.
+
+Regenerates the macro sample points and the regression fits NN-Baton uses to
+"extend the exploration space of memory search using linear regression".
+"""
+
+from repro.analysis.experiments import fig10_data
+from repro.analysis.reporting import format_table
+
+
+def test_fig10_linear_fits(benchmark, record):
+    data = benchmark(fig10_data)
+    rows = [
+        [f"{p.size_kb:g}", f"{p.area_mm2:.4f}", f"{p.energy_pj_per_bit:.3f}"]
+        for p in data.library.points
+    ]
+    rows.append(["--- fit ---", f"{data.area_fit.intercept:.4f} + {data.area_fit.slope:.5f}*KB",
+                 f"{data.energy_fit.intercept:.3f} + {data.energy_fit.slope:.5f}*KB"])
+    rows.append(["r^2", f"{data.area_fit.r_squared:.5f}", f"{data.energy_fit.r_squared:.5f}"])
+    table = format_table(
+        ["Size (KB)", "Area (mm^2)", "Energy (pJ/bit)"],
+        rows,
+        title="Figure 10 -- SRAM macro library and linear regression (16 nm)",
+    )
+    record("fig10", table)
+
+    # "the area and power approximately satisfy a linear relationship"
+    assert data.area_fit.r_squared > 0.99
+    assert data.energy_fit.r_squared > 0.99
+    # The energy fit reproduces the two Table I anchors within 10%.
+    assert abs(data.energy_fit(1.0) - 0.30) < 0.03
+    assert abs(data.energy_fit(32.0) - 0.81) < 0.08
+
+
+def test_fig10_extrapolation_speed(benchmark):
+    data = fig10_data()
+    point = benchmark(data.library.extrapolate, 192.0)
+    assert point.area_mm2 > 0

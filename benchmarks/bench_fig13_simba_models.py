@@ -1,0 +1,46 @@
+"""Figure 13: model-level energy, Simba baseline vs NN-Baton.
+
+Regenerates the headline comparison -- VGG-16, ResNet-50 and DarkNet-19 at
+224x224 and 512x512 inputs (CONV and FC layers, FC folded into pointwise).
+The paper reports 22.5%-44% lower energy; EXPERIMENTS.md discusses where the
+reproduction lands on total vs data-movement accounting.
+"""
+
+from conftest import bench_profile
+from repro.analysis.experiments import fig13_data
+from repro.analysis.reporting import format_table
+
+
+def test_fig13_model_comparison(benchmark, record):
+    points = benchmark.pedantic(
+        fig13_data, kwargs={"profile": bench_profile()}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            p.model,
+            p.resolution,
+            f"{p.simba_energy_pj / 1e9:.2f}",
+            f"{p.baton_energy_pj / 1e9:.2f}",
+            f"{p.saving:.1%}",
+            f"{p.movement_saving:.1%}",
+        ]
+        for p in points
+    ]
+    table = format_table(
+        ["Model", "Input", "Simba mJ", "NN-Baton mJ", "Total saving", "Movement saving"],
+        rows,
+        title="Figure 13 -- model-level Simba vs NN-Baton (paper: 22.5%~44% savings)",
+    )
+    record("fig13", table)
+
+    # Paper claims on the regenerated series:
+    for p in points:
+        # (1) NN-Baton saves energy on every (model, resolution) pair;
+        assert p.saving > 0, (p.model, p.resolution)
+    # (2) savings at 512x512 are at least those at 224x224 for each model
+    #     (Simba is "weak in the layers with large feature maps").
+    by_model = {}
+    for p in points:
+        by_model.setdefault(p.model, {})[p.resolution] = p.movement_saving
+    for model, savings in by_model.items():
+        assert savings[512] >= savings[224] - 0.02, model

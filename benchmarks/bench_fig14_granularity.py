@@ -1,0 +1,69 @@
+"""Figure 14: chiplet granularity exploration with 2048 total MAC units.
+
+Regenerates, for AlexNet / VGG-16 / ResNet-50 / DarkNet-19, the per-chiplet-
+count best implementations with and without the 2 mm^2 chiplet area
+constraint, plus the EDP winner (the paper's red dotted box: 4-4-16-8).
+"""
+
+from conftest import bench_profile
+from repro.analysis.experiments import FIG14_MODELS, fig14_data
+from repro.analysis.reporting import format_table
+
+
+def test_fig14_granularity(benchmark, record):
+    data = benchmark.pedantic(
+        fig14_data, kwargs={"profile": bench_profile()}, rounds=1, iterations=1
+    )
+    rows = []
+    for model in FIG14_MODELS:
+        for n in (1, 2, 4, 8):
+            unconstrained = data.best(model, n_chiplets=n, constrained=False)
+            constrained = data.best(model, n_chiplets=n, constrained=True)
+            rows.append(
+                [
+                    model,
+                    n,
+                    unconstrained.label if unconstrained else "-",
+                    f"{unconstrained.energy_pj[model] / 1e9:.2f}" if unconstrained else "-",
+                    constrained.label if constrained else "none <= 2mm^2",
+                    f"{constrained.energy_pj[model] / 1e9:.2f}" if constrained else "-",
+                ]
+            )
+        winner = data.edp_winner(model)
+        rows.append(
+            [
+                model,
+                "EDP pick",
+                winner.label if winner else "-",
+                f"{winner.edp(model):.3e} Js" if winner else "-",
+                f"{winner.chiplet_area_mm2:.2f} mm^2" if winner else "-",
+                "",
+            ]
+        )
+    table = format_table(
+        ["Model", "Chiplets", "Best (free)", "Energy mJ", "Best (2mm^2)", "Energy mJ"],
+        rows,
+        title=(
+            "Figure 14 -- 2048-MAC granularity study "
+            f"({len([p for p in data.points if p.valid])} evaluated configs; "
+            "paper EDP pick: 4-4-16-8)"
+        ),
+    )
+    record("fig14", table)
+
+    # Paper claims on the regenerated series:
+    # (1) no single-chiplet implementation meets the 2 mm^2 constraint;
+    for model in FIG14_MODELS:
+        assert data.best(model, n_chiplets=1, constrained=True) is None
+    # (2) without the constraint, fewer chiplets give lower energy: the
+    #     unconstrained optimum never uses 8 chiplets;
+    for model in FIG14_MODELS:
+        best_free = data.best(model, constrained=False)
+        assert best_free.hw.n_chiplets < 8, model
+    # (3) under the constraint, the EDP winner is a 4-chiplet design for at
+    #     least three of the four benchmarks, and 4-4-16-8 is the modal pick.
+    winners = [data.edp_winner(model) for model in FIG14_MODELS]
+    four_chiplet = [w for w in winners if w.hw.n_chiplets == 4]
+    assert len(four_chiplet) >= 3
+    labels = [w.label for w in winners]
+    assert labels.count("4-4-16-8") >= 2, labels

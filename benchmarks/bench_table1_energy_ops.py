@@ -1,0 +1,40 @@
+"""Table I: per-operation energy of the 16 nm multichip system.
+
+Regenerates the operation/energy/relative-cost rows and times the energy
+model's hot path (per-bit lookups across configured buffer sizes).
+"""
+
+from repro.analysis.experiments import table1_rows
+from repro.analysis.reporting import format_table
+from repro.arch.config import case_study_hardware
+from repro.arch.energy import EnergyModel
+
+
+def test_table1_rows(benchmark, record):
+    rows = benchmark(table1_rows)
+    table = format_table(
+        ["Operation", "Energy (pJ/bit)", "Relative cost"],
+        [[r.name, f"{r.energy_pj_per_bit:.3f}", f"{r.relative_cost:.2f}x"] for r in rows],
+        title="Table I -- operation energies (paper values, modeled verbatim)",
+    )
+    record("table1", table)
+    assert rows[0].energy_pj_per_bit == 8.75
+
+
+def test_energy_model_lookup_throughput(benchmark):
+    hw = case_study_hardware()
+
+    def lookups():
+        model = EnergyModel(hw)
+        return (
+            model.dram_pj_per_bit
+            + model.d2d_pj_per_bit
+            + model.a_l2_pj_per_bit
+            + model.a_l1_pj_per_bit
+            + model.w_l1_pj_per_bit
+            + model.rf_rmw_pj_per_bit
+            + model.mac_pj_per_op
+        )
+
+    total = benchmark(lookups)
+    assert total > 0

@@ -1,0 +1,51 @@
+"""Table II: the computation/memory exploration space and its headline counts.
+
+Regenerates the option table and the derived counts the paper quotes: the
+computation-allocation possibilities for a 2048-MAC budget (with exactly
+three single-chiplet options) and the size of the Figure 15 sweep.
+"""
+
+from repro.analysis.experiments import table2_data
+from repro.analysis.reporting import format_table
+
+
+def test_table2_space(benchmark, record):
+    data = benchmark(table2_data)
+    space = data.space
+    table = format_table(
+        ["Resource", "Options"],
+        [
+            ["Vector-MAC (P)", ", ".join(map(str, space.vector_sizes))],
+            ["# of Lanes (L)", ", ".join(map(str, space.lanes))],
+            ["# of Cores (N_C)", ", ".join(map(str, space.cores))],
+            ["# of Chiplets (N_P)", ", ".join(map(str, space.chiplets))],
+            ["O-L1 size (B/lane)", ", ".join(map(str, space.o_l1_per_lane_bytes))],
+            ["A-L1 size (KB)", ", ".join(map(str, space.a_l1_kb))],
+            ["W-L1 size (KB)", ", ".join(map(str, space.w_l1_kb))],
+            ["A-L2 size (KB)", ", ".join(map(str, space.a_l2_kb))],
+            ["2048-MAC computation configs", data.granularity_configs_2048],
+            ["4096-MAC computation configs", data.granularity_configs_4096],
+            ["Figure 15 sweep points", data.sweep_size_4096],
+        ],
+        title="Table II -- design space (paper quotes 'up to 63' 2048-MAC configs; "
+        "the printed option grid yields 32, incl. exactly 3 single-chiplet)",
+    )
+    record("table2", table)
+
+    assert data.granularity_configs_2048 == 32
+    single_chiplet = [
+        c for c in space.computation_configs(2048) if c[0] == 1
+    ]
+    assert len(single_chiplet) == 3  # "only three options" (Section VI-B1)
+
+
+def test_sweep_enumeration_speed(benchmark):
+    from repro.core.dse import DesignSpace
+
+    space = DesignSpace()
+
+    def enumerate_sweep():
+        return sum(1 for _ in space.memory_configs(lanes=8))
+
+    count = benchmark(enumerate_sweep)
+    assert count > 100

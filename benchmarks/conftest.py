@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures: it prints
+the same rows/series the paper reports and records them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite a concrete run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` -- mapping-search profile for the heavy benches
+  (``exhaustive`` / ``fast`` / ``minimal``; default ``fast``).
+* ``REPRO_FIG15_STRIDE`` -- memory-sweep subsampling for the Figure 15 DSE
+  (default 4; 1 reproduces the full sweep and takes tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.space import SearchProfile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_profile() -> SearchProfile:
+    """The mapping-search profile selected via REPRO_BENCH_PROFILE."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "fast").lower()
+    return SearchProfile(name)
+
+
+def fig15_stride() -> int:
+    """Memory-sweep stride for the Figure 15 DSE."""
+    return int(os.environ.get("REPRO_FIG15_STRIDE", "4"))
+
+
+@pytest.fixture
+def record(request):
+    """Print a reproduced table/figure and persist it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

@@ -1,0 +1,97 @@
+"""Full pre-design DSE sweep with CSV export (the Figure 15 study).
+
+Sweeps a (reduced) Table II space for a MAC budget, evaluates every valid
+point, writes an ``area,edp,...`` CSV for external plotting, and prints the
+ASCII area-vs-EDP scatter plus the Pareto front.
+
+    python examples/design_space_sweep.py [model] [required_macs] [stride]
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+from repro import NNBaton, get_model
+from repro.analysis.pareto import pareto_points
+from repro.analysis.reporting import format_scatter, format_table
+
+
+def main(model_name: str = "darknet19", required_macs: int = 1024, stride: int = 16) -> None:
+    layers = get_model(model_name)
+    baton = NNBaton()
+    print(f"Sweeping the Table II space for {required_macs} MACs on "
+          f"{model_name}@224 (memory stride {stride})...\n")
+
+    result = baton.pre_design(
+        {model_name: layers},
+        required_macs=required_macs,
+        max_chiplet_mm2=3.0,
+        memory_stride=stride,
+    )
+    valid = result.valid_points
+    print(f"Swept {result.swept} points; evaluated {len(valid)} valid designs.")
+
+    csv_path = Path("dse_sweep.csv")
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["config", "chiplets", "area_mm2", "energy_pj", "runtime_s", "edp_js",
+             "a_l1_B", "w_l1_B", "a_l2_B"]
+        )
+        for point in valid:
+            writer.writerow(
+                [
+                    point.label,
+                    point.hw.n_chiplets,
+                    f"{point.chiplet_area_mm2:.4f}",
+                    f"{point.energy_pj[model_name]:.1f}",
+                    f"{point.runtime_s(model_name):.6g}",
+                    f"{point.edp(model_name):.6g}",
+                    point.hw.memory.a_l1_bytes,
+                    point.hw.memory.w_l1_bytes,
+                    point.hw.memory.a_l2_bytes,
+                ]
+            )
+    print(f"Wrote {csv_path} ({len(valid)} rows).\n")
+
+    if valid:
+        print(format_scatter(
+            [(p.chiplet_area_mm2, p.edp(model_name), str(p.hw.n_chiplets)) for p in valid],
+            width=68, height=16,
+            x_label="chiplet area mm^2",
+            y_label=f"EDP Js [{model_name}] glyph=chiplet count",
+        ))
+
+        front = pareto_points(
+            valid,
+            x=lambda p: p.chiplet_area_mm2,
+            y=lambda p: p.edp(model_name),
+        )
+        print("\n" + format_table(
+            ["Config", "Area mm^2", "EDP Js", "A-L1", "W-L1", "A-L2"],
+            [
+                [
+                    p.label,
+                    f"{p.chiplet_area_mm2:.2f}",
+                    f"{p.edp(model_name):.2e}",
+                    f"{p.hw.memory.a_l1_bytes // 1024}KB",
+                    f"{p.hw.memory.w_l1_bytes // 1024}KB",
+                    f"{p.hw.memory.a_l2_bytes // 1024}KB",
+                ]
+                for p in front
+            ],
+            title="Area/EDP Pareto front",
+        ))
+
+    if result.recommended is not None:
+        print(f"\nRecommended design: {result.recommended.label} "
+              f"with A-L1={result.recommended.hw.memory.a_l1_bytes}B, "
+              f"W-L1={result.recommended.hw.memory.w_l1_bytes}B, "
+              f"A-L2={result.recommended.hw.memory.a_l2_bytes}B")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "darknet19"
+    macs = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
+    stride = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+    main(name, macs, stride)

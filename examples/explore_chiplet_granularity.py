@@ -1,0 +1,64 @@
+"""Chiplet granularity exploration (the Figure 14 study, pre-design flow).
+
+With a required MAC budget, enumerate every (chiplets, cores, lanes,
+vector-size) factorization with proportional memory, evaluate each on a
+target model, and report the trade-off the paper highlights: fewer chiplets
+save energy but blow the per-chiplet area budget.
+
+    python examples/explore_chiplet_granularity.py [model] [total_macs] [area_mm2]
+"""
+
+import sys
+
+from repro import SearchProfile, get_model, granularity_study
+from repro.analysis.reporting import format_bar, format_table
+from repro.core.dse import best_point
+
+
+def main(model_name: str = "resnet50", total_macs: int = 2048, area_mm2: float = 2.0) -> None:
+    layers = get_model(model_name)
+    print(f"Granularity study: {total_macs} MACs for {model_name}@224, "
+          f"chiplet area budget {area_mm2} mm^2\n")
+
+    points = granularity_study(
+        {model_name: layers}, total_macs=total_macs, profile=SearchProfile.FAST
+    )
+    evaluated = [p for p in points if p.valid]
+    max_energy = max(p.energy_pj[model_name] for p in evaluated)
+
+    rows = []
+    for point in sorted(evaluated, key=lambda p: (p.hw.n_chiplets, p.edp(model_name))):
+        fits = point.meets_area(area_mm2)
+        rows.append(
+            [
+                point.label,
+                f"{point.chiplet_area_mm2:.2f}" + ("" if fits else " (!)"),
+                f"{point.energy_pj[model_name] / 1e9:.2f}",
+                f"{point.runtime_s(model_name) * 1e3:.2f}",
+                f"{point.edp(model_name):.2e}",
+                format_bar(point.energy_pj[model_name], max_energy, 24),
+            ]
+        )
+    print(format_table(
+        ["Config", "Chiplet mm^2", "Energy mJ", "Runtime ms", "EDP Js", "Energy"],
+        rows,
+        title="(!) marks designs over the area budget",
+    ))
+
+    free = best_point(points, model_name, objective="energy")
+    constrained = best_point(points, model_name, objective="edp", max_chiplet_mm2=area_mm2)
+    print(f"\nBest energy (no constraint): {free.label} "
+          f"({free.energy_pj[model_name] / 1e9:.2f} mJ, {free.chiplet_area_mm2:.2f} mm^2)")
+    if constrained is None:
+        print("No design meets the area budget.")
+    else:
+        print(f"EDP winner under {area_mm2} mm^2: {constrained.label} "
+              f"({constrained.edp(model_name):.2e} Js, "
+              f"{constrained.chiplet_area_mm2:.2f} mm^2)  <- the paper's red box")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    macs = int(sys.argv[2]) if len(sys.argv) > 2 else 2048
+    area = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+    main(name, macs, area)

@@ -1,0 +1,55 @@
+"""Quickstart: map one convolution layer on the paper's case-study machine.
+
+Runs the post-design flow on a single ResNet-50 layer, prints the winning
+spatial/temporal mapping, the energy breakdown, and the simulated runtime.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Mapper,
+    SearchProfile,
+    case_study_hardware,
+    representative_layers,
+    simulate_runtime,
+)
+from repro.analysis.reporting import format_bar, format_table
+from repro.workloads.extraction import LayerKind
+
+
+def main() -> None:
+    hw = case_study_hardware()
+    print(f"Hardware: {hw.name} -> {hw.label()} "
+          f"({hw.total_macs} MACs, {hw.memory.w_l1_bytes // 1024} KB W-L1/core)")
+
+    layer = representative_layers(224)[LayerKind.COMMON]
+    print(f"Layer:    {layer.describe()}\n")
+
+    mapper = Mapper(hw=hw, profile=SearchProfile.EXHAUSTIVE)
+    result = mapper.search_layer(layer)
+    report = result.best
+
+    print(f"Searched {result.candidates_evaluated} legal mappings "
+          f"({result.candidates_invalid} rejected).")
+    print(f"Winner:   {report.mapping.describe()}\n")
+
+    breakdown = report.energy.as_dict()
+    total = report.energy_pj
+    rows = [
+        [name, f"{pj / 1e9:.4f}", f"{pj / total:.1%}", format_bar(pj, total, 30)]
+        for name, pj in breakdown.items()
+    ]
+    rows.append(["total", f"{total / 1e9:.4f}", "100.0%", ""])
+    print(format_table(["Component", "mJ", "Share", ""], rows, title="Energy breakdown"))
+
+    sim = simulate_runtime(layer, hw, report.mapping)
+    print(f"\nAnalytical compute cycles: {report.cycles:,}")
+    print(f"Simulated cycles:          {sim.cycles:,.0f} "
+          f"({sim.stall_cycles:,.0f} stall; "
+          f"{'memory' if sim.memory_bound else 'compute'}-bound)")
+    print(f"Runtime @ 500 MHz:         {sim.runtime_s(hw) * 1e6:.1f} us")
+    print(f"MAC-array utilization:     {report.utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Simulate a mapped layer and visualize its pipeline as a Gantt chart.
+
+Maps a layer on the case-study machine, runs the discrete-event simulator
+with trace recording, renders the per-chiplet timeline, and places the layer
+on the hardware's roofline -- then repeats under a 16x tighter DRAM
+bandwidth to show the pipeline going memory-bound.
+
+    python examples/simulate_and_trace.py
+"""
+
+import dataclasses
+
+from repro import Mapper, SearchProfile, case_study_hardware, simulate_runtime
+from repro.analysis.gantt import phase_summary, render_gantt
+from repro.analysis.roofline import Roofline
+from repro.workloads import representative_layers
+from repro.workloads.extraction import LayerKind
+
+
+def run_and_show(hw, layer, mapping, label: str) -> None:
+    result = simulate_runtime(layer, hw, mapping, collect_trace=True)
+    print(f"--- {label} ---")
+    print(render_gantt(result.trace, width=90))
+    summary = phase_summary(result.trace)
+    busiest = max(summary, key=summary.get)
+    print(
+        f"cycles={result.cycles:,.0f} (compute bound {result.compute_cycles:,.0f}, "
+        f"stall {result.stall_cycles:,.0f}); busiest phase: {busiest}; "
+        f"DRAM util {result.dram_utilization:.0%}, ring util {result.ring_utilization:.0%}"
+    )
+    print()
+
+
+def main() -> None:
+    hw = case_study_hardware()
+    layer = representative_layers(224)[LayerKind.COMMON]
+    mapping = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer).mapping
+    print(f"Layer: {layer.describe()}")
+    print(f"Mapping: {mapping.describe()}\n")
+
+    roofline = Roofline(hw)
+    from repro.core.loopnest import LoopNest
+
+    point = roofline.locate(layer, LoopNest(layer, hw, mapping))
+    print(
+        f"Roofline: intensity {point.intensity_macs_per_byte:.1f} MAC/B "
+        f"(ridge {roofline.ridge_intensity:.1f}) -> "
+        f"{'compute' if point.compute_bound else 'memory'}-bound, "
+        f"attainable {point.attainable_macs_per_cycle:.0f} MAC/cycle\n"
+    )
+
+    run_and_show(hw, layer, mapping, "nominal bandwidth")
+
+    starved = dataclasses.replace(
+        hw,
+        tech=dataclasses.replace(
+            hw.tech,
+            dram_bandwidth_bits_per_cycle=hw.tech.dram_bandwidth_bits_per_cycle / 16,
+        ),
+    )
+    run_and_show(starved, layer, mapping, "DRAM bandwidth / 16")
+
+
+if __name__ == "__main__":
+    main()

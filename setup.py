@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires building an editable wheel (PEP 660); offline
+environments missing ``wheel`` can instead run ``python setup.py develop``.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

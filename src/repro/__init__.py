@@ -1,0 +1,110 @@
+"""NN-Baton reproduction: DNN workload orchestration and chiplet granularity
+exploration for multichip accelerators (Tan et al., ISCA 2021).
+
+Public API quick tour::
+
+    from repro import NNBaton, case_study_hardware, get_model
+
+    hw = case_study_hardware()             # the paper's 4-chiplet machine
+    baton = NNBaton()
+    result = baton.post_design(get_model("resnet50"), hw)
+    print(result.energy_pj, result.mapping_table()[0])
+
+Subpackages:
+
+* :mod:`repro.arch` -- technology constants (Table I), memory/area models
+  (Figure 10), hardware configurations.
+* :mod:`repro.workloads` -- layer geometry and the four benchmark networks.
+* :mod:`repro.core` -- the hierarchical framework: primitives, C3P, the
+  mapper (post-design) and the DSE (pre-design).
+* :mod:`repro.simba` -- the weight-centric baseline.
+* :mod:`repro.sim` -- the discrete-event runtime simulator.
+* :mod:`repro.analysis` -- experiment drivers for every paper table/figure.
+"""
+
+from repro.arch import (
+    AreaModel,
+    ChipletConfig,
+    CoreConfig,
+    EnergyModel,
+    HardwareConfig,
+    MemoryConfig,
+    PackageConfig,
+    TechnologyParams,
+    Topology,
+    case_study_hardware,
+    simba_like_hardware,
+)
+from repro.arch.config import build_hardware, proportional_memory
+from repro.core import (
+    CostReport,
+    DesignSpace,
+    EnergyBreakdown,
+    LoopNest,
+    Mapper,
+    Mapping,
+    MappingSpace,
+    NNBaton,
+    PlanarGrid,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+    evaluate_mapping,
+    explore,
+    granularity_study,
+)
+from repro.core.space import SearchProfile
+from repro.simba import evaluate_simba, evaluate_simba_model
+from repro.sim import simulate_runtime
+from repro.workloads import (
+    ConvLayer,
+    get_model,
+    list_models,
+    load_model_file,
+    representative_layers,
+    save_model_file,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaModel",
+    "ChipletConfig",
+    "ConvLayer",
+    "CoreConfig",
+    "CostReport",
+    "DesignSpace",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "HardwareConfig",
+    "LoopNest",
+    "Mapper",
+    "Mapping",
+    "MappingSpace",
+    "MemoryConfig",
+    "NNBaton",
+    "PackageConfig",
+    "PlanarGrid",
+    "RotationKind",
+    "SearchProfile",
+    "SpatialPrimitive",
+    "TechnologyParams",
+    "TemporalPrimitive",
+    "Topology",
+    "__version__",
+    "build_hardware",
+    "case_study_hardware",
+    "evaluate_mapping",
+    "evaluate_simba",
+    "evaluate_simba_model",
+    "explore",
+    "get_model",
+    "granularity_study",
+    "list_models",
+    "load_model_file",
+    "proportional_memory",
+    "representative_layers",
+    "save_model_file",
+    "simba_like_hardware",
+    "simulate_runtime",
+]

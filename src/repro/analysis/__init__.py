@@ -1,0 +1,45 @@
+"""Analysis and reporting: breakdowns, Pareto fronts, experiment drivers.
+
+* :mod:`repro.analysis.reporting` -- plain-text tables and bar/scatter
+  renderings for terminal output.
+* :mod:`repro.analysis.pareto` -- generic 2-D Pareto utilities.
+* :mod:`repro.analysis.experiments` -- one driver per paper table/figure;
+  the benchmarks and EXPERIMENTS.md generation call these.
+"""
+
+from repro.analysis.experiments import (
+    fig7_data,
+    fig8_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    fig14_data,
+    fig15_data,
+    table1_rows,
+    table2_data,
+)
+from repro.analysis.breakdown import aggregate, normalize, shares, stacked_bar_chart
+from repro.analysis.pareto import pareto_points
+from repro.analysis.reporting import format_bar, format_table, format_percent
+
+__all__ = [
+    "fig7_data",
+    "fig8_data",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "fig14_data",
+    "fig15_data",
+    "aggregate",
+    "format_bar",
+    "format_percent",
+    "format_table",
+    "normalize",
+    "pareto_points",
+    "shares",
+    "stacked_bar_chart",
+    "table1_rows",
+    "table2_data",
+]

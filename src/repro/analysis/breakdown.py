@@ -1,0 +1,103 @@
+"""Energy-breakdown analysis helpers: normalization and stacked-bar text.
+
+The paper's Figures 11-13 are stacked bars of normalized energy by
+component; these helpers turn :class:`~repro.core.cost.EnergyBreakdown`
+objects into the same presentation for terminals and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping as MappingType
+from typing import Sequence
+
+from repro.core.cost import EnergyBreakdown
+
+#: One glyph per component, in the breakdown's canonical order.
+COMPONENT_GLYPHS: dict[str, str] = {
+    "dram": "D",
+    "d2d": "R",
+    "a_l2": "2",
+    "o_l2": "o",
+    "a_l1": "a",
+    "w_l1": "w",
+    "rf": "r",
+    "mac": "m",
+}
+
+
+def normalize(breakdown: EnergyBreakdown, baseline_pj: float) -> dict[str, float]:
+    """Component shares relative to ``baseline_pj`` (Figure 12's y-axis).
+
+    Raises:
+        ValueError: For a non-positive baseline.
+    """
+    if baseline_pj <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline_pj}")
+    return {name: pj / baseline_pj for name, pj in breakdown.as_dict().items()}
+
+
+def shares(breakdown: EnergyBreakdown) -> dict[str, float]:
+    """Component fractions of the breakdown's own total (sums to 1)."""
+    total = breakdown.total_pj
+    if total <= 0:
+        return {name: 0.0 for name in breakdown.as_dict()}
+    return {name: pj / total for name, pj in breakdown.as_dict().items()}
+
+
+def stacked_bar(
+    breakdown: EnergyBreakdown, scale_pj: float, width: int = 50
+) -> str:
+    """Render one stacked bar: component glyphs proportional to energy.
+
+    ``scale_pj`` maps to the full ``width`` so bars across a figure share
+    one scale, exactly like the paper's normalized plots.
+    """
+    if scale_pj <= 0:
+        raise ValueError(f"scale must be positive, got {scale_pj}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    bar = []
+    for name, pj in breakdown.as_dict().items():
+        cells = int(round(pj / scale_pj * width))
+        bar.append(COMPONENT_GLYPHS[name] * cells)
+    return "".join(bar)[: width * 2]
+
+
+def stacked_bar_chart(
+    entries: Sequence[tuple[str, EnergyBreakdown]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labeled stacked bars on a shared scale, plus a glyph legend."""
+    if not entries:
+        raise ValueError("entries must be non-empty")
+    scale = max(breakdown.total_pj for _, breakdown in entries)
+    if scale <= 0:
+        raise ValueError("all breakdowns are zero")
+    label_width = max(len(label) for label, _ in entries)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, breakdown in entries:
+        bar = stacked_bar(breakdown, scale, width)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{breakdown.total_pj / 1e9:.3f} mJ"
+        )
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in COMPONENT_GLYPHS.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def dominant_component(breakdown: EnergyBreakdown) -> str:
+    """Name of the largest energy component."""
+    parts = breakdown.as_dict()
+    return max(parts, key=parts.get)
+
+
+def aggregate(breakdowns: MappingType[str, EnergyBreakdown]) -> EnergyBreakdown:
+    """Sum a collection of breakdowns (e.g. per-layer to model level)."""
+    total = EnergyBreakdown.zero()
+    for breakdown in breakdowns.values():
+        total = total + breakdown
+    return total

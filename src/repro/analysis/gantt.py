@@ -1,0 +1,62 @@
+"""ASCII Gantt rendering of simulator execution traces.
+
+Turns a :class:`~repro.sim.trace.Trace` into a per-chiplet timeline so the
+double-buffered load/compute overlap (and its breakdown under tight
+bandwidth) is visible at a glance::
+
+    chiplet 0 |LLLL CCCCCCCC   CCCCCCCC ...
+    chiplet 1 |LLLL RCCCCCCCC  ...
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import Phase, Trace
+
+#: One glyph per pipeline phase.
+PHASE_GLYPHS: dict[Phase, str] = {
+    Phase.DRAM_LOAD: "L",
+    Phase.RING_ROTATE: "R",
+    Phase.COMPUTE: "C",
+    Phase.WRITEBACK: "W",
+}
+
+
+def render_gantt(trace: Trace, width: int = 100) -> str:
+    """Render a trace as one timeline row per chiplet.
+
+    Later-drawn phases overwrite earlier ones in a shared cell (a cell is
+    ``makespan / width`` cycles), with compute drawn last so the busy
+    portion of the pipeline dominates the picture.
+
+    Raises:
+        ValueError: For an empty trace or non-positive width.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not trace.records:
+        raise ValueError("cannot render an empty trace")
+    makespan = trace.makespan()
+    if makespan <= 0:
+        raise ValueError("trace has zero makespan")
+    chiplets = sorted({r.chiplet for r in trace.records})
+    rows = {c: [" "] * width for c in chiplets}
+    # Draw in increasing priority: writeback, load, rotate, compute.
+    priority = [Phase.WRITEBACK, Phase.DRAM_LOAD, Phase.RING_ROTATE, Phase.COMPUTE]
+    for phase in priority:
+        glyph = PHASE_GLYPHS[phase]
+        for record in trace.for_phase(phase):
+            first = int(record.start / makespan * (width - 1))
+            last = int(record.end / makespan * (width - 1))
+            for cell in range(first, last + 1):
+                rows[record.chiplet][cell] = glyph
+    lines = [
+        f"chiplet {c} |{''.join(cells)}|" for c, cells in sorted(rows.items())
+    ]
+    legend = "  ".join(f"{g}={p.value}" for p, g in PHASE_GLYPHS.items())
+    lines.append(f"0 .. {makespan:.0f} cycles   legend: {legend}")
+    return "\n".join(lines)
+
+
+def phase_summary(trace: Trace) -> dict[str, float]:
+    """Total busy cycles per phase across all chiplets."""
+    return {phase.value: trace.busy_cycles(phase) for phase in Phase}

@@ -1,0 +1,36 @@
+"""Generic 2-D Pareto utilities (minimize both coordinates)."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_points(
+    items: Sequence[T],
+    x: "callable",
+    y: "callable",
+) -> list[T]:
+    """Pareto-minimal subset of ``items`` under coordinates ``(x(i), y(i))``.
+
+    An item is kept when no other item is at least as good on both axes and
+    strictly better on one.  Result is sorted by ``x``.
+    """
+    kept: list[T] = []
+    for candidate in items:
+        cx, cy = x(candidate), y(candidate)
+        dominated = any(
+            (x(other) <= cx and y(other) <= cy)
+            and (x(other) < cx or y(other) < cy)
+            for other in items
+            if other is not candidate
+        )
+        if not dominated:
+            kept.append(candidate)
+    return sorted(kept, key=x)
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Whether point ``a`` Pareto-dominates point ``b`` (minimization)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])

@@ -1,0 +1,88 @@
+"""Plain-text rendering helpers for tables, bars and scatter plots.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: Column titles.
+        rows: Row cells (stringified with ``str``).
+        title: Optional title line.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """A proportional ASCII bar (``value / scale`` of ``width``)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    filled = int(round(min(max(value / scale, 0.0), 1.0) * width))
+    return char * filled
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_scatter(
+    points: Sequence[tuple[float, float, str]],
+    width: int = 70,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labeled (x, y) points as an ASCII scatter plot.
+
+    Each point's label's first character becomes its glyph; collisions keep
+    the first writer.  Axes are linear and auto-scaled.
+    """
+    if not points:
+        raise ValueError("points must be non-empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, label in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        if canvas[row][col] == " ":
+            canvas[row][col] = (label or "*")[0]
+    lines = [f"{y_label} (top={y_max:.3g}, bottom={y_min:.3g})"]
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Roofline analysis: compute vs memory bounds for layers and mappings.
+
+Complements the DES runtime simulator with the classic first-order check:
+a hardware point has a peak compute throughput (MACs/cycle) and a DRAM
+bandwidth ceiling; a layer's *operational intensity* (MACs per DRAM byte
+under a given mapping) decides which roof binds.  The pre-design flow uses
+this to explain why memory-rich allocations pay off on low-intensity layers
+(depthwise, FC) and not on dense convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+from repro.core.cost import CostReport
+from repro.core.loopnest import LoopNest
+from repro.core.traffic import compute_traffic
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position against a hardware roofline.
+
+    Attributes:
+        layer_name: The layer.
+        intensity_macs_per_byte: MACs per DRAM byte under the mapping.
+        attainable_macs_per_cycle: min(compute roof, bandwidth * intensity).
+        compute_bound: Whether the compute roof binds.
+    """
+
+    layer_name: str
+    intensity_macs_per_byte: float
+    attainable_macs_per_cycle: float
+    compute_bound: bool
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A hardware point's roofline model."""
+
+    hw: HardwareConfig
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        """The compute roof: every MAC unit busy every cycle."""
+        return float(self.hw.total_macs)
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bandwidth across the package's channels."""
+        per_channel = self.hw.tech.dram_bandwidth_bits_per_cycle / 8.0
+        return per_channel * self.hw.n_chiplets
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity where the two roofs meet (MACs/byte)."""
+        return self.peak_macs_per_cycle / self.dram_bytes_per_cycle
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable throughput (MACs/cycle) at a given intensity."""
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        return min(self.peak_macs_per_cycle, self.dram_bytes_per_cycle * intensity)
+
+    def locate(self, layer: ConvLayer, nest: LoopNest) -> RooflinePoint:
+        """Place one mapped layer on the roofline.
+
+        Intensity uses the mapping's *actual* DRAM traffic (reloads
+        included), so a bad mapping visibly slides a layer left.
+        """
+        traffic, _ = compute_traffic(nest)
+        dram_bytes = traffic.dram_bits / 8.0
+        intensity = layer.macs / dram_bytes if dram_bytes else float("inf")
+        attainable = self.attainable(min(intensity, 1e18))
+        return RooflinePoint(
+            layer_name=layer.name,
+            intensity_macs_per_byte=intensity,
+            attainable_macs_per_cycle=attainable,
+            compute_bound=intensity >= self.ridge_intensity,
+        )
+
+    def locate_report(self, report: CostReport) -> RooflinePoint:
+        """Place an evaluated mapping on the roofline via its traffic."""
+        dram_bytes = report.traffic.dram_bits / 8.0
+        intensity = report.layer.macs / dram_bytes if dram_bytes else float("inf")
+        return RooflinePoint(
+            layer_name=report.layer.name,
+            intensity_macs_per_byte=intensity,
+            attainable_macs_per_cycle=self.attainable(min(intensity, 1e18)),
+            compute_bound=intensity >= self.ridge_intensity,
+        )

@@ -1,0 +1,63 @@
+"""Hardware substrate: technology constants, memory/energy/area models, configs.
+
+This subpackage models the physical side of the NN-Baton hardware template:
+
+* :mod:`repro.arch.technology` -- the 16 nm technology operating point and the
+  per-operation energy table (paper Table I).
+* :mod:`repro.arch.memory` -- SRAM and register-file macro models with the
+  linear size scaling of paper Figure 10, including the regression utilities
+  NN-Baton uses to extend the memory search space.
+* :mod:`repro.arch.energy` -- per-bit access energies for a concrete hardware
+  configuration.
+* :mod:`repro.arch.area` -- chiplet and package area accounting.
+* :mod:`repro.arch.config` -- the three-level hardware description
+  (core / chiplet / package) and published presets.
+* :mod:`repro.arch.validate` -- structural validity rules used by the DSE
+  pruning pass.
+"""
+
+from repro.arch.area import AreaModel, ChipletAreaBreakdown
+from repro.arch.config import (
+    ChipletConfig,
+    CoreConfig,
+    HardwareConfig,
+    MemoryConfig,
+    PackageConfig,
+    case_study_hardware,
+    proportional_memory,
+    simba_like_hardware,
+)
+from repro.arch.energy import EnergyModel
+from repro.arch.io import hardware_from_dict, hardware_to_dict, load_hardware, save_hardware
+from repro.arch.memory import LinearFit, MemoryLibrary, RegisterFileModel, SramModel
+from repro.arch.technology import OperationEnergy, TechnologyParams, TABLE_I
+from repro.arch.topology import Topology
+from repro.arch.validate import ConfigValidationError, validate_hardware
+
+__all__ = [
+    "AreaModel",
+    "ChipletAreaBreakdown",
+    "ChipletConfig",
+    "ConfigValidationError",
+    "CoreConfig",
+    "EnergyModel",
+    "HardwareConfig",
+    "LinearFit",
+    "MemoryConfig",
+    "MemoryLibrary",
+    "OperationEnergy",
+    "PackageConfig",
+    "RegisterFileModel",
+    "SramModel",
+    "TABLE_I",
+    "TechnologyParams",
+    "Topology",
+    "case_study_hardware",
+    "hardware_from_dict",
+    "hardware_to_dict",
+    "load_hardware",
+    "save_hardware",
+    "proportional_memory",
+    "simba_like_hardware",
+    "validate_hardware",
+]

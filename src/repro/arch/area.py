@@ -1,0 +1,107 @@
+"""Chiplet and package area accounting.
+
+The paper (Section V-A): "The total area of a chiplet includes SRAM, RF, MAC
+units, and the off-chip PHY and ignores the controller and other IP modules."
+Area is the decisive constraint of the granularity study (Figure 14: a 2 mm^2
+chiplet budget; Figure 15: 3 mm^2), so this model is deliberately explicit
+about every contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ChipletAreaBreakdown:
+    """Per-chiplet area contributions in mm^2."""
+
+    macs_mm2: float
+    w_l1_mm2: float
+    a_l1_mm2: float
+    o_l1_mm2: float
+    a_l2_mm2: float
+    o_l2_mm2: float
+    d2d_phy_mm2: float
+    ddr_phy_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total chiplet area."""
+        return (
+            self.macs_mm2
+            + self.w_l1_mm2
+            + self.a_l1_mm2
+            + self.o_l1_mm2
+            + self.a_l2_mm2
+            + self.o_l2_mm2
+            + self.d2d_phy_mm2
+            + self.ddr_phy_mm2
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Breakdown as an ordered dict for reporting."""
+        return {
+            "macs": self.macs_mm2,
+            "w_l1": self.w_l1_mm2,
+            "a_l1": self.a_l1_mm2,
+            "o_l1": self.o_l1_mm2,
+            "a_l2": self.a_l2_mm2,
+            "o_l2": self.o_l2_mm2,
+            "d2d_phy": self.d2d_phy_mm2,
+            "ddr_phy": self.ddr_phy_mm2,
+            "total": self.total_mm2,
+        }
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area accounting for one :class:`HardwareConfig`."""
+
+    hw: HardwareConfig
+    #: O-L2 size used for area purposes when the config auto-sizes it; a
+    #: conservative default equal to the A-L2 capacity divided by four.
+    o_l2_default_bytes: int = 0
+
+    def _o_l2_bytes(self) -> int:
+        if self.hw.memory.o_l2_bytes:
+            return self.hw.memory.o_l2_bytes
+        if self.o_l2_default_bytes:
+            return self.o_l2_default_bytes
+        return self.hw.memory.a_l2_bytes // 4
+
+    def chiplet_breakdown(self) -> ChipletAreaBreakdown:
+        """Area of a single chiplet, itemized."""
+        hw = self.hw
+        tech = hw.tech
+        n_cores = hw.n_cores
+        per_core_macs = hw.lanes * hw.vector_size
+        return ChipletAreaBreakdown(
+            macs_mm2=tech.mac_area_mm2(n_cores * per_core_macs),
+            w_l1_mm2=n_cores * hw.w_l1().area_mm2,
+            a_l1_mm2=n_cores * hw.a_l1().area_mm2,
+            o_l1_mm2=n_cores * hw.o_l1().area_mm2,
+            a_l2_mm2=hw.a_l2().area_mm2,
+            o_l2_mm2=hw.o_l2(self._o_l2_bytes()).area_mm2,
+            # One GRS PHY pair endpoint per chiplet (the ring is directional,
+            # so each chiplet owns one transmit + one receive macro, which the
+            # published 0.38 mm^2 figure already covers).
+            d2d_phy_mm2=tech.grs_phy_area_mm2 if hw.n_chiplets > 1 else 0.0,
+            ddr_phy_mm2=tech.ddr_phy_area_mm2,
+        )
+
+    def chiplet_area_mm2(self) -> float:
+        """Total area of one chiplet."""
+        return self.chiplet_breakdown().total_mm2
+
+    def package_area_mm2(self) -> float:
+        """Total silicon area across all chiplets (dies only)."""
+        return self.hw.n_chiplets * self.chiplet_area_mm2()
+
+    def meets_chiplet_constraint(self, max_chiplet_mm2: float) -> bool:
+        """Whether every chiplet fits within ``max_chiplet_mm2``."""
+        if max_chiplet_mm2 <= 0:
+            raise ValueError(f"area constraint must be positive, got {max_chiplet_mm2}")
+        return self.chiplet_area_mm2() <= max_chiplet_mm2

@@ -1,0 +1,90 @@
+"""Per-access energy model for a concrete hardware configuration.
+
+Wraps :class:`~repro.arch.technology.TechnologyParams` with the configured
+buffer sizes so every traffic class (DRAM, die-to-die, L2, L1, register file,
+MAC) has a single authoritative per-bit/per-op energy.  All downstream energy
+numbers in this repository flow through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-bit / per-op energies for one :class:`HardwareConfig`.
+
+    SRAM energies follow the linear size law of Figure 10, so a 144 KB W-L1
+    costs more per bit than an 18 KB one -- exactly the trade-off the
+    pre-design flow explores.
+    """
+
+    hw: HardwareConfig
+
+    # --- per-bit energies ------------------------------------------------------
+
+    @property
+    def dram_pj_per_bit(self) -> float:
+        """DRAM access energy (Table I: 8.75 pJ/bit)."""
+        return self.hw.tech.dram_energy_pj_per_bit
+
+    @property
+    def d2d_pj_per_bit(self) -> float:
+        """One die-to-die ring hop through a pair of GRS PHYs (1.17 pJ/bit)."""
+        return self.hw.tech.d2d_energy_pj_per_bit
+
+    @property
+    def a_l2_pj_per_bit(self) -> float:
+        """A-L2 access energy at the configured size."""
+        return self.hw.a_l2().energy_pj_per_bit
+
+    def o_l2_pj_per_bit(self, size_bytes: int) -> float:
+        """O-L2 access energy; the buffer is auto-sized per chiplet workload."""
+        return self.hw.o_l2(size_bytes).energy_pj_per_bit
+
+    @property
+    def a_l1_pj_per_bit(self) -> float:
+        """A-L1 access energy at the configured size."""
+        return self.hw.a_l1().energy_pj_per_bit
+
+    @property
+    def w_l1_pj_per_bit(self) -> float:
+        """W-L1 access energy at the configured size."""
+        return self.hw.w_l1().energy_pj_per_bit
+
+    @property
+    def rf_rmw_pj_per_bit(self) -> float:
+        """O-L1 register read-modify-write energy (0.104 pJ/bit)."""
+        return self.hw.o_l1().rmw_energy_pj_per_bit
+
+    @property
+    def mac_pj_per_op(self) -> float:
+        """One 8-bit MAC operation (0.024 pJ)."""
+        return self.hw.tech.mac_energy_pj
+
+    # --- convenience totals ------------------------------------------------------
+
+    def mac_energy_pj(self, ops: float) -> float:
+        """Energy of ``ops`` MAC operations."""
+        if ops < 0:
+            raise ValueError(f"ops must be non-negative, got {ops}")
+        return ops * self.mac_pj_per_op
+
+    def dram_energy_pj(self, bits: float) -> float:
+        """Energy of ``bits`` of DRAM traffic."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return bits * self.dram_pj_per_bit
+
+    def d2d_energy_pj(self, bit_hops: float) -> float:
+        """Energy of ``bit_hops`` bit-hops on the package ring.
+
+        A datum forwarded across ``k`` links contributes ``k`` bit-hops per
+        bit, each paying one GRS PHY-pair traversal.
+        """
+        if bit_hops < 0:
+            raise ValueError(f"bit_hops must be non-negative, got {bit_hops}")
+        return bit_hops * self.d2d_pj_per_bit

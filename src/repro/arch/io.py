@@ -1,0 +1,98 @@
+"""Hardware configuration serialization (JSON-friendly dictionaries).
+
+Lets users describe machines in config files and feed them to the CLI
+(``python -m repro map model --hw-file machine.json``), and lets the DSE
+export its design points for external analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.arch.config import (
+    ChipletConfig,
+    CoreConfig,
+    HardwareConfig,
+    MemoryConfig,
+    PackageConfig,
+)
+from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+from repro.arch.topology import Topology
+
+
+def hardware_to_dict(hw: HardwareConfig) -> dict[str, Any]:
+    """Serialize a hardware configuration.
+
+    Technology parameters are stored as overrides against the default 16 nm
+    point, so files stay small and defaults can evolve.
+    """
+    tech_overrides = {}
+    defaults = DEFAULT_TECHNOLOGY
+    for field_name in TechnologyParams.__dataclass_fields__:
+        value = getattr(hw.tech, field_name)
+        if value != getattr(defaults, field_name):
+            tech_overrides[field_name] = value
+    return {
+        "name": hw.name,
+        "chiplets": hw.n_chiplets,
+        "cores": hw.n_cores,
+        "lanes": hw.lanes,
+        "vector_size": hw.vector_size,
+        "topology": hw.topology.value,
+        "memory": {
+            "a_l1_bytes": hw.memory.a_l1_bytes,
+            "w_l1_bytes": hw.memory.w_l1_bytes,
+            "o_l1_bytes": hw.memory.o_l1_bytes,
+            "a_l2_bytes": hw.memory.a_l2_bytes,
+            "o_l2_bytes": hw.memory.o_l2_bytes,
+        },
+        "tech_overrides": tech_overrides,
+    }
+
+
+def hardware_from_dict(data: dict[str, Any]) -> HardwareConfig:
+    """Deserialize a hardware configuration.
+
+    Raises:
+        KeyError: When a required field is missing.
+        ValueError: When a field has an invalid value.
+    """
+    unknown_tech = set(data.get("tech_overrides", {})) - set(
+        TechnologyParams.__dataclass_fields__
+    )
+    if unknown_tech:
+        raise ValueError(
+            f"unknown technology overrides: {', '.join(sorted(unknown_tech))}"
+        )
+    tech = (
+        TechnologyParams(**data["tech_overrides"])
+        if data.get("tech_overrides")
+        else DEFAULT_TECHNOLOGY
+    )
+    package = PackageConfig(
+        chiplets=data["chiplets"],
+        chiplet=ChipletConfig(
+            cores=data["cores"],
+            core=CoreConfig(lanes=data["lanes"], vector_size=data["vector_size"]),
+        ),
+        topology=Topology(data.get("topology", "ring")),
+    )
+    memory = MemoryConfig(**data["memory"])
+    return HardwareConfig(
+        package=package,
+        memory=memory,
+        tech=tech,
+        name=data.get("name", ""),
+    )
+
+
+def save_hardware(hw: HardwareConfig, path: str | Path) -> None:
+    """Write a hardware configuration to a JSON file."""
+    Path(path).write_text(json.dumps(hardware_to_dict(hw), indent=2) + "\n")
+
+
+def load_hardware(path: str | Path) -> HardwareConfig:
+    """Read a hardware configuration from a JSON file."""
+    return hardware_from_dict(json.loads(Path(path).read_text()))

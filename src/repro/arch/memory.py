@@ -1,0 +1,229 @@
+"""SRAM / register-file macro models and the Figure 10 linear regression.
+
+The paper observes that "the area and power approximately satisfy a linear
+relationship with the SRAM size ... which allows us to extend the exploration
+space of memory search using linear regression" (Section V-A, Figure 10).
+
+This module provides:
+
+* :class:`SramModel` / :class:`RegisterFileModel` -- concrete macro instances
+  with per-bit access energy and area, derived from
+  :class:`~repro.arch.technology.TechnologyParams`.
+* :class:`LinearFit` -- an ordinary-least-squares y = a + b*x fit (implemented
+  from scratch; no scipy dependency in the core path).
+* :class:`MemoryLibrary` -- a synthetic "memory compiler" library: a table of
+  macro sizes with small deterministic residuals around the linear law, plus
+  the regression pass NN-Baton runs to extend the search space.  This
+  reproduces the tool's code path even though we do not have ARM's compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares linear fit ``y = intercept + slope * x``."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the fit at ``x``."""
+        return self.intercept + self.slope * x
+
+    @staticmethod
+    def fit(xs: Sequence[float], ys: Sequence[float]) -> "LinearFit":
+        """Fit a line to ``(xs, ys)`` by ordinary least squares.
+
+        Raises:
+            ValueError: On fewer than two points or zero x-variance.
+        """
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        n = len(xs)
+        if n < 2:
+            raise ValueError("need at least two points to fit a line")
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        if sxx == 0:
+            raise ValueError("zero variance in x; cannot fit a line")
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        slope = sxy / sxx
+        intercept = mean_y - slope * mean_x
+        ss_tot = sum((y - mean_y) ** 2 for y in ys)
+        ss_res = sum(
+            (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+        )
+        r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+        return LinearFit(intercept=intercept, slope=slope, r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class SramModel:
+    """A concrete SRAM macro of a given size.
+
+    Attributes:
+        size_bytes: Macro capacity in bytes.
+        tech: Technology point supplying the linear laws.
+    """
+
+    size_bytes: int
+    tech: TechnologyParams = DEFAULT_TECHNOLOGY
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"SRAM size must be non-negative, got {self.size_bytes}")
+
+    @property
+    def size_kb(self) -> float:
+        """Capacity in kilobytes."""
+        return self.size_bytes / 1024.0
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Per-bit read/write energy for this macro size."""
+        return self.tech.sram_energy_pj_per_bit(self.size_kb)
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of this macro."""
+        return self.tech.sram_area_mm2(self.size_kb)
+
+    def access_energy_pj(self, bits: float) -> float:
+        """Energy for transferring ``bits`` through this macro."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return bits * self.energy_pj_per_bit
+
+
+@dataclass(frozen=True)
+class RegisterFileModel:
+    """A register file macro (the O-L1 partial-sum store).
+
+    The paper implements O-L1 with registers so a 24-bit read-modify-write
+    completes in one cycle at 0.104 pJ/bit.
+    """
+
+    size_bytes: int
+    tech: TechnologyParams = DEFAULT_TECHNOLOGY
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"RF size must be non-negative, got {self.size_bytes}")
+
+    @property
+    def size_kb(self) -> float:
+        """Capacity in kilobytes."""
+        return self.size_bytes / 1024.0
+
+    @property
+    def rmw_energy_pj_per_bit(self) -> float:
+        """Per-bit read-modify-write energy (size-independent for an RF)."""
+        return self.tech.rf_rmw_energy_pj_per_bit
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of this register file."""
+        return self.tech.rf_area_mm2(self.size_kb)
+
+    def rmw_energy_pj(self, bits: float) -> float:
+        """Energy for ``bits`` of read-modify-write traffic."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return bits * self.rmw_energy_pj_per_bit
+
+
+@dataclass(frozen=True)
+class MacroPoint:
+    """One entry of the synthetic memory-compiler library."""
+
+    size_kb: float
+    area_mm2: float
+    energy_pj_per_bit: float
+
+
+def _residual(size_kb: float, scale: float) -> float:
+    """Small deterministic residual so library points are not exactly linear.
+
+    A fixed pseudo-random wobble (~+-2%) derived from the size itself, keeping
+    the library reproducible without any RNG state.
+    """
+    wobble = ((size_kb * 977.0) % 7.0 - 3.0) / 150.0
+    return scale * wobble
+
+
+class MemoryLibrary:
+    """A synthetic stand-in for the ARM memory-compiler macro library.
+
+    NN-Baton samples a handful of compiled macros, observes the linear
+    size/overhead relationship (Figure 10), and extends the memory search
+    space by regression.  This class generates the sample points from the
+    technology's linear laws plus small deterministic residuals and exposes
+    the same regression step.
+    """
+
+    #: Default macro sizes sampled for the Figure 10 fit, in KB.
+    DEFAULT_SIZES_KB: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(
+        self,
+        tech: TechnologyParams = DEFAULT_TECHNOLOGY,
+        sizes_kb: Iterable[float] | None = None,
+    ) -> None:
+        self.tech = tech
+        self.sizes_kb = tuple(sizes_kb) if sizes_kb is not None else self.DEFAULT_SIZES_KB
+        if any(size <= 0 for size in self.sizes_kb):
+            raise ValueError("library macro sizes must be positive")
+        self._points = tuple(self._compile(size) for size in self.sizes_kb)
+
+    def _compile(self, size_kb: float) -> MacroPoint:
+        """Produce one library macro (linear law + deterministic residual)."""
+        area = self.tech.sram_area_mm2(size_kb)
+        energy = self.tech.sram_energy_pj_per_bit(size_kb)
+        return MacroPoint(
+            size_kb=size_kb,
+            area_mm2=area * (1.0 + _residual(size_kb, 1.0)),
+            energy_pj_per_bit=energy * (1.0 + _residual(size_kb + 13.0, 1.0)),
+        )
+
+    @property
+    def points(self) -> tuple[MacroPoint, ...]:
+        """The compiled macro sample points."""
+        return self._points
+
+    def fit_area(self) -> LinearFit:
+        """Regress macro area against size (the Figure 10 area line)."""
+        return LinearFit.fit(
+            [p.size_kb for p in self._points],
+            [p.area_mm2 for p in self._points],
+        )
+
+    def fit_energy(self) -> LinearFit:
+        """Regress per-bit energy against size (the Figure 10 energy line)."""
+        return LinearFit.fit(
+            [p.size_kb for p in self._points],
+            [p.energy_pj_per_bit for p in self._points],
+        )
+
+    def extrapolate(self, size_kb: float) -> MacroPoint:
+        """Predict an un-compiled macro via the regression fits.
+
+        This is the "extend the exploration space of memory search using
+        linear regression" step from Section V-A.
+        """
+        if size_kb <= 0:
+            raise ValueError(f"macro size must be positive, got {size_kb}")
+        return MacroPoint(
+            size_kb=size_kb,
+            area_mm2=max(self.fit_area()(size_kb), 0.0),
+            energy_pj_per_bit=max(
+                self.fit_energy()(size_kb), self.tech.rf_rmw_energy_pj_per_bit
+            ),
+        )

@@ -1,0 +1,87 @@
+"""Network-on-Package topologies: the paper's ring plus a mesh extension.
+
+The paper "employ[s] the directional ring network on package interconnecting
+1-to-8 chiplets rather than an intricate network for tens of chiplets"
+(Section I) -- the intricate network being Simba's 6x6 2D mesh.  This module
+models both so the framework can scale past eight chiplets:
+
+* **RING** -- one directional link per chiplet.  Sharing data among all
+  chiplets (the rotating transfer) moves every shared bit across
+  ``N_P - 1`` links.
+* **MESH** -- a near-square 2D mesh with bidirectional links.  Shared data
+  is distributed along a multicast spanning tree, which also traverses
+  ``N_P - 1`` edges, so the *energy* per shared bit matches the ring; what
+  changes is the link count (bandwidth) and the validity range.
+
+Energy per link traversal is one GRS PHY-pair hop in both cases (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+
+class Topology(Enum):
+    """The package interconnect style."""
+
+    RING = "ring"
+    MESH = "mesh"
+
+    def max_chiplets(self) -> int:
+        """Validity range of the topology model.
+
+        The ring follows the paper's 1-to-8 scope; the mesh extension covers
+        "tens of chiplets" up to Simba's 36 and a bit beyond.
+        """
+        return 8 if self is Topology.RING else 64
+
+    def mesh_dims(self, n_chiplets: int) -> tuple[int, int]:
+        """Near-square (rows, cols) arrangement for a mesh of ``n_chiplets``."""
+        if n_chiplets < 1:
+            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        rows = int(math.isqrt(n_chiplets))
+        while n_chiplets % rows:
+            rows -= 1
+        return rows, n_chiplets // rows
+
+    def link_count(self, n_chiplets: int) -> int:
+        """Physical link count (directional ring links / mesh edges)."""
+        if n_chiplets < 1:
+            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        if n_chiplets == 1:
+            return 0
+        if self is Topology.RING:
+            return n_chiplets
+        rows, cols = self.mesh_dims(n_chiplets)
+        return rows * (cols - 1) + cols * (rows - 1)
+
+    def sharing_hops_per_bit(self, n_chiplets: int) -> int:
+        """Link traversals for one bit shared among all chiplets.
+
+        Ring rotation forwards each bit across ``N_P - 1`` links; a mesh
+        multicast spanning tree also has ``N_P - 1`` edges.  Energy is
+        therefore topology-independent -- the paper's ring choice is about
+        design simplicity, not energy.
+        """
+        if n_chiplets < 1:
+            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        return max(n_chiplets - 1, 0)
+
+    def average_distance(self, n_chiplets: int) -> float:
+        """Mean hop distance between distinct chiplets (latency proxy)."""
+        if n_chiplets < 1:
+            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        if n_chiplets == 1:
+            return 0.0
+        if self is Topology.RING:
+            # Directional ring: the distance from i to j is (j - i) mod n,
+            # uniform over {1, ..., n-1} across distinct pairs -> mean n/2.
+            return n_chiplets / 2.0
+        rows, cols = self.mesh_dims(n_chiplets)
+        # Mean Manhattan distance on a rows x cols grid: per axis, the mean
+        # |a - b| over uniform a, b in [0, n) is (n^2 - 1) / (3n).
+        def mean_axis(n: int) -> float:
+            return (n * n - 1) / (3 * n) if n > 1 else 0.0
+
+        return mean_axis(rows) + mean_axis(cols)

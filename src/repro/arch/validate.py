@@ -1,0 +1,109 @@
+"""Structural validity rules for hardware configurations.
+
+The pre-design sweep "can skip some invalid cases to speed up the space
+sweeping, such as the A-L1 size smaller than A-L2 or the total MAC units less
+than the required quantities" (Section VI-B).  We read the first rule as a
+hierarchy-inversion check: a chiplet-shared A-L2 smaller than one core's A-L1
+cannot feed its cores and is pruned.  All rules live here so the DSE, the
+mapper, and the tests agree on what "valid" means.
+"""
+
+from __future__ import annotations
+
+from repro.arch.area import AreaModel
+from repro.arch.config import HardwareConfig
+
+
+class ConfigValidationError(ValueError):
+    """A hardware configuration violates a structural validity rule."""
+
+
+def validation_errors(
+    hw: HardwareConfig,
+    required_macs: int | None = None,
+    max_chiplet_area_mm2: float | None = None,
+) -> list[str]:
+    """Return every validity violation of ``hw`` (empty list means valid).
+
+    Args:
+        hw: Configuration under test.
+        required_macs: Minimum total MAC units (the performance budget).
+        max_chiplet_area_mm2: Per-chiplet area budget, if any.
+    """
+    errors: list[str] = []
+    mem = hw.memory
+
+    if mem.a_l2_bytes < mem.a_l1_bytes:
+        errors.append(
+            f"memory hierarchy inversion: A-L2 ({mem.a_l2_bytes} B) smaller "
+            f"than a core's A-L1 ({mem.a_l1_bytes} B)"
+        )
+
+    # O-L1 must hold at least one partial sum per lane, otherwise no legal
+    # core tile exists.
+    min_o_l1 = hw.lanes * hw.tech.psum_bits / 8.0
+    if mem.o_l1_bytes < min_o_l1:
+        errors.append(
+            f"O-L1 ({mem.o_l1_bytes} B) cannot hold one {hw.tech.psum_bits}-bit "
+            f"partial sum per lane ({min_o_l1:.0f} B required)"
+        )
+
+    # W-L1 must hold at least one L x P weight block for the WS dataflow.
+    min_w_l1 = hw.lanes * hw.vector_size * hw.tech.data_bits / 8.0
+    if mem.w_l1_bytes < min_w_l1:
+        errors.append(
+            f"W-L1 ({mem.w_l1_bytes} B) cannot hold one LxP weight block "
+            f"({min_w_l1:.0f} B required)"
+        )
+
+    # A-L1 must hold at least one P-wide activation vector.
+    min_a_l1 = hw.vector_size * hw.tech.data_bits / 8.0
+    if mem.a_l1_bytes < min_a_l1:
+        errors.append(
+            f"A-L1 ({mem.a_l1_bytes} B) cannot hold one P-wide activation "
+            f"vector ({min_a_l1:.0f} B required)"
+        )
+
+    if required_macs is not None and hw.total_macs < required_macs:
+        errors.append(
+            f"total MAC units ({hw.total_macs}) below the required "
+            f"budget ({required_macs})"
+        )
+
+    if max_chiplet_area_mm2 is not None:
+        area = AreaModel(hw).chiplet_area_mm2()
+        if area > max_chiplet_area_mm2:
+            errors.append(
+                f"chiplet area {area:.3f} mm^2 exceeds the "
+                f"{max_chiplet_area_mm2:.3f} mm^2 constraint"
+            )
+
+    # The paper's ring interconnect targets 1-to-8 chiplets; the mesh
+    # extension covers tens of chiplets.
+    if hw.n_chiplets > hw.topology.max_chiplets():
+        errors.append(
+            f"{hw.topology.value} interconnect model covers 1-to-"
+            f"{hw.topology.max_chiplets()} chiplets, got {hw.n_chiplets}"
+        )
+
+    return errors
+
+
+def is_valid(
+    hw: HardwareConfig,
+    required_macs: int | None = None,
+    max_chiplet_area_mm2: float | None = None,
+) -> bool:
+    """Whether ``hw`` passes every structural rule."""
+    return not validation_errors(hw, required_macs, max_chiplet_area_mm2)
+
+
+def validate_hardware(
+    hw: HardwareConfig,
+    required_macs: int | None = None,
+    max_chiplet_area_mm2: float | None = None,
+) -> None:
+    """Raise :class:`ConfigValidationError` when ``hw`` is invalid."""
+    errors = validation_errors(hw, required_macs, max_chiplet_area_mm2)
+    if errors:
+        raise ConfigValidationError("; ".join(errors))

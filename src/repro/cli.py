@@ -1,0 +1,317 @@
+"""Command-line interface for the NN-Baton tool.
+
+Subcommands mirror the paper's two flows plus inspection helpers::
+
+    python -m repro models                         # registered workloads
+    python -m repro table1                         # the energy table
+    python -m repro map resnet50 --hw 4-8-8-8      # post-design flow
+    python -m repro compare vgg16 --resolution 512 # vs the Simba baseline
+    python -m repro explore --macs 2048 --area 2.0 # pre-design flow
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.arch.config import build_hardware, case_study_hardware
+from repro.arch.technology import TABLE_I
+from repro.core.baton import NNBaton
+from repro.core.serialize import compiler_report
+from repro.core.space import SearchProfile
+from repro.simba import evaluate_simba_model
+from repro.workloads.registry import get_model, list_models
+
+
+def _parse_hw(spec: str):
+    """Parse a ``chiplets-cores-lanes-vector`` tuple into hardware."""
+    if spec == "case-study":
+        return case_study_hardware()
+    parts = spec.split("-")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"hardware spec must be N_P-N_C-L-P (e.g. 4-8-8-8), got {spec!r}"
+        )
+    try:
+        chiplets, cores, lanes, vector = (int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return build_hardware(chiplets, cores, lanes, vector)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List registered models with their headline statistics."""
+    from repro.workloads.stats import ModelStats
+
+    rows = []
+    for name in list_models():
+        layers = get_model(name, args.resolution)
+        stats = ModelStats.of(name, layers)
+        rows.append(
+            [
+                name,
+                stats.layers,
+                f"{stats.total_macs / 1e9:.2f}",
+                f"{stats.total_weights / 1e6:.1f}",
+                sum(1 for l in layers if l.groups > 1),
+                f"{stats.mean_arithmetic_intensity:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Model", "Layers", "GMACs", "MParams", "Grouped", "AI MAC/B"],
+            rows,
+            title=f"Registered workloads @ {args.resolution}x{args.resolution}",
+        )
+    )
+    if args.detail:
+        for name in list_models():
+            print()
+            layers = get_model(name, args.resolution)
+            print(ModelStats.of(name, layers).describe())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the Table I operation energies."""
+    print(
+        format_table(
+            ["Operation", "pJ/bit", "Relative"],
+            [
+                [r.name, f"{r.energy_pj_per_bit:.3f}", f"{r.relative_cost:.2f}x"]
+                for r in TABLE_I
+            ],
+            title="Table I -- 16 nm operation energies",
+        )
+    )
+    return 0
+
+
+def _resolve_model(args: argparse.Namespace):
+    """Resolve the workload: --model-file wins over the registry name."""
+    if getattr(args, "model_file", None):
+        from repro.workloads.io import load_model_file
+
+        return load_model_file(args.model_file), Path(args.model_file).stem
+    return get_model(args.model, args.resolution), args.model
+
+
+def _resolve_hw(args: argparse.Namespace):
+    """Pick the hardware: --hw-file wins over the --hw tuple."""
+    if getattr(args, "hw_file", None):
+        from repro.arch.io import load_hardware
+
+        return load_hardware(args.hw_file)
+    return args.hw
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    """Run the post-design flow for one model on one hardware instance."""
+    from repro.core.mapper import Mapper, edp_objective, energy_objective
+    from repro.core.cost import model_cost
+    from repro.core.baton import PostDesignResult
+
+    hw = _resolve_hw(args)
+    layers, model_name = _resolve_model(args)
+    objective = edp_objective if args.objective == "edp" else energy_objective
+    mapper = Mapper(
+        hw=hw, profile=SearchProfile(args.profile), objective=objective
+    )
+    results = mapper.search_model(layers)
+    energy, cycles, edp = model_cost([r.best for r in results], hw)
+    result = PostDesignResult(
+        hw=hw, layers=tuple(results), energy=energy, cycles=cycles, edp_js=edp
+    )
+
+    rows = [
+        [
+            r.layer.name,
+            r.mapping.describe(),
+            f"{r.best.energy_pj / 1e9:.3f}",
+            f"{r.best.utilization:.0%}",
+        ]
+        for r in result.layers
+    ]
+    print(
+        format_table(
+            ["Layer", "Mapping", "mJ", "Util"],
+            rows,
+            title=f"Post-design flow: {model_name}@{args.resolution} on {hw.label()}",
+        )
+    )
+    print(
+        f"\nTotal: {result.energy_pj / 1e9:.2f} mJ, "
+        f"{result.cycles:,} cycles ({result.runtime_s() * 1e3:.2f} ms), "
+        f"EDP {result.edp_js:.3e} Js"
+    )
+
+    if args.json:
+        reports = [
+            compiler_report(r.layer, hw, r.mapping) for r in result.layers
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(
+                {
+                    "hardware": hw.label(),
+                    "model": model_name,
+                    "resolution": args.resolution,
+                    "total_energy_pj": result.energy_pj,
+                    "total_cycles": result.cycles,
+                    "layers": reports,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"Wrote compiler report to {args.json}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare NN-Baton against the Simba baseline on one model."""
+    hw = _resolve_hw(args)
+    layers = get_model(args.model, args.resolution)
+    baton = NNBaton(profile=SearchProfile(args.profile))
+    result = baton.post_design(layers, hw)
+    simba_energy, simba_cycles, _ = evaluate_simba_model(layers, hw)
+    saving = 1 - result.energy_pj / simba_energy.total_pj
+    print(
+        format_table(
+            ["", "Energy mJ", "Cycles"],
+            [
+                ["Simba baseline", f"{simba_energy.total_pj / 1e9:.2f}", f"{simba_cycles:,}"],
+                ["NN-Baton", f"{result.energy_pj / 1e9:.2f}", f"{result.cycles:,}"],
+            ],
+            title=f"{args.model}@{args.resolution} on {hw.label()}",
+        )
+    )
+    print(f"\nEnergy saving: {saving:.1%} (paper: 22.5%~44% across models)")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the pre-design flow under MAC and area budgets."""
+    models = {
+        name: get_model(name, args.resolution)
+        for name in args.models.split(",")
+    }
+    baton = NNBaton()
+    result = baton.pre_design(
+        models,
+        required_macs=args.macs,
+        max_chiplet_mm2=args.area,
+        memory_stride=args.stride,
+        profile=SearchProfile(args.profile),
+    )
+    print(
+        f"Swept {result.swept} design points; "
+        f"{len(result.valid_points)} valid evaluated."
+    )
+    if result.recommended is None:
+        print("No design satisfies the budgets.")
+        return 1
+    best = result.recommended
+    mem = best.hw.memory
+    print(
+        f"Recommended: {best.label} "
+        f"(chiplet {best.chiplet_area_mm2:.2f} mm^2; "
+        f"A-L1 {mem.a_l1_bytes} B, W-L1 {mem.w_l1_bytes} B, "
+        f"A-L2 {mem.a_l2_bytes} B)"
+    )
+    for model in models:
+        print(
+            f"  {model}: {best.energy_pj[model] / 1e9:.2f} mJ, "
+            f"{best.runtime_s(model) * 1e3:.2f} ms, EDP {best.edp(model):.3e} Js"
+        )
+    if args.csv:
+        import csv as csv_module
+
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv_module.writer(handle)
+            writer.writerow(
+                ["config", "chiplets", "area_mm2"]
+                + [f"energy_pj[{m}]" for m in models]
+                + [f"edp_js[{m}]" for m in models]
+            )
+            for point in result.valid_points:
+                writer.writerow(
+                    [point.label, point.hw.n_chiplets, f"{point.chiplet_area_mm2:.4f}"]
+                    + [f"{point.energy_pj[m]:.1f}" for m in models]
+                    + [f"{point.edp(m):.6g}" for m in models]
+                )
+        print(f"Wrote {len(result.valid_points)} valid points to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NN-Baton: DNN workload orchestration and chiplet granularity exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="list registered workloads")
+    models.add_argument("--resolution", type=int, default=224)
+    models.add_argument(
+        "--detail", action="store_true", help="print per-model category histograms"
+    )
+    models.set_defaults(func=cmd_models)
+
+    table1 = sub.add_parser("table1", help="print the Table I energies")
+    table1.set_defaults(func=cmd_table1)
+
+    map_cmd = sub.add_parser("map", help="post-design flow: map a model")
+    map_cmd.add_argument("model", nargs="?", default="resnet50")
+    map_cmd.add_argument("--hw", type=_parse_hw, default="case-study")
+    map_cmd.add_argument("--hw-file", help="load the machine from a JSON file")
+    map_cmd.add_argument(
+        "--model-file", help="load the workload from a JSON layer list"
+    )
+    map_cmd.add_argument("--resolution", type=int, default=224)
+    map_cmd.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="fast"
+    )
+    map_cmd.add_argument(
+        "--objective", choices=["energy", "edp"], default="energy",
+        help="per-layer search objective",
+    )
+    map_cmd.add_argument("--json", help="write the compiler report to this path")
+    map_cmd.set_defaults(func=cmd_map)
+
+    compare = sub.add_parser("compare", help="compare against the Simba baseline")
+    compare.add_argument("model")
+    compare.add_argument("--hw", type=_parse_hw, default="case-study")
+    compare.add_argument("--hw-file", help="load the machine from a JSON file")
+    compare.add_argument("--resolution", type=int, default=224)
+    compare.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="fast"
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    explore = sub.add_parser("explore", help="pre-design flow: explore the design space")
+    explore.add_argument("--macs", type=int, required=True)
+    explore.add_argument("--area", type=float, default=None)
+    explore.add_argument("--models", default="resnet50")
+    explore.add_argument("--resolution", type=int, default=224)
+    explore.add_argument("--stride", type=int, default=8)
+    explore.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="minimal"
+    )
+    explore.add_argument("--csv", help="export valid design points to this CSV")
+    explore.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,291 @@
+"""The C3P (Critical-Capacity Critical-Position) methodology (Section IV-B).
+
+For each buffer, the temporal loops split into *relevant* loops (they advance
+the buffered datatype: C loops for weights, W/H loops for activations) and
+*irrelevant* loops (they revisit it).  Walking the nest inside-out:
+
+* each relevant loop grows the working set and marks a **critical position**
+  whose working-set size is the **critical capacity** ``Cc_k``;
+* each irrelevant loop between critical positions forms a **reuse region**:
+  if the buffer is at least the inner critical capacity the region reuses the
+  buffered data, otherwise every iteration refetches it -- the ``P_k``
+  penalty of Equation 2.
+
+Total access is ``A_0 * prod(P_k over unsatisfied critical points)``, the
+paper's Equation 1 (we state the product form directly; the paper's worked
+examples, Figure 6c-f, come out identically and are pinned in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.loopnest import Loop, LoopNest
+
+
+@dataclass(frozen=True)
+class CriticalPoint:
+    """One critical position of a buffer's loop analysis.
+
+    Attributes:
+        capacity_bytes: The critical capacity Cc_k.
+        penalty: P_k -- product of the irrelevant loop counts in the reuse
+            region guarded by this critical point (1 when the region is
+            empty, e.g. the boundary case of the paper's example-2).
+        satisfied: Whether the buffer size reaches Cc_k (no penalty paid).
+        label: Where the critical position sits (e.g. ``"block"``, ``"C1"``).
+    """
+
+    capacity_bytes: float
+    penalty: int
+    satisfied: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class C3PAnalysis:
+    """Result of one buffer's C3P walk.
+
+    Attributes:
+        a0_bits: Intrinsic access A_0 (every distinct datum fetched once),
+            in bits.
+        reload_factor: Product of unsatisfied penalties (>= 1).
+        fill_bits: Total fill traffic ``a0_bits * reload_factor``.
+        critical_points: The walk's critical positions, inner to outer.
+    """
+
+    a0_bits: float
+    reload_factor: float
+    critical_points: tuple[CriticalPoint, ...] = field(default_factory=tuple)
+
+    @property
+    def fill_bits(self) -> float:
+        """Total buffer fill traffic in bits."""
+        return self.a0_bits * self.reload_factor
+
+    def min_penalty_free_capacity(self) -> float:
+        """Smallest buffer size (bytes) with reload_factor == 1.
+
+        The largest critical capacity guarding a non-trivial reuse region;
+        0.0 when no region exists (any buffer is penalty-free).
+        """
+        capacities = [
+            cp.capacity_bytes for cp in self.critical_points if cp.penalty > 1
+        ]
+        return max(capacities, default=0.0)
+
+
+def _data_bytes(nest: LoopNest) -> float:
+    """Bytes per 8-bit datum (activations and weights)."""
+    return nest.hw.tech.data_bits / 8.0
+
+
+def analyze_weight_buffer(nest: LoopNest, buffer_bytes: float) -> C3PAnalysis:
+    """C3P walk of a W-L1 buffer (or a merged W-L1 pool group).
+
+    The working set starts at one core block's filters
+    (``KH * KW * CI * core_co``, the paper's ``filters`` volume); every C loop
+    multiplies it (critical position); every planar loop between critical
+    positions refetches when the buffer is too small.
+
+    Args:
+        nest: The (layer, hardware, mapping) loop nest of one core.
+        buffer_bytes: Effective capacity -- the physical W-L1 size times the
+            sharing-group size when W-L1s are merged (Section III-A2).
+    """
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer size must be >= 0, got {buffer_bytes}")
+    layer = nest.layer
+    block_bytes = layer.weights_for(nest.core_co) * _data_bytes(nest)
+
+    points: list[CriticalPoint] = []
+    working_set = block_bytes
+    reload_factor = 1.0
+    pending_penalty = 1
+    pending_label = "block"
+
+    def flush_region() -> None:
+        nonlocal pending_penalty
+        satisfied = buffer_bytes >= working_set
+        points.append(
+            CriticalPoint(
+                capacity_bytes=working_set,
+                penalty=pending_penalty,
+                satisfied=satisfied,
+                label=pending_label,
+            )
+        )
+        pending_penalty = 1
+
+    for loop in nest.loops():
+        if loop.is_channel:
+            flush_region()
+            working_set *= loop.count
+            pending_label = loop.describe()
+        else:
+            if buffer_bytes < working_set:
+                reload_factor *= loop.count
+            pending_penalty *= loop.count
+    flush_region()
+
+    total_channel = 1
+    for loop in nest.loops():
+        if loop.is_channel:
+            total_channel *= loop.count
+    a0_bits = block_bytes * 8.0 * total_channel
+    return C3PAnalysis(
+        a0_bits=a0_bits,
+        reload_factor=reload_factor,
+        critical_points=tuple(points),
+    )
+
+
+def _window_bytes(nest: LoopNest, out_rows: int, out_cols: int, channels: int) -> float:
+    """Input-window bytes for an output extent, halo included."""
+    layer = nest.layer
+    elements = (
+        layer.input_rows_for(out_rows)
+        * layer.input_cols_for(out_cols)
+        * channels
+    )
+    return elements * _data_bytes(nest)
+
+
+def analyze_activation_l1(nest: LoopNest, buffer_bytes: float) -> C3PAnalysis:
+    """C3P walk of a core's A-L1 buffer.
+
+    Relevant loops are the planar ones (they slide the input window);
+    C loops are irrelevant and reuse the buffered input across output
+    channels when the buffer holds the full-CI window of the extent covered
+    so far.  The supplemental Cc_0 (Figure 6e-f) is the single-ci-chunk input
+    window of one core block: below it, the in-block kernel sweep refetches
+    the tile per kernel position.
+
+    Grouped convolutions break the C-loop reuse: each output-channel slice
+    reads its own input channels, so C loops contribute fresh fetches to
+    A_0 (an upper bound; exact for depthwise) instead of reload penalties.
+    """
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer size must be >= 0, got {buffer_bytes}")
+    layer = nest.layer
+    hw = nest.hw
+    grouped = layer.groups > 1
+    block_channels = layer.input_channels_for(nest.core_co)
+
+    # Cc_0: one P-channel chunk of the block's input window.
+    chunk_channels = min(hw.vector_size, block_channels)
+    cc0 = _window_bytes(nest, nest.core_ho, nest.core_wo, chunk_channels)
+    intra_block_penalty = 1 if buffer_bytes >= cc0 else layer.kh * layer.kw
+
+    points: list[CriticalPoint] = [
+        CriticalPoint(
+            capacity_bytes=cc0,
+            penalty=layer.kh * layer.kw,
+            satisfied=buffer_bytes >= cc0,
+            label="block",
+        )
+    ]
+
+    out_rows, out_cols = nest.core_ho, nest.core_wo
+    reload_factor = float(intra_block_penalty)
+    channel_multiplicity = 1
+    for loop in nest.loops():
+        if loop.is_channel:
+            if grouped:
+                # Distinct input channels per iteration: fresh data, no
+                # reuse possible and no reload penalty either.
+                channel_multiplicity *= loop.count
+                continue
+            working_set = _window_bytes(nest, out_rows, out_cols, layer.ci)
+            satisfied = buffer_bytes >= working_set
+            points.append(
+                CriticalPoint(
+                    capacity_bytes=working_set,
+                    penalty=loop.count,
+                    satisfied=satisfied,
+                    label=loop.describe(),
+                )
+            )
+            if not satisfied:
+                reload_factor *= loop.count
+        elif loop.kind == "W":
+            out_cols *= loop.count
+        else:
+            out_rows *= loop.count
+
+    # A_0: each planar iteration fetches its own window (inter-tile halo is
+    # counted per consuming tile; the C-loop multiplicity is a *reload*, so
+    # it lives in the factor, not in A_0 -- except for grouped layers, where
+    # every channel iteration touches distinct data).
+    planar_iterations = nest.w1 * nest.h1 * nest.w2 * nest.h2
+    a0_channels = block_channels * channel_multiplicity if grouped else layer.ci
+    a0_channels = min(a0_channels, layer.ci) if grouped else a0_channels
+    a0_bits = (
+        _window_bytes(nest, nest.core_ho, nest.core_wo, a0_channels)
+        * 8.0
+        * planar_iterations
+    )
+    return C3PAnalysis(
+        a0_bits=a0_bits,
+        reload_factor=reload_factor,
+        critical_points=tuple(points),
+    )
+
+
+def analyze_activation_l2(nest: LoopNest, buffer_bytes: float) -> C3PAnalysis:
+    """C3P walk of a chiplet's shared A-L2 buffer.
+
+    Operates at chiplet-workload granularity: the intrinsic fill of one
+    package-temporal iteration is the *union* input window of the
+    ``HO_t x WO_t`` tile (the A-L2 serves the cores' halos once, Section
+    III-A2).  Only the package-temporal (level 2) loops apply: C2 reuses the
+    buffered window when it fits; W2/H2 slide it.
+    """
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer size must be >= 0, got {buffer_bytes}")
+    layer = nest.layer
+    grouped = layer.groups > 1
+    tile_channels = layer.input_channels_for(nest.tile_co)
+
+    out_rows, out_cols = nest.tile_ho, nest.tile_wo
+    reload_factor = 1.0
+    channel_multiplicity = 1
+    points: list[CriticalPoint] = []
+    for loop in nest.loops():
+        if loop.level != 2:
+            continue
+        if loop.is_channel:
+            if grouped:
+                channel_multiplicity *= loop.count
+                continue
+            working_set = _window_bytes(nest, out_rows, out_cols, layer.ci)
+            satisfied = buffer_bytes >= working_set
+            points.append(
+                CriticalPoint(
+                    capacity_bytes=working_set,
+                    penalty=loop.count,
+                    satisfied=satisfied,
+                    label=loop.describe(),
+                )
+            )
+            if not satisfied:
+                reload_factor *= loop.count
+        elif loop.kind == "W":
+            out_cols *= loop.count
+        else:
+            out_rows *= loop.count
+
+    a0_channels = (
+        min(tile_channels * channel_multiplicity, layer.ci) if grouped else layer.ci
+    )
+    a0_bits = (
+        _window_bytes(nest, nest.tile_ho, nest.tile_wo, a0_channels)
+        * 8.0
+        * nest.w2
+        * nest.h2
+    )
+    return C3PAnalysis(
+        a0_bits=a0_bits,
+        reload_factor=reload_factor,
+        critical_points=tuple(points),
+    )

@@ -1,0 +1,370 @@
+"""The pre-design flow: chiplet granularity and resource-allocation DSE.
+
+Implements the two Section VI-B studies:
+
+* :func:`granularity_study` (Figure 14) -- with a required total MAC count,
+  enumerate every (chiplets, cores, lanes, vector-size) factorization,
+  assemble buffers proportional to the computation resources, and report the
+  optimal implementation per chiplet count with and without a per-chiplet
+  area constraint, plus the EDP winner.
+* :func:`explore` (Figure 15) -- sweep the full Table II space (computation
+  dimensions x memory footprints), prune invalid points ("such as the A-L1
+  size smaller than A-L2 or the total MAC units less than the required
+  quantities"), and evaluate energy/runtime of every valid design with the
+  optimal per-layer mapping.
+
+Table II reproduction note: the published O-L1 range (48-144 B) is read as a
+per-lane register budget (the case-study machine's 1.5 KB O-L1 across 8
+lanes is 192 B/lane, the same order); DESIGN.md section 5 records this
+interpretation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.arch.area import AreaModel
+from repro.arch.config import HardwareConfig, MemoryConfig, build_hardware
+from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+from repro.arch.validate import validation_errors
+from repro.core.cost import InvalidMappingError, model_cost
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The Table II exploration space.
+
+    Computation resources are the published option lists; memory footprints
+    are sampled within the published ranges (powers of two plus the
+    case-study anchors).
+    """
+
+    vector_sizes: tuple[int, ...] = (2, 4, 8, 16)
+    lanes: tuple[int, ...] = (2, 4, 8, 16)
+    cores: tuple[int, ...] = (1, 2, 4, 8, 16)
+    chiplets: tuple[int, ...] = (1, 2, 4, 8)
+    o_l1_per_lane_bytes: tuple[int, ...] = (48, 96, 144)
+    a_l1_kb: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    w_l1_kb: tuple[float, ...] = (2, 4, 8, 18, 36, 72, 144, 256)
+    a_l2_kb: tuple[float, ...] = (32, 64, 128, 256)
+
+    def computation_configs(
+        self, total_macs: int | None = None
+    ) -> list[tuple[int, int, int, int]]:
+        """All (chiplets, cores, lanes, vector) tuples, optionally filtered
+        to an exact total MAC budget.
+
+        For 2048 MACs this yields the paper's "up to 63 possibilities".
+        """
+        configs = []
+        for n_p, n_c, lane, vec in itertools.product(
+            self.chiplets, self.cores, self.lanes, self.vector_sizes
+        ):
+            if total_macs is None or n_p * n_c * lane * vec == total_macs:
+                configs.append((n_p, n_c, lane, vec))
+        return configs
+
+    def memory_configs(self, lanes: int) -> Iterator[MemoryConfig]:
+        """Every memory combination for a core with ``lanes`` lanes.
+
+        Skips hierarchy inversions (A-L2 smaller than A-L1) up front, the
+        paper's explicit pruning example.
+        """
+        for o_l1_pl, a_l1, w_l1, a_l2 in itertools.product(
+            self.o_l1_per_lane_bytes, self.a_l1_kb, self.w_l1_kb, self.a_l2_kb
+        ):
+            if a_l2 < a_l1:
+                continue
+            yield MemoryConfig(
+                a_l1_bytes=int(a_l1 * KB),
+                w_l1_bytes=int(w_l1 * KB),
+                o_l1_bytes=o_l1_pl * lanes,
+                a_l2_bytes=int(a_l2 * KB),
+            )
+
+    def sweep_size(self, total_macs: int | None = None) -> int:
+        """Number of (computation, memory) points before validity pruning."""
+        total = 0
+        mem_per_lane = (
+            len(self.o_l1_per_lane_bytes) * len(self.w_l1_kb)
+        ) * sum(1 for a1 in self.a_l1_kb for a2 in self.a_l2_kb if a2 >= a1)
+        total = len(self.computation_configs(total_macs)) * mem_per_lane
+        return total
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated hardware design.
+
+    Attributes:
+        hw: The hardware instance.
+        chiplet_area_mm2: Area of one chiplet.
+        valid: Whether the point passed structural validation.
+        errors: Validation messages when invalid.
+        energy_pj: Per-model total energy (model name -> pJ).
+        cycles: Per-model total cycles.
+    """
+
+    hw: HardwareConfig
+    chiplet_area_mm2: float
+    valid: bool
+    errors: tuple[str, ...] = ()
+    energy_pj: dict[str, float] = field(default_factory=dict)
+    cycles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The (chiplet, core, lane, vector) tuple label."""
+        return self.hw.label()
+
+    def runtime_s(self, model: str) -> float:
+        """Model runtime in seconds."""
+        return self.cycles[model] * self.hw.tech.cycle_time_ns() * 1e-9
+
+    def edp(self, model: str) -> float:
+        """Model energy-delay product in joule-seconds."""
+        return self.energy_pj[model] * 1e-12 * self.runtime_s(model)
+
+    def meets_area(self, max_chiplet_mm2: float) -> bool:
+        """Whether the chiplet fits the area budget."""
+        return self.chiplet_area_mm2 <= max_chiplet_mm2
+
+
+def _evaluate_point(
+    hw: HardwareConfig,
+    models: dict[str, list[ConvLayer]],
+    profile: SearchProfile,
+) -> tuple[dict[str, float], dict[str, int]]:
+    """Optimal-mapping energy and cycles of every model on ``hw``."""
+    energy: dict[str, float] = {}
+    cycles: dict[str, int] = {}
+    mapper = Mapper(hw=hw, profile=profile)
+    for name, layers in models.items():
+        results = mapper.search_model(layers)
+        breakdown, total_cycles, _ = model_cost([r.best for r in results], hw)
+        energy[name] = breakdown.total_pj
+        cycles[name] = total_cycles
+    return energy, cycles
+
+
+def granularity_study(
+    models: dict[str, list[ConvLayer]],
+    total_macs: int = 2048,
+    space: DesignSpace | None = None,
+    profile: SearchProfile = SearchProfile.FAST,
+    tech: TechnologyParams = DEFAULT_TECHNOLOGY,
+) -> list[DesignPoint]:
+    """The Figure 14 study: every factorization of ``total_macs``.
+
+    Buffers are assembled proportionally to the computation resources; every
+    point is evaluated on every model with the optimal mapping strategy.
+    Invalid points (structural rule violations) are returned unevaluated so
+    callers can report the pruning.
+    """
+    space = space or DesignSpace()
+    points: list[DesignPoint] = []
+    for n_p, n_c, lane, vec in space.computation_configs(total_macs):
+        hw = build_hardware(n_p, n_c, lane, vec, tech=tech)
+        errors = validation_errors(hw)
+        area = AreaModel(hw).chiplet_area_mm2()
+        point = DesignPoint(
+            hw=hw,
+            chiplet_area_mm2=area,
+            valid=not errors,
+            errors=tuple(errors),
+        )
+        if point.valid:
+            try:
+                point.energy_pj, point.cycles = _evaluate_point(hw, models, profile)
+            except InvalidMappingError as exc:
+                point.valid = False
+                point.errors = (str(exc),)
+        points.append(point)
+    return points
+
+
+def best_point(
+    points: Iterable[DesignPoint],
+    model: str,
+    objective: str = "edp",
+    max_chiplet_mm2: float | None = None,
+    max_runtime_s: float | None = None,
+) -> DesignPoint | None:
+    """The optimal evaluated point for ``model`` under optional budgets.
+
+    Args:
+        points: Candidate design points.
+        model: Model name key into each point's results.
+        objective: ``"edp"``, ``"energy"`` or ``"runtime"``.
+        max_chiplet_mm2: Per-chiplet area constraint, if any.
+        max_runtime_s: Performance budget -- points slower than this on
+            ``model`` are excluded ("given area and performance budgets",
+            Section IV-D).
+    """
+    scorers = {
+        "edp": lambda p: p.edp(model),
+        "energy": lambda p: p.energy_pj[model],
+        "runtime": lambda p: p.runtime_s(model),
+    }
+    if objective not in scorers:
+        raise ValueError(f"unknown objective {objective!r}")
+    eligible = [
+        p
+        for p in points
+        if p.valid
+        and model in p.energy_pj
+        and (max_chiplet_mm2 is None or p.meets_area(max_chiplet_mm2))
+        and (max_runtime_s is None or p.runtime_s(model) <= max_runtime_s)
+    ]
+    if not eligible:
+        return None
+    return min(eligible, key=scorers[objective])
+
+
+def explore(
+    models: dict[str, list[ConvLayer]],
+    required_macs: int,
+    space: DesignSpace | None = None,
+    max_chiplet_mm2: float | None = None,
+    profile: SearchProfile = SearchProfile.FAST,
+    tech: TechnologyParams = DEFAULT_TECHNOLOGY,
+    max_valid_points: int | None = None,
+    memory_stride: int = 1,
+) -> list[DesignPoint]:
+    """The Figure 15 full design-space exploration.
+
+    Sweeps every (computation, memory) combination of ``space`` whose total
+    MAC count equals ``required_macs``, prunes invalid points cheaply, and
+    evaluates the survivors with the optimal per-layer mapping.
+
+    Args:
+        models: Benchmarks to evaluate (name -> layers).
+        required_macs: Exact MAC budget (4096 in the paper's Figure 15).
+        space: Exploration space (defaults to Table II).
+        max_chiplet_mm2: Points over this area are kept but marked invalid,
+            mirroring the paper's constrained/unconstrained split.
+        profile: Mapping-search profile for each valid point.
+        max_valid_points: Optional cap on evaluated points (sweep still
+            counts the rest as valid-but-unevaluated=False for reporting).
+        memory_stride: Evaluate every ``memory_stride``-th memory combo --
+            a documented subsampling knob for quick runs.
+    """
+    if memory_stride < 1:
+        raise ValueError(f"memory_stride must be >= 1, got {memory_stride}")
+    space = space or DesignSpace()
+    points: list[DesignPoint] = []
+    evaluated = 0
+    for n_p, n_c, lane, vec in space.computation_configs(required_macs):
+        for index, memory in enumerate(space.memory_configs(lane)):
+            if index % memory_stride:
+                continue
+            hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+            errors = validation_errors(
+                hw,
+                required_macs=required_macs,
+                max_chiplet_area_mm2=max_chiplet_mm2,
+            )
+            area = AreaModel(hw).chiplet_area_mm2()
+            point = DesignPoint(
+                hw=hw,
+                chiplet_area_mm2=area,
+                valid=not errors,
+                errors=tuple(errors),
+            )
+            if point.valid:
+                if max_valid_points is not None and evaluated >= max_valid_points:
+                    point.valid = False
+                    point.errors = ("skipped: max_valid_points reached",)
+                else:
+                    try:
+                        point.energy_pj, point.cycles = _evaluate_point(
+                            hw, models, profile
+                        )
+                        evaluated += 1
+                    except InvalidMappingError as exc:
+                        point.valid = False
+                        point.errors = (str(exc),)
+            points.append(point)
+    return points
+
+
+def refine_with_simulator(
+    points: Sequence[DesignPoint],
+    models: dict[str, list[ConvLayer]],
+    primary_model: str,
+    top_k: int = 5,
+    profile: SearchProfile = SearchProfile.FAST,
+) -> list[DesignPoint]:
+    """Re-rank the EDP finalists with discrete-event-simulated runtimes.
+
+    The analytical cycle count ignores DRAM/ring bandwidth; for the ``top_k``
+    EDP-best valid points, this re-runs the mapping search, simulates every
+    layer's pipeline (:func:`repro.sim.simulate_runtime`) and replaces the
+    cycle totals, then returns the finalists re-sorted by simulated EDP.
+    Simulated cycles are never below the analytical ones, so refinement can
+    only demote bandwidth-starved designs.
+
+    Args:
+        points: Evaluated design points (e.g. from :func:`explore`).
+        models: The same benchmarks the points were evaluated on.
+        primary_model: Model whose EDP picks and orders the finalists.
+        top_k: Finalist count.
+        profile: Mapping-search profile for the re-run.
+    """
+    from repro.sim.runtime import simulate_runtime
+
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    finalists = sorted(
+        (p for p in points if p.valid and primary_model in p.energy_pj),
+        key=lambda p: p.edp(primary_model),
+    )[:top_k]
+    refined: list[DesignPoint] = []
+    for point in finalists:
+        mapper = Mapper(hw=point.hw, profile=profile)
+        cycles: dict[str, int] = {}
+        for name, layers in models.items():
+            total = 0.0
+            for result in mapper.search_model(layers):
+                sim = simulate_runtime(result.layer, point.hw, result.mapping)
+                total += sim.cycles
+            cycles[name] = int(total)
+        refined.append(
+            DesignPoint(
+                hw=point.hw,
+                chiplet_area_mm2=point.chiplet_area_mm2,
+                valid=point.valid,
+                errors=point.errors,
+                energy_pj=dict(point.energy_pj),
+                cycles=cycles,
+            )
+        )
+    return sorted(refined, key=lambda p: p.edp(primary_model))
+
+
+def pareto_front(
+    points: Sequence[DesignPoint], model: str
+) -> list[DesignPoint]:
+    """Area/EDP Pareto-optimal subset for one model (lower is better)."""
+    evaluated = [p for p in points if p.valid and model in p.energy_pj]
+    front: list[DesignPoint] = []
+    for candidate in evaluated:
+        dominated = any(
+            other.chiplet_area_mm2 <= candidate.chiplet_area_mm2
+            and other.edp(model) <= candidate.edp(model)
+            and (
+                other.chiplet_area_mm2 < candidate.chiplet_area_mm2
+                or other.edp(model) < candidate.edp(model)
+            )
+            for other in evaluated
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda p: p.chiplet_area_mm2)

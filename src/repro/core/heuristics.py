@@ -1,0 +1,164 @@
+"""A rule-based one-shot mapper: the paper's intuitions without the search.
+
+Section VI-A1 distills rules of thumb -- P-type package partitions for
+activation-intensive and large-kernel layers, C-type for weight-intensive
+and point-wise ones, square temporal tiles, rotation whenever data is
+shared.  This module codifies exactly those rules into a single mapping per
+layer, with no enumeration.
+
+It serves two purposes: a near-instant fallback when even the MINIMAL
+search profile is too slow (enormous sweeps), and the comparison point for
+``bench_ablation_heuristic`` -- quantifying what the exhaustive search buys
+over the paper's own published intuitions.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import HardwareConfig
+from repro.core.cost import CostReport, evaluate_mapping
+from repro.core.mapping import Mapping
+from repro.core.partition import factor_grids, preferred_grid
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.workloads.extraction import LayerKind, classify_layer
+from repro.workloads.layer import ConvLayer, ceil_div
+
+
+def _square_core_tile(layer: ConvLayer, hw: HardwareConfig) -> tuple[int, int]:
+    """Largest square core tile within the O-L1 psum budget and the A-L1 Cc0."""
+    psum_bytes = hw.tech.psum_bits / 8.0
+    max_pixels = max(int(hw.memory.o_l1_bytes / (psum_bytes * hw.lanes)), 1)
+    chunk = min(hw.vector_size, max(layer.input_channels_for(hw.lanes), 1))
+    side = 1
+    while (side * 2) ** 2 <= max_pixels:
+        window = (
+            layer.input_rows_for(side * 2)
+            * layer.input_cols_for(side * 2)
+            * chunk
+        )
+        if window > hw.memory.a_l1_bytes:
+            break
+        side *= 2
+    return min(side, layer.ho), min(side, layer.wo)
+
+
+def _package_partition(layer: ConvLayer, hw: HardwareConfig) -> SpatialPrimitive:
+    """The Section VI-A1 rule: plane for activation-heavy, channel for weight-heavy."""
+    n = hw.n_chiplets
+    if n == 1:
+        return SpatialPrimitive.channel(1)
+    kind = classify_layer(layer)
+    plane_kinds = (
+        LayerKind.ACTIVATION_INTENSIVE,
+        LayerKind.LARGE_KERNEL,
+        LayerKind.DEPTHWISE,
+    )
+    wants_plane = kind in plane_kinds and layer.ho * layer.wo >= n
+    if wants_plane:
+        grids = [g for g in factor_grids(n) if g.rows <= layer.ho and g.cols <= layer.wo]
+        if grids:
+            # Figure 8: bound the DRAM conflict degree at the package level.
+            return SpatialPrimitive.plane(preferred_grid(layer, n, max_conflict=2))
+    if layer.co >= n:
+        return SpatialPrimitive.channel(n)
+    if layer.ho * layer.wo >= n:
+        return SpatialPrimitive.plane(preferred_grid(layer, n, max_conflict=2))
+    return SpatialPrimitive.channel(min(n, layer.co))
+
+
+def _chiplet_partition(
+    layer: ConvLayer, hw: HardwareConfig, macro_co: int, macro_ho: int, macro_wo: int
+) -> SpatialPrimitive:
+    """Hybrid when both dimensions allow it, else whichever fits."""
+    n = hw.n_cores
+    if n == 1:
+        return SpatialPrimitive.channel(1)
+    # Prefer the hybrid split the paper finds strongest overall.
+    for co_ways in (2, 4):
+        plane_ways = n // co_ways
+        if n % co_ways or plane_ways < 2:
+            continue
+        if macro_co < co_ways * hw.lanes:
+            continue
+        grids = [
+            g
+            for g in factor_grids(plane_ways)
+            if g.rows <= macro_ho and g.cols <= macro_wo
+        ]
+        if grids:
+            return SpatialPrimitive.hybrid(
+                co_ways, min(grids, key=lambda g: g.aspect_ratio())
+            )
+    if macro_co >= n * hw.lanes:
+        return SpatialPrimitive.channel(n)
+    grids = [
+        g for g in factor_grids(n) if g.rows <= macro_ho and g.cols <= macro_wo
+    ]
+    if grids:
+        return SpatialPrimitive.plane(min(grids, key=lambda g: g.aspect_ratio()))
+    return SpatialPrimitive.channel(min(n, max(macro_co, 1)))
+
+
+def heuristic_mapping(layer: ConvLayer, hw: HardwareConfig) -> Mapping:
+    """One mapping from the paper's rules of thumb, no search.
+
+    Package partition by layer category, hybrid chiplet split when possible,
+    square Cc0-respecting core tiles, channel-priority unrolling when the
+    W-L1 can hold a chiplet workload's weights (plane-priority otherwise),
+    rotation whenever the package shares data.
+    """
+    package = _package_partition(layer, hw)
+    macro_co = ceil_div(layer.co, package.co_ways)
+    macro_ho = ceil_div(layer.ho, package.grid.rows)
+    macro_wo = ceil_div(layer.wo, package.grid.cols)
+    chiplet = _chiplet_partition(layer, hw, macro_co, macro_ho, macro_wo)
+
+    core_ho, core_wo = _square_core_tile(layer, hw)
+    tile_ho = min(core_ho * chiplet.grid.rows * 2, macro_ho)
+    tile_wo = min(core_wo * chiplet.grid.cols * 2, macro_wo)
+    tile_co = min(chiplet.co_ways * hw.lanes * 2, macro_co)
+
+    # Channel-priority reuses weights when the pooled W-L1 holds the chiplet
+    # workload's filters (the paper's W-L1 reuse condition).
+    workload_weights = layer.weights_for(tile_co)
+    pooled_w_l1 = hw.memory.w_l1_bytes * chiplet.grid.ways * chiplet.co_ways
+    order = (
+        LoopOrder.CHANNEL_PRIORITY
+        if workload_weights <= pooled_w_l1
+        else LoopOrder.PLANE_PRIORITY
+    )
+
+    if package.ways == 1:
+        rotation = RotationKind.NONE
+    elif package.dim.value == "C":
+        rotation = RotationKind.ACTIVATIONS
+    else:
+        rotation = RotationKind.WEIGHTS
+
+    return Mapping(
+        package_spatial=package,
+        package_temporal=TemporalPrimitive(order, tile_ho, tile_wo, tile_co),
+        chiplet_spatial=chiplet,
+        chiplet_temporal=TemporalPrimitive(
+            order, core_ho, core_wo, min(hw.lanes, tile_co)
+        ),
+        rotation=rotation,
+    )
+
+
+def heuristic_map_model(
+    layers: list[ConvLayer], hw: HardwareConfig
+) -> list[CostReport]:
+    """Evaluate every layer under the rule-based mapping.
+
+    Raises:
+        InvalidMappingError: If a rule produces an illegal mapping (a bug --
+            the rules are meant to be always-legal).
+    """
+    if not layers:
+        raise ValueError("layers must be non-empty")
+    return [evaluate_mapping(layer, hw, heuristic_mapping(layer, hw)) for layer in layers]

@@ -1,0 +1,148 @@
+"""The post-design flow: per-layer exhaustive mapping search (Section IV-D).
+
+Given a fixed hardware configuration, the mapper enumerates the mapping space
+(:mod:`repro.core.space`), evaluates every legal candidate with the C3P cost
+engine and reports the energy-optimal strategy layer by layer -- "NN-Baton
+provides a distinct mapping strategy layer-wise to minimize the overall
+energy cost" (Section VI-A1).
+
+Layers with identical shape share a mapping, so models with repeated blocks
+(ResNet-50's bottlenecks) search each unique shape once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.config import HardwareConfig
+from repro.core.cost import CostReport, InvalidMappingError, evaluate_mapping
+from repro.core.mapping import Mapping
+from repro.core.space import MappingSpace, SearchProfile
+from repro.workloads.layer import ConvLayer
+
+#: Objective functions the mapper can minimize.
+Objective = Callable[[CostReport, HardwareConfig], float]
+
+
+def energy_objective(report: CostReport, hw: HardwareConfig) -> float:
+    """Minimize total layer energy (the paper's default)."""
+    return report.energy_pj
+
+
+def edp_objective(report: CostReport, hw: HardwareConfig) -> float:
+    """Minimize the layer's energy-delay product."""
+    return report.edp(hw)
+
+
+@dataclass(frozen=True)
+class LayerMappingResult:
+    """The optimal mapping of one layer plus search statistics."""
+
+    layer: ConvLayer
+    best: CostReport
+    candidates_evaluated: int
+    candidates_invalid: int
+
+    @property
+    def mapping(self) -> Mapping:
+        """The winning mapping."""
+        return self.best.mapping
+
+
+def _shape_key(layer: ConvLayer) -> tuple:
+    """Layers with equal geometry share an optimal mapping."""
+    return (
+        layer.h,
+        layer.w,
+        layer.ci,
+        layer.co,
+        layer.kh,
+        layer.kw,
+        layer.stride,
+        layer.padding,
+        layer.groups,
+    )
+
+
+@dataclass
+class Mapper:
+    """Exhaustive per-layer mapping search on one hardware instance.
+
+    Attributes:
+        hw: The fixed hardware configuration.
+        profile: Mapping-space pruning profile.
+        objective: Scalar objective to minimize (default: energy).
+    """
+
+    hw: HardwareConfig
+    profile: SearchProfile = SearchProfile.EXHAUSTIVE
+    objective: Objective = field(default=energy_objective)
+
+    def __post_init__(self) -> None:
+        self._space = MappingSpace(hw=self.hw, profile=self.profile)
+        self._cache: dict[tuple, LayerMappingResult] = {}
+
+    def search_layer(self, layer: ConvLayer) -> LayerMappingResult:
+        """Find the optimal mapping of one layer.
+
+        Raises:
+            InvalidMappingError: If no candidate is legal (a structurally
+                impossible layer/hardware pair).
+        """
+        key = _shape_key(layer)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if cached.layer.name == layer.name:
+                return cached
+            return LayerMappingResult(
+                layer=layer,
+                best=cached.best,
+                candidates_evaluated=cached.candidates_evaluated,
+                candidates_invalid=cached.candidates_invalid,
+            )
+
+        best: CostReport | None = None
+        best_score = float("inf")
+        evaluated = 0
+        invalid = 0
+        for mapping in self._space.unique_candidates(layer):
+            try:
+                report = evaluate_mapping(layer, self.hw, mapping)
+            except InvalidMappingError:
+                invalid += 1
+                continue
+            evaluated += 1
+            score = self.objective(report, self.hw)
+            if score < best_score:
+                best_score = score
+                best = report
+        if best is None:
+            raise InvalidMappingError(
+                f"no legal mapping for layer {layer.name!r} on {self.hw.label()}"
+            )
+        result = LayerMappingResult(
+            layer=layer,
+            best=best,
+            candidates_evaluated=evaluated,
+            candidates_invalid=invalid,
+        )
+        self._cache[key] = result
+        return result
+
+    def search_model(self, layers: list[ConvLayer]) -> list[LayerMappingResult]:
+        """Optimal mapping for every layer of a model."""
+        if not layers:
+            raise ValueError("layers must be non-empty")
+        return [self.search_layer(layer) for layer in layers]
+
+
+def map_model(
+    layers: list[ConvLayer],
+    hw: HardwareConfig,
+    profile: SearchProfile = SearchProfile.EXHAUSTIVE,
+    objective: Objective = energy_objective,
+) -> list[LayerMappingResult]:
+    """Convenience wrapper: search every layer of ``layers`` on ``hw``."""
+    mapper = Mapper(hw=hw, profile=profile, objective=objective)
+    return mapper.search_model(layers)

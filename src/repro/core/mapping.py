@@ -1,0 +1,80 @@
+"""The complete mapping description for one layer on one hardware instance.
+
+A :class:`Mapping` bundles the two spatial primitives, the two temporal
+primitives and the rotating primitive -- the exact output the paper's
+post-design flow reports ("partition dimension and the partition pattern ...
+loop order and loop counts").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.primitives import (
+    LoopOrder,
+    PartitionDim,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One layer's workload orchestration across the three-level hierarchy.
+
+    Attributes:
+        package_spatial: How the output cube splits across the N_P chiplets
+            (C-type or P-type only; the package level never uses H-type).
+        package_temporal: Chiplet-workload tiling ``HO_t x WO_t x CO_t`` and
+            the package-level loop priority.
+        chiplet_spatial: How a chiplet workload splits across the N_C cores
+            (C, P or H-type).
+        chiplet_temporal: Core-workload tiling ``HO_C x WO_C x L`` and the
+            chiplet-level loop priority.
+        rotation: What the ring's rotating transfer circulates.
+    """
+
+    package_spatial: SpatialPrimitive
+    package_temporal: TemporalPrimitive
+    chiplet_spatial: SpatialPrimitive
+    chiplet_temporal: TemporalPrimitive
+    rotation: RotationKind = RotationKind.NONE
+
+    def __post_init__(self) -> None:
+        if self.package_spatial.dim is PartitionDim.HYBRID:
+            raise ValueError("the package level uses C-type or P-type partitions only")
+        if (
+            self.rotation is RotationKind.ACTIVATIONS
+            and self.package_spatial.dim is not PartitionDim.CHANNEL
+        ):
+            raise ValueError("activation rotation requires a C-type package partition")
+        if (
+            self.rotation is RotationKind.WEIGHTS
+            and self.package_spatial.dim is not PartitionDim.PLANE
+        ):
+            raise ValueError("weight rotation requires a P-type package partition")
+
+    @property
+    def spatial_combo(self) -> tuple[str, str]:
+        """The figure-11 x-axis pair, e.g. ``("C", "H")``."""
+        return (self.package_spatial.dim.value, self.chiplet_spatial.dim.value)
+
+    @property
+    def temporal_combo(self) -> tuple[LoopOrder, LoopOrder]:
+        """The (package, chiplet) loop priorities."""
+        return (self.package_temporal.order, self.chiplet_temporal.order)
+
+    def with_rotation(self, rotation: RotationKind) -> "Mapping":
+        """Return a copy with a different rotating primitive."""
+        return replace(self, rotation=rotation)
+
+    def describe(self) -> str:
+        """Compact single-line mapping description for reports."""
+        return (
+            f"pkg[{self.package_spatial.describe()} "
+            f"{self.package_temporal.describe()}] "
+            f"chip[{self.chiplet_spatial.describe()} "
+            f"{self.chiplet_temporal.describe()}] "
+            f"rot={self.rotation.value}"
+        )

@@ -1,0 +1,191 @@
+"""Planar partition patterns and halo analysis (Section IV-C, Figures 7-8).
+
+Splitting the output plane among chiplets/cores (or into temporal tiles)
+forces each tile to fetch ``K - stride`` overlap rows/columns -- the *halo*.
+With the same element count, the partition pattern (grid aspect ratio)
+changes both the redundant memory access (Figure 7) and the number of
+distinct consumers of each input element, which drives DRAM access conflicts
+across the package's four DRAMs (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class PlanarGrid:
+    """A ``rows x cols`` partition of the output plane.
+
+    ``PlanarGrid(1, n)`` / ``PlanarGrid(n, 1)`` are the paper's stripe
+    pattern, ``rows == cols`` its square pattern, anything else a rectangle.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid dims must be >= 1, got {self.rows}x{self.cols}")
+
+    @property
+    def ways(self) -> int:
+        """Number of tiles the grid produces."""
+        return self.rows * self.cols
+
+    @property
+    def is_square(self) -> bool:
+        """Whether this is the paper's 1:1 (square) pattern."""
+        return self.rows == self.cols
+
+    @property
+    def is_stripe(self) -> bool:
+        """Whether the grid cuts along a single dimension."""
+        return self.ways > 1 and (self.rows == 1 or self.cols == 1)
+
+    def aspect_ratio(self) -> float:
+        """Grid aspect ratio >= 1 (1.0 for square)."""
+        return max(self.rows, self.cols) / min(self.rows, self.cols)
+
+    def describe(self) -> str:
+        """Short label, e.g. ``2x2``."""
+        return f"{self.rows}x{self.cols}"
+
+    def tile_shape(self, ho: int, wo: int) -> tuple[int, int]:
+        """Ceil-sized output-tile shape when partitioning ``ho x wo``."""
+        from repro.workloads.layer import ceil_div
+
+        return ceil_div(ho, self.rows), ceil_div(wo, self.cols)
+
+    def tiles(self, ho: int, wo: int) -> Iterator[tuple[int, int]]:
+        """Yield every tile's actual ``(rows, cols)`` output extent.
+
+        Edge tiles take the remainder, so extents sum exactly to the plane.
+        """
+        from repro.workloads.layer import tile_extent
+
+        for r in range(self.rows):
+            for c in range(self.cols):
+                tr = tile_extent(ho, self.rows, r)
+                tc = tile_extent(wo, self.cols, c)
+                if tr > 0 and tc > 0:
+                    yield tr, tc
+
+
+def factor_grids(ways: int, max_aspect: float | None = None) -> list[PlanarGrid]:
+    """Every ``rows x cols`` grid with ``rows * cols == ways``.
+
+    Args:
+        ways: Required tile count.
+        max_aspect: Optional cap on the grid aspect ratio (the mapper sweeps
+            "partition patterns with different height-width ratios").
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    grids = []
+    for rows in range(1, ways + 1):
+        if ways % rows == 0:
+            grid = PlanarGrid(rows, ways // rows)
+            if max_aspect is None or grid.aspect_ratio() <= max_aspect:
+                grids.append(grid)
+    return grids
+
+
+def tile_input_elements(layer: "ConvLayer", grid: PlanarGrid) -> int:
+    """Total input elements fetched when each tile loads its own halo.
+
+    Sums the per-tile input windows (``(t*s + K - s)`` rows/cols per tile of
+    ``t`` output rows/cols), so inter-tile overlap is counted once per
+    consuming tile -- the redundant access of Figure 7.
+    """
+    total = 0
+    for tr, tc in grid.tiles(layer.ho, layer.wo):
+        total += layer.input_rows_for(tr) * layer.input_cols_for(tc) * layer.ci
+    return total
+
+
+def unique_input_elements(layer: "ConvLayer") -> int:
+    """Input elements of the whole layer fetched exactly once (incl. padding).
+
+    Uses the padded window of the full output plane so that redundancy ratios
+    compare tiles against the same padded coordinate space.
+    """
+    return layer.input_rows_for(layer.ho) * layer.input_cols_for(layer.wo) * layer.ci
+
+
+def halo_redundancy_ratio(layer: "ConvLayer", grid: PlanarGrid) -> float:
+    """Redundant memory access fraction of a planar partition (Figure 7).
+
+    Returns ``(sum of tile windows - unique window) / unique window``; 0.0
+    means no halo refetch, 6.5 means the 650% worst case the paper reports
+    for ResNet-50 conv1 at fine granularity.
+    """
+    unique = unique_input_elements(layer)
+    return (tile_input_elements(layer, grid) - unique) / unique
+
+
+def max_conflict_degree(layer: "ConvLayer", grid: PlanarGrid) -> int:
+    """Maximum number of tiles that need one input element (Figure 8).
+
+    A square 2x2 package split makes the central halo region visible to all
+    four chiplets (degree 4); a 1x4 rectangle caps the degree at 2, avoiding
+    four-way DRAM access conflicts.
+    """
+    row_overlap = layer.halo_rows > 0 and grid.rows > 1
+    col_overlap = layer.halo_cols > 0 and grid.cols > 1
+    degree = 1
+    if row_overlap:
+        degree *= 2
+    if col_overlap:
+        degree *= 2
+    # Degenerate tiles smaller than the halo would raise the degree further;
+    # cap at the grid size which is the physical maximum.
+    return min(degree, grid.ways)
+
+
+def conflict_elements(layer: "ConvLayer", grid: PlanarGrid) -> int:
+    """Input elements needed by more than one tile of ``grid`` (Figure 8).
+
+    Counts the (padded) input halo strips between adjacent tiles: horizontal
+    strips of ``halo_rows`` input rows between row-adjacent tiles, vertical
+    strips of ``halo_cols`` columns, overlap intersections counted once.
+    """
+    in_rows = layer.input_rows_for(layer.ho)
+    in_cols = layer.input_cols_for(layer.wo)
+    h_strips = (grid.rows - 1) * layer.halo_rows * in_cols
+    v_strips = (grid.cols - 1) * layer.halo_cols * in_rows
+    crossings = (
+        (grid.rows - 1) * (grid.cols - 1) * layer.halo_rows * layer.halo_cols
+    )
+    return (h_strips + v_strips - crossings) * layer.ci
+
+
+def preferred_grid(
+    layer: "ConvLayer",
+    ways: int,
+    prefer_square: bool = True,
+    max_conflict: int | None = None,
+) -> PlanarGrid:
+    """Pick the grid the paper's analysis recommends.
+
+    Square patterns minimize halo redundancy (temporal tiles); rectangles cap
+    the DRAM conflict degree (package-level split across multiple DRAMs), so
+    callers can bound ``max_conflict`` to 2 at the package level.
+    """
+    candidates = factor_grids(ways)
+    if max_conflict is not None:
+        bounded = [
+            g for g in candidates if max_conflict_degree(layer, g) <= max_conflict
+        ]
+        if bounded:
+            candidates = bounded
+    key = (
+        (lambda g: (halo_redundancy_ratio(layer, g), g.aspect_ratio()))
+        if prefer_square
+        else (lambda g: (g.aspect_ratio(), halo_redundancy_ratio(layer, g)))
+    )
+    return min(candidates, key=key)

@@ -1,0 +1,132 @@
+"""Spatial, temporal and rotating primitives (Section IV-A).
+
+The output-centric description partitions a layer's output cube with two
+levels of **spatial** primitives (package: C-type or P-type; chiplet: C, P or
+H-type hybrid), unrolls the remaining loops with **temporal** primitives
+(channel-priority or plane-priority), and shares data among chiplets with the
+**rotating** primitive over the directional ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.partition import PlanarGrid
+
+
+class PartitionDim(Enum):
+    """Spatial partition dimension of an output cube."""
+
+    CHANNEL = "C"   # split output channels (weights differ, input shared)
+    PLANE = "P"     # split the H-W plane (input differs, weights shared)
+    HYBRID = "H"    # split both simultaneously (chiplet level only)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LoopOrder(Enum):
+    """Temporal unrolling priority (which dimension sits in the inner loop)."""
+
+    CHANNEL_PRIORITY = "channel"  # C dimension in the inner loop
+    PLANE_PRIORITY = "plane"      # H-W dimensions in the inner loop
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RotationKind(Enum):
+    """What the rotating transfer circulates on the package ring, if anything."""
+
+    NONE = "none"
+    ACTIVATIONS = "activations"  # C-type package split: chiplets share input
+    WEIGHTS = "weights"          # P-type package split: chiplets share weights
+
+
+@dataclass(frozen=True)
+class SpatialPrimitive:
+    """A spatial (parallel-for) partition of an output cube.
+
+    Attributes:
+        dim: Partition dimension (C / P / H).
+        co_ways: Ways the output-channel dimension splits (1 for pure P-type).
+        grid: Planar grid splitting the H-W plane (1x1 for pure C-type).
+
+    The total parallelism is ``co_ways * grid.ways`` and must equal the number
+    of units (chiplets or cores) at the level where the primitive applies.
+    """
+
+    dim: PartitionDim
+    co_ways: int = 1
+    grid: PlanarGrid = PlanarGrid(1, 1)
+
+    def __post_init__(self) -> None:
+        if self.co_ways < 1:
+            raise ValueError(f"co_ways must be >= 1, got {self.co_ways}")
+        if self.dim is PartitionDim.CHANNEL and self.grid.ways != 1:
+            raise ValueError("C-type partition must not split the plane")
+        if self.dim is PartitionDim.PLANE and self.co_ways != 1:
+            raise ValueError("P-type partition must not split channels")
+        if self.dim is PartitionDim.HYBRID and (self.co_ways == 1 or self.grid.ways == 1):
+            raise ValueError("H-type partition must split both dimensions")
+
+    @property
+    def ways(self) -> int:
+        """Total parallel units this primitive feeds."""
+        return self.co_ways * self.grid.ways
+
+    def describe(self) -> str:
+        """Short label, e.g. ``C4`` or ``H(2xP2x2)``."""
+        if self.dim is PartitionDim.CHANNEL:
+            return f"C{self.co_ways}"
+        if self.dim is PartitionDim.PLANE:
+            return f"P{self.grid.rows}x{self.grid.cols}"
+        return f"H(C{self.co_ways}xP{self.grid.rows}x{self.grid.cols})"
+
+    @staticmethod
+    def channel(ways: int) -> "SpatialPrimitive":
+        """C-type partition into ``ways`` output-channel groups."""
+        return SpatialPrimitive(PartitionDim.CHANNEL, co_ways=ways)
+
+    @staticmethod
+    def plane(grid: PlanarGrid) -> "SpatialPrimitive":
+        """P-type partition over a planar grid."""
+        return SpatialPrimitive(PartitionDim.PLANE, grid=grid)
+
+    @staticmethod
+    def hybrid(co_ways: int, grid: PlanarGrid) -> "SpatialPrimitive":
+        """H-type partition splitting channels and plane simultaneously."""
+        return SpatialPrimitive(PartitionDim.HYBRID, co_ways=co_ways, grid=grid)
+
+
+@dataclass(frozen=True)
+class TemporalPrimitive:
+    """A temporal (for) unrolling: tile shape plus loop priority.
+
+    The spatial-temporal pair "generates a single workload for chiplets or
+    cores each time": at the package level the tile is the chiplet workload
+    ``HO_t x WO_t x CO_t``; at the chiplet level it is the core workload
+    ``HO_C x WO_C x L``.
+
+    Attributes:
+        order: Which dimension iterates innermost.
+        tile_h: Output-tile height of the generated single workload.
+        tile_w: Output-tile width.
+        tile_co: Output channels of the single workload.
+    """
+
+    order: LoopOrder
+    tile_h: int
+    tile_w: int
+    tile_co: int
+
+    def __post_init__(self) -> None:
+        for name in ("tile_h", "tile_w", "tile_co"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    def describe(self) -> str:
+        """Short label, e.g. ``chan[8x8x64]``."""
+        return f"{self.order.value}[{self.tile_h}x{self.tile_w}x{self.tile_co}]"

@@ -1,0 +1,209 @@
+"""Hierarchical traffic assembly: DRAM, ring (D2D), L2, L1, register file.
+
+Combines the per-buffer C3P analyses with the spatial sharing modes:
+
+* **Chiplet sharing** -- cores in the same output-channel slice share weights
+  (their W-L1s merge into a pool group: effective capacity multiplies, fill
+  is counted once and broadcast); cores in the same planar tile share input
+  (the central bus multicasts one A-L2 read stream to all of them).
+* **Package sharing** -- a C-type package split means all chiplets consume
+  the same input; a P-type split means they consume the same weights.  The
+  *rotating transfer* (Figure 3) loads 1/N_P of the shared data per chiplet
+  from DRAM and forwards it around the directional ring, so every shared bit
+  costs one DRAM access plus ``N_P - 1`` ring hops instead of ``N_P`` DRAM
+  accesses.
+
+All quantities are totals for one layer across the whole package, in bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.c3p import (
+    C3PAnalysis,
+    analyze_activation_l1,
+    analyze_activation_l2,
+    analyze_weight_buffer,
+)
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.primitives import PartitionDim, RotationKind
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Layer-total traffic per level, in bits (bit-hops for the ring)."""
+
+    dram_input_bits: float
+    dram_weight_bits: float
+    dram_output_bits: float
+    d2d_bit_hops: float
+    a_l2_write_bits: float
+    a_l2_read_bits: float
+    o_l2_write_bits: float
+    o_l2_read_bits: float
+    a_l1_write_bits: float
+    a_l1_read_bits: float
+    w_l1_write_bits: float
+    w_l1_read_bits: float
+    rf_rmw_bits: float
+    rf_drain_bits: float
+
+    @property
+    def dram_bits(self) -> float:
+        """Total DRAM traffic."""
+        return self.dram_input_bits + self.dram_weight_bits + self.dram_output_bits
+
+    @property
+    def total_bits(self) -> float:
+        """Every counted bit transfer (reporting convenience)."""
+        return (
+            self.dram_bits
+            + self.d2d_bit_hops
+            + self.a_l2_write_bits
+            + self.a_l2_read_bits
+            + self.o_l2_write_bits
+            + self.o_l2_read_bits
+            + self.a_l1_write_bits
+            + self.a_l1_read_bits
+            + self.w_l1_write_bits
+            + self.w_l1_read_bits
+            + self.rf_rmw_bits
+            + self.rf_drain_bits
+        )
+
+
+@dataclass(frozen=True)
+class TrafficBreakdownInputs:
+    """The C3P analyses backing a traffic report (kept for explainability)."""
+
+    weight: C3PAnalysis
+    a_l1: C3PAnalysis
+    a_l2: C3PAnalysis
+
+
+def weight_group_size(mapping: Mapping) -> int:
+    """Cores per merged W-L1 pool group (cores computing identical channels)."""
+    return mapping.chiplet_spatial.grid.ways
+
+
+def weight_groups_per_chiplet(mapping: Mapping) -> int:
+    """Distinct weight groups in a chiplet (distinct channel slices)."""
+    return mapping.chiplet_spatial.co_ways
+
+
+def plane_groups_per_chiplet(mapping: Mapping) -> int:
+    """Distinct planar tiles among a chiplet's cores (A-L2 multicast streams)."""
+    return mapping.chiplet_spatial.grid.ways
+
+
+def compute_traffic(nest: LoopNest) -> tuple[TrafficReport, TrafficBreakdownInputs]:
+    """Assemble the layer's package-wide traffic for one mapping.
+
+    Args:
+        nest: A valid (layer, hardware, mapping) loop nest.
+
+    Returns:
+        The traffic totals and the underlying C3P analyses.
+    """
+    layer = nest.layer
+    hw = nest.hw
+    mapping = nest.mapping
+    tech = hw.tech
+    # Thin layers may leave units idle: traffic sums over the *active* ones.
+    n_chiplets = nest.active_chiplets
+    n_cores = nest.active_cores
+    data_bits = tech.data_bits
+
+    # --- C3P analyses -------------------------------------------------------
+    group_size = weight_group_size(mapping)
+    weight_analysis = analyze_weight_buffer(
+        nest, hw.memory.w_l1_bytes * group_size
+    )
+    a_l1_analysis = analyze_activation_l1(nest, hw.memory.a_l1_bytes)
+    a_l2_analysis = analyze_activation_l2(nest, hw.memory.a_l2_bytes)
+
+    # --- weights --------------------------------------------------------------
+    # Fill per weight group, broadcast to the group's cores.
+    group_fill_bits = weight_analysis.fill_bits
+    chiplet_weight_fill = group_fill_bits * weight_groups_per_chiplet(mapping)
+    sharing_hops = hw.topology.sharing_hops_per_bit(n_chiplets)
+    if mapping.package_spatial.dim is PartitionDim.PLANE:
+        # Chiplets need identical weights.
+        if mapping.rotation is RotationKind.WEIGHTS:
+            dram_weight_bits = chiplet_weight_fill
+            weight_d2d = chiplet_weight_fill * sharing_hops
+        else:
+            dram_weight_bits = chiplet_weight_fill * n_chiplets
+            weight_d2d = 0.0
+        w_l1_write_bits = chiplet_weight_fill * n_chiplets
+    else:
+        # C-type package: chiplets own distinct channels.
+        dram_weight_bits = chiplet_weight_fill * n_chiplets
+        weight_d2d = 0.0
+        w_l1_write_bits = dram_weight_bits
+    # The PE array re-reads each block's filters once per core block (weights
+    # then stay in the array registers for the WS sweep).
+    block_weight_bits = layer.weights_for(nest.core_co) * data_bits
+    w_l1_read_bits = (
+        block_weight_bits
+        * nest.core_blocks_per_core()
+        * n_cores
+        * n_chiplets
+    )
+
+    # --- activations -----------------------------------------------------------
+    # A-L2 fill per chiplet (union window of each chiplet workload).
+    chiplet_a_l2_fill = a_l2_analysis.fill_bits
+    if mapping.package_spatial.dim is PartitionDim.CHANNEL:
+        # All chiplets consume the same input.
+        if mapping.rotation is RotationKind.ACTIVATIONS:
+            dram_input_bits = chiplet_a_l2_fill
+            act_d2d = chiplet_a_l2_fill * sharing_hops
+        else:
+            dram_input_bits = chiplet_a_l2_fill * n_chiplets
+            act_d2d = 0.0
+    else:
+        # P-type package: distinct planar macro tiles (halo counted per
+        # consumer by the per-chiplet window math).
+        dram_input_bits = chiplet_a_l2_fill * n_chiplets
+        act_d2d = 0.0
+    a_l2_write_bits = chiplet_a_l2_fill * n_chiplets
+
+    # A-L1 fills per core; the bus multicasts one A-L2 read stream per planar
+    # group, so L2 reads count one core's stream per group.
+    core_a_l1_fill = a_l1_analysis.fill_bits
+    a_l1_write_bits = core_a_l1_fill * n_cores * n_chiplets
+    a_l2_read_bits = core_a_l1_fill * plane_groups_per_chiplet(mapping) * n_chiplets
+    # Per-cycle PE feed: P activations broadcast across L lanes.
+    a_l1_read_bits = layer.macs / hw.lanes * data_bits
+
+    # --- outputs ------------------------------------------------------------------
+    output_bits = layer.output_elements * data_bits
+    psum_rmw_bits = layer.macs / hw.vector_size * tech.psum_bits
+    rf_drain_bits = layer.output_elements * tech.psum_bits
+    o_l2_write_bits = output_bits
+    o_l2_read_bits = output_bits
+    dram_output_bits = output_bits
+
+    report = TrafficReport(
+        dram_input_bits=dram_input_bits,
+        dram_weight_bits=dram_weight_bits,
+        dram_output_bits=dram_output_bits,
+        d2d_bit_hops=act_d2d + weight_d2d,
+        a_l2_write_bits=a_l2_write_bits,
+        a_l2_read_bits=a_l2_read_bits,
+        o_l2_write_bits=o_l2_write_bits,
+        o_l2_read_bits=o_l2_read_bits,
+        a_l1_write_bits=a_l1_write_bits,
+        a_l1_read_bits=a_l1_read_bits,
+        w_l1_write_bits=w_l1_write_bits,
+        w_l1_read_bits=w_l1_read_bits,
+        rf_rmw_bits=psum_rmw_bits,
+        rf_drain_bits=rf_drain_bits,
+    )
+    return report, TrafficBreakdownInputs(
+        weight=weight_analysis, a_l1=a_l1_analysis, a_l2=a_l2_analysis
+    )
+

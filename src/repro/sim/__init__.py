@@ -1,0 +1,33 @@
+"""Runtime simulator substrate.
+
+The paper: "We establish a simulator to obtain the runtime for a specific
+workload" (Section V-C).  The analytical model in :mod:`repro.core.loopnest`
+counts pure compute cycles; this package adds what that misses -- DRAM and
+ring bandwidth ceilings and the double-buffered load/compute overlap -- with
+a small discrete-event simulation:
+
+* :mod:`repro.sim.events` -- the event queue / simulator kernel.
+* :mod:`repro.sim.resources` -- bandwidth-served resources (DRAM channels,
+  ring links, the chiplet central bus).
+* :mod:`repro.sim.engine` -- the tile-pipeline model built on both.
+* :mod:`repro.sim.runtime` -- the user-facing ``simulate_runtime`` entry.
+"""
+
+from repro.sim.engine import TilePipelineModel
+from repro.sim.events import Event, EventQueue, Simulator
+from repro.sim.resources import BandwidthResource
+from repro.sim.runtime import SimResult, simulate_runtime
+from repro.sim.trace import Phase, Trace, TraceRecord
+
+__all__ = [
+    "BandwidthResource",
+    "Event",
+    "EventQueue",
+    "Phase",
+    "SimResult",
+    "Simulator",
+    "TilePipelineModel",
+    "Trace",
+    "TraceRecord",
+    "simulate_runtime",
+]

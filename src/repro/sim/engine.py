@@ -1,0 +1,235 @@
+"""Tile-pipeline model: double-buffered load / compute / writeback per chiplet.
+
+Each chiplet executes its package-temporal iterations (chiplet workloads) as
+a three-stage pipeline:
+
+* **load** -- DMA the iteration's input and weight fill from the chiplet's
+  DRAM channel (the crossbar gives every chiplet its own channel); when the
+  mapping rotates shared data, the ring phase starts after *all* chiplets
+  have loaded their 1/N_P slice (the rotating transfer is a synchronized
+  round, Figure 3) and each directional link carries the forwarded traffic.
+* **compute** -- the analytical core-block cycles of the workload; double
+  buffering lets load ``i`` overlap compute ``i-1`` but not run further
+  ahead (two buffers).
+* **writeback** -- the O-L2 drain to DRAM, sharing the chiplet's channel
+  with subsequent loads (FIFO contention).
+
+For P-type package partitions the inter-chiplet halo creates *DRAM access
+conflicts* (Figure 8): halo elements live in one chiplet's DRAM but are
+needed by the adjacent chiplet too, so the conflicted fraction of every
+input load is additionally served by a neighbouring channel on top of its
+own traffic.  A square 2x2 split four-way-shares its central halo; a
+rectangle caps the conflict degree at two -- the simulator makes the
+paper's data-layout argument measurable as runtime.
+
+The pipeline is driven by the :class:`~repro.sim.events.Simulator` event
+loop, with per-resource FIFO queueing from
+:class:`~repro.sim.resources.BandwidthResource`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.loopnest import LoopNest
+from repro.core.partition import conflict_elements, unique_input_elements
+from repro.core.primitives import PartitionDim, RotationKind
+from repro.core.traffic import compute_traffic
+from repro.sim.events import Simulator
+from repro.sim.resources import BandwidthResource
+from repro.sim.trace import Phase, Trace
+
+
+@dataclass
+class _ChipletState:
+    """Pipeline bookkeeping for one chiplet."""
+
+    index: int
+    load_done: list[float] = field(default_factory=list)
+    compute_done: list[float] = field(default_factory=list)
+
+
+@dataclass
+class TilePipelineModel:
+    """One layer's execution pipeline on one mapping.
+
+    Attributes:
+        nest: The (layer, hardware, mapping) loop nest.
+        trace: Optional execution trace; when given, every completed phase
+            is recorded for inspection and invariant checking.
+    """
+
+    nest: LoopNest
+    trace: Trace | None = None
+
+    def __post_init__(self) -> None:
+        hw = self.nest.hw
+        tech = hw.tech
+        self.n_chiplets = self.nest.active_chiplets
+        self.iterations = self.nest.chiplet_workloads()
+        self.compute_cycles = (
+            self.nest.c1 * self.nest.w1 * self.nest.h1 * self.nest.block_cycles()
+        )
+
+        traffic, _ = compute_traffic(self.nest)
+        iters = max(self.iterations, 1)
+        rotation = self.nest.mapping.rotation
+        # Per-chiplet, per-iteration DRAM load (input slice + weight slice).
+        input_total = traffic.dram_input_bits
+        weight_total = traffic.dram_weight_bits
+        self.dram_load_bits = (input_total + weight_total) / self.n_chiplets / iters
+        # Rotation traffic per link per iteration, balanced over the
+        # topology's physical links (N_P directional ring links, or the mesh
+        # extension's edge count).
+        n_links = max(hw.topology.link_count(self.n_chiplets), 1)
+        if rotation is RotationKind.NONE:
+            self.ring_bits = 0.0
+        else:
+            self.ring_bits = traffic.d2d_bit_hops / n_links / iters
+        self.writeback_bits = traffic.dram_output_bits / self.n_chiplets / iters
+
+        # Figure 8: a planar package split makes the inter-chiplet halo a
+        # multi-consumer region.  The conflicted fraction of each input load
+        # is served by a neighbouring channel on top of that channel's own
+        # traffic: degree-1 extra requests of the halo share per load.
+        self.conflict_bits = 0.0
+        self.conflict_degree = 1
+        mapping = self.nest.mapping
+        if (
+            mapping.package_spatial.dim is not PartitionDim.CHANNEL
+            and self.n_chiplets > 1
+        ):
+            from repro.core.partition import max_conflict_degree
+
+            grid = mapping.package_spatial.grid
+            layer = self.nest.layer
+            unique = unique_input_elements(layer)
+            if unique > 0:
+                halo_fraction = conflict_elements(layer, grid) / unique
+                self.conflict_degree = max_conflict_degree(layer, grid)
+                input_share = traffic.dram_input_bits / self.n_chiplets / iters
+                self.conflict_bits = (
+                    input_share * min(halo_fraction, 1.0) * (self.conflict_degree - 1)
+                )
+
+        self.dram_channels = [
+            BandwidthResource(f"dram{i}", tech.dram_bandwidth_bits_per_cycle)
+            for i in range(self.n_chiplets)
+        ]
+        self.ring_links = [
+            BandwidthResource(
+                f"{hw.topology.value}-link{i}",
+                tech.ring_bandwidth_bits_per_cycle,
+            )
+            for i in range(min(n_links, self.n_chiplets) if self.n_chiplets > 1 else 1)
+        ]
+
+    def run(self) -> float:
+        """Simulate the pipeline; return the completion time in cycles."""
+        sim = Simulator()
+        states = [_ChipletState(i) for i in range(self.n_chiplets)]
+        needs_ring = self.ring_bits > 0 and self.n_chiplets > 1
+        # Rotation barrier bookkeeping: iteration -> chiplets that finished
+        # their DRAM slice, plus the latest slice-completion time.
+        arrived: dict[int, int] = {}
+        barrier_time: dict[int, float] = {}
+        finished = 0
+        end_time = 0.0
+
+        def start_load(state: _ChipletState, iteration: int) -> None:
+            def action(sim: Simulator) -> None:
+                begin, done = self.dram_channels[state.index].request_span(
+                    sim.now, self.dram_load_bits
+                )
+                if self.conflict_bits > 0:
+                    # Halo shared with the neighbouring chiplet is served by
+                    # its channel too (Figure 8's DRAM access conflict).
+                    neighbour = (state.index + 1) % self.n_chiplets
+                    done = max(
+                        done,
+                        self.dram_channels[neighbour].request(
+                            sim.now, self.conflict_bits
+                        ),
+                    )
+                if self.trace is not None:
+                    self.trace.add(
+                        state.index, iteration, Phase.DRAM_LOAD, begin, done
+                    )
+                if needs_ring:
+                    sim.at(done, lambda s: dram_slice_done(state, iteration))
+                else:
+                    sim.at(done, lambda s: load_done(state, iteration, s.now))
+
+            # Load i waits for load i-1 (single DMA) and compute i-2 (double
+            # buffer reuse).
+            ready = 0.0
+            if iteration >= 1:
+                ready = max(ready, state.load_done[iteration - 1])
+            if iteration >= 2:
+                ready = max(ready, state.compute_done[iteration - 2])
+            sim.at(ready, action)
+
+        def dram_slice_done(state: _ChipletState, iteration: int) -> None:
+            arrived[iteration] = arrived.get(iteration, 0) + 1
+            barrier_time[iteration] = max(
+                barrier_time.get(iteration, 0.0), sim.now
+            )
+            if arrived[iteration] == self.n_chiplets:
+                release = barrier_time[iteration]
+                for peer in states:
+                    ring_start, ring_done = self.ring_links[
+                        peer.index
+                    ].request_span(release, self.ring_bits)
+                    if self.trace is not None:
+                        self.trace.add(
+                            peer.index,
+                            iteration,
+                            Phase.RING_ROTATE,
+                            ring_start,
+                            ring_done,
+                        )
+                    sim.at(
+                        ring_done,
+                        lambda s, p=peer, i=iteration: load_done(p, i, s.now),
+                    )
+
+        def load_done(state: _ChipletState, iteration: int, time: float) -> None:
+            state.load_done.append(time)
+            assert len(state.load_done) == iteration + 1
+            start = time
+            if iteration >= 1:
+                start = max(start, state.compute_done[iteration - 1])
+            if self.trace is not None:
+                self.trace.add(
+                    state.index,
+                    iteration,
+                    Phase.COMPUTE,
+                    start,
+                    start + self.compute_cycles,
+                )
+            sim.at(start, lambda s: compute_done(state, iteration, s.now + self.compute_cycles))
+
+        def compute_done(state: _ChipletState, iteration: int, finish: float) -> None:
+            sim.at(finish, lambda s: after_compute(state, iteration))
+
+        def after_compute(state: _ChipletState, iteration: int) -> None:
+            nonlocal finished, end_time
+            state.compute_done.append(sim.now)
+            # Writeback shares the DRAM channel with later loads.
+            wb_start, wb_done = self.dram_channels[state.index].request_span(
+                sim.now, self.writeback_bits
+            )
+            if self.trace is not None:
+                self.trace.add(
+                    state.index, iteration, Phase.WRITEBACK, wb_start, wb_done
+                )
+            end_time = max(end_time, wb_done)
+            if iteration + 1 < self.iterations:
+                start_load(state, iteration + 1)
+            else:
+                finished += 1
+
+        for state in states:
+            start_load(state, 0)
+        sim.run()
+        return max(end_time, sim.now)

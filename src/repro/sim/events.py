@@ -1,0 +1,105 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small but complete DES core: a priority queue of timestamped
+events with deterministic FIFO tie-breaking, and a simulator loop that runs
+until the queue drains (or a horizon).  The tile-pipeline model and the tests
+drive it; nothing here knows about accelerators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: An event action receives the simulator so it can schedule follow-ups.
+Action = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is (time, sequence number) so simultaneous events run in
+    scheduling order -- determinism matters for reproducible runtimes.
+    """
+
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Action) -> Event:
+        """Schedule ``action`` at ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: When the queue is empty.
+        """
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """The event loop.
+
+    Attributes:
+        now: Current simulation time (cycles; fractional cycles allowed for
+            bandwidth arithmetic).
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def at(self, time: float, action: Action) -> Event:
+        """Schedule ``action`` at absolute ``time`` (not before ``now``)."""
+        return self.queue.push(max(time, self.now), action)
+
+    def after(self, delay: float, action: Action) -> Event:
+        """Schedule ``action`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.queue.push(self.now + delay, action)
+
+    def run(self, horizon: float | None = None) -> float:
+        """Process events until the queue drains (or ``horizon`` passes).
+
+        Returns:
+            The final simulation time.
+        """
+        while self.queue:
+            event = self.queue.pop()
+            if horizon is not None and event.time > horizon:
+                self.now = horizon
+                break
+            if event.time < self.now:
+                raise RuntimeError(
+                    f"event at t={event.time} scheduled in the past "
+                    f"(now={self.now}); simulator state corrupted"
+                )
+            self.now = event.time
+            self.events_processed += 1
+            event.action(self)
+        return self.now

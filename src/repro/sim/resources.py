@@ -1,0 +1,60 @@
+"""Bandwidth-served resources: DRAM channels, ring links, central buses.
+
+A :class:`BandwidthResource` is a FIFO server: a transfer of ``bits`` takes
+``bits / bandwidth`` cycles of exclusive service, queued behind earlier
+requests.  That is exactly the contention model the runtime simulator needs
+-- the crossbar gives each chiplet its own DRAM channel, but rotation
+traffic, weight fetches and activation fetches of one chiplet still share
+that channel, and ring hops share each directional link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BandwidthResource:
+    """A FIFO bandwidth server.
+
+    Attributes:
+        name: For reports ("dram0", "ring0->1", ...).
+        bits_per_cycle: Service bandwidth.
+        busy_until: Time the server frees up.
+        busy_cycles: Total service time granted (utilization accounting).
+    """
+
+    name: str
+    bits_per_cycle: float
+    busy_until: float = 0.0
+    busy_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits_per_cycle <= 0:
+            raise ValueError(
+                f"{self.name}: bandwidth must be positive, got {self.bits_per_cycle}"
+            )
+
+    def service_time(self, bits: float) -> float:
+        """Cycles of exclusive service a transfer of ``bits`` needs."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return bits / self.bits_per_cycle
+
+    def request(self, arrival: float, bits: float) -> float:
+        """Queue a transfer arriving at ``arrival``; return completion time."""
+        return self.request_span(arrival, bits)[1]
+
+    def request_span(self, arrival: float, bits: float) -> tuple[float, float]:
+        """Queue a transfer; return its ``(service_start, completion)`` span."""
+        start = max(arrival, self.busy_until)
+        duration = self.service_time(bits)
+        self.busy_until = start + duration
+        self.busy_cycles += duration
+        return start, self.busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the server spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_cycles / elapsed, 1.0)

@@ -1,0 +1,85 @@
+"""User-facing runtime simulation entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.sim.engine import TilePipelineModel
+from repro.sim.trace import Trace
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Simulated runtime of one layer.
+
+    Attributes:
+        cycles: Simulated completion time (load/compute/writeback pipeline).
+        compute_cycles: The analytical pure-compute lower bound.
+        stall_cycles: Simulated time beyond the compute bound.
+        dram_utilization: Busiest DRAM channel's busy fraction.
+        ring_utilization: Busiest ring link's busy fraction.
+        trace: Execution trace (populated when requested).
+    """
+
+    cycles: float
+    compute_cycles: float
+    dram_utilization: float = 0.0
+    ring_utilization: float = 0.0
+    trace: Trace | None = None
+
+    @property
+    def stall_cycles(self) -> float:
+        """Cycles lost to DRAM / ring bandwidth and pipeline fill."""
+        return max(self.cycles - self.compute_cycles, 0.0)
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether stalls dominate (more stall than compute)."""
+        return self.stall_cycles > self.compute_cycles
+
+    def runtime_s(self, hw: HardwareConfig) -> float:
+        """Wall-clock runtime in seconds at the technology clock."""
+        return self.cycles * hw.tech.cycle_time_ns() * 1e-9
+
+
+def simulate_runtime(
+    layer: ConvLayer,
+    hw: HardwareConfig,
+    mapping: Mapping,
+    collect_trace: bool = False,
+) -> SimResult:
+    """Simulate one layer's runtime under one mapping.
+
+    The result is always at least the analytical compute time; the difference
+    is bandwidth stall plus pipeline fill/drain.
+
+    Args:
+        layer: The workload.
+        hw: The hardware instance.
+        mapping: A legal mapping for (layer, hw).
+        collect_trace: Record every pipeline phase into ``SimResult.trace``.
+    """
+    nest = LoopNest(layer=layer, hw=hw, mapping=mapping)
+    errors = nest.validity_errors()
+    if errors:
+        raise ValueError("; ".join(errors))
+    trace = Trace() if collect_trace else None
+    model = TilePipelineModel(nest, trace=trace)
+    cycles = model.run()
+    dram_util = max(
+        (c.utilization(cycles) for c in model.dram_channels), default=0.0
+    )
+    ring_util = max(
+        (l.utilization(cycles) for l in model.ring_links), default=0.0
+    )
+    return SimResult(
+        cycles=cycles,
+        compute_cycles=float(nest.total_cycles()),
+        dram_utilization=dram_util,
+        ring_utilization=ring_util,
+        trace=trace,
+    )

@@ -1,0 +1,106 @@
+"""Execution trace recording for the tile-pipeline simulator.
+
+A trace is a list of phase records -- (chiplet, iteration, phase, start,
+end) -- that tests and debugging tools can assert against: phases within a
+chiplet must nest correctly (load i before compute i, compute i-1 before
+compute i), and rotation rounds must be synchronized across chiplets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Phase(Enum):
+    """Pipeline stages of one chiplet-workload iteration."""
+
+    DRAM_LOAD = "dram_load"
+    RING_ROTATE = "ring_rotate"
+    COMPUTE = "compute"
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed pipeline phase."""
+
+    chiplet: int
+    iteration: int
+    phase: Phase
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"trace record ends before it starts ({self.start} > {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Phase duration in cycles."""
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only execution trace."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def add(
+        self, chiplet: int, iteration: int, phase: Phase, start: float, end: float
+    ) -> None:
+        """Append one phase record."""
+        self.records.append(TraceRecord(chiplet, iteration, phase, start, end))
+
+    def for_chiplet(self, chiplet: int) -> list[TraceRecord]:
+        """Records of one chiplet, in completion order."""
+        return [r for r in self.records if r.chiplet == chiplet]
+
+    def for_phase(self, phase: Phase) -> list[TraceRecord]:
+        """Records of one phase type."""
+        return [r for r in self.records if r.phase == phase]
+
+    def busy_cycles(self, phase: Phase) -> float:
+        """Total cycles spent in ``phase`` across all chiplets."""
+        return sum(r.duration for r in self.for_phase(phase))
+
+    def makespan(self) -> float:
+        """End of the last record (0.0 for an empty trace)."""
+        return max((r.end for r in self.records), default=0.0)
+
+    def validate_ordering(self) -> list[str]:
+        """Check pipeline-ordering invariants; return violations (if any).
+
+        Within a chiplet: compute ``i`` must not start before its load ends,
+        and computes must be serialized in iteration order.
+        """
+        errors: list[str] = []
+        for chiplet in sorted({r.chiplet for r in self.records}):
+            records = self.for_chiplet(chiplet)
+            loads = {
+                r.iteration: r
+                for r in records
+                if r.phase in (Phase.DRAM_LOAD, Phase.RING_ROTATE)
+            }
+            computes = sorted(
+                (r for r in records if r.phase is Phase.COMPUTE),
+                key=lambda r: r.iteration,
+            )
+            for compute in computes:
+                load = loads.get(compute.iteration)
+                if load is not None and compute.start < load.end - 1e-9:
+                    errors.append(
+                        f"chiplet {chiplet} iteration {compute.iteration}: "
+                        f"compute starts at {compute.start} before load ends "
+                        f"at {load.end}"
+                    )
+            for earlier, later in zip(computes, computes[1:]):
+                if later.start < earlier.end - 1e-9:
+                    errors.append(
+                        f"chiplet {chiplet}: compute {later.iteration} overlaps "
+                        f"compute {earlier.iteration}"
+                    )
+        return errors

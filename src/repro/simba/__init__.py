@@ -1,0 +1,20 @@
+"""Simba baseline: the weight-centric dataflow of Shao et al. (MICRO 2019).
+
+The paper's comparison target.  The baseline shares the NN-Baton hardware
+resources exactly ("configured with the same memory and computation resources
+as Simba") and differs only in dataflow: input channels split along rows and
+output channels along columns of the chiplet/core grids, 24-bit partial sums
+accumulated systolically across cores and chiplets, and no planar spatial
+partition -- the weaknesses Section III-B analyzes.
+"""
+
+from repro.simba.config import SimbaGrid, grid_options
+from repro.simba.dataflow import SimbaReport, evaluate_simba, evaluate_simba_model
+
+__all__ = [
+    "SimbaGrid",
+    "SimbaReport",
+    "evaluate_simba",
+    "evaluate_simba_model",
+    "grid_options",
+]

@@ -1,0 +1,119 @@
+"""Simba grid organization: CI along rows, CO along columns.
+
+Simba arranges its chiplets (and each chiplet's PEs) in a 2-D grid, splitting
+input channels along one axis and output channels along the other (Figure
+4c-d).  For a unit count that is not a perfect square the baseline may pick
+any factorization; the evaluator tries all of them and keeps the best, which
+is the generous reading of the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class SimbaGrid:
+    """One weight-centric spatial organization of the whole package.
+
+    Attributes:
+        package_ci_ways: Chiplet rows (input-channel split on the package).
+        package_co_ways: Chiplet columns (output-channel split).
+        core_ci_ways: Core rows inside a chiplet.
+        core_co_ways: Core columns inside a chiplet.
+    """
+
+    package_ci_ways: int
+    package_co_ways: int
+    core_ci_ways: int
+    core_co_ways: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "package_ci_ways",
+            "package_co_ways",
+            "core_ci_ways",
+            "core_co_ways",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def ci_ways(self) -> int:
+        """Total input-channel parallel ways (reduction-chain length)."""
+        return self.package_ci_ways * self.core_ci_ways
+
+    @property
+    def co_ways(self) -> int:
+        """Total output-channel parallel ways."""
+        return self.package_co_ways * self.core_co_ways
+
+    def describe(self) -> str:
+        """Short label like ``pkg2x2/core4x2``."""
+        return (
+            f"pkg{self.package_ci_ways}x{self.package_co_ways}/"
+            f"core{self.core_ci_ways}x{self.core_co_ways}"
+        )
+
+
+def _factorizations(n: int) -> list[tuple[int, int]]:
+    """All (rows, cols) with rows * cols == n."""
+    return [(r, n // r) for r in range(1, n + 1) if n % r == 0]
+
+
+def _balanced(n: int) -> list[tuple[int, int]]:
+    """The most square factorizations of ``n`` (both orientations).
+
+    Simba's physical organization is a fixed (near-)square mesh -- 6x6
+    chiplets, 4x4 PEs per chiplet -- so the baseline's grid aspect is not a
+    free dataflow knob the way NN-Baton's partitions are.
+    """
+    options = _factorizations(n)
+    best = min(max(r, c) / min(r, c) for r, c in options)
+    return [(r, c) for r, c in options if max(r, c) / min(r, c) == best]
+
+
+def grid_options(
+    n_chiplets: int,
+    n_cores: int,
+    layer: ConvLayer | None = None,
+    balanced_only: bool = True,
+) -> list[SimbaGrid]:
+    """Grid organizations for the given unit counts.
+
+    Args:
+        n_chiplets: Chiplets on the package.
+        n_cores: Cores per chiplet.
+        layer: When given, grids whose channel splits exceed the layer's
+            channel counts are dropped.
+        balanced_only: Restrict to (near-)square meshes, matching Simba's
+            fixed physical organization; pass ``False`` to let the baseline
+            pick any aspect (an even more generous reading).
+    """
+    factorize = _balanced if balanced_only else _factorizations
+    grids = []
+    for p_ci, p_co in factorize(n_chiplets):
+        for c_ci, c_co in factorize(n_cores):
+            grid = SimbaGrid(p_ci, p_co, c_ci, c_co)
+            if layer is not None:
+                # CI rows split the per-group reduction dimension, so grouped
+                # (e.g. depthwise) layers cap the usable CI ways.
+                if grid.ci_ways > layer.ci_per_group or grid.co_ways > layer.co:
+                    continue
+            grids.append(grid)
+    if layer is not None and not grids and balanced_only:
+        # Shallow layers (e.g. 3 input channels) cannot feed a square CI
+        # split; fall back to the full factorization set.
+        return grid_options(n_chiplets, n_cores, layer, balanced_only=False)
+    if layer is not None and not grids:
+        # Degenerate layers (e.g. 3 input channels) still map somewhere:
+        # fall back to pure output-channel splits.
+        for p_co in (n_chiplets,):
+            for c_co in (n_cores,):
+                if layer.co >= p_co * c_co:
+                    grids.append(SimbaGrid(1, p_co, 1, c_co))
+    if not grids:
+        grids.append(SimbaGrid(1, n_chiplets, 1, n_cores))
+    return grids

@@ -1,0 +1,222 @@
+"""Cost model of Simba's weight-centric dataflow (Figure 4c-d).
+
+The baseline's structural differences from NN-Baton's output-centric flow,
+each of which this evaluator charges explicitly:
+
+* **Partial-sum movement.**  Outputs are reduced along the input-channel
+  axis of the grid: a chain of ``ci_ways - 1`` transfers per output at the
+  24-bit partial-sum width.  Hops between chiplet rows pay die-to-die
+  energy; hops between core rows pay central-bus (L2-class) energy.
+* **Input duplication.**  Chiplet columns need the same input rows.  Simba
+  has no rotating transfer, so each column re-reads DRAM.
+* **No planar spatial partition.**  The plane is only tiled temporally, so
+  every weight sub-block that exceeds W-L1 re-sweeps the whole plane,
+  reloading inter-tile halos from DRAM -- the "hidden overhead of reloading
+  the halo regions".
+* **Weight-stationarity.**  Weights are fetched once (the baseline's
+  strength; both flows share it).
+
+The evaluator tries every grid factorization and keeps the cheapest, which
+is the generous reading of the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+from repro.arch.energy import EnergyModel
+from repro.core.cost import EnergyBreakdown
+from repro.simba.config import SimbaGrid, grid_options
+from repro.workloads.layer import ConvLayer, ceil_div
+
+
+@dataclass(frozen=True)
+class SimbaReport:
+    """Evaluation of one layer under the Simba baseline dataflow."""
+
+    layer: ConvLayer
+    grid: SimbaGrid
+    energy: EnergyBreakdown
+    cycles: int
+    utilization: float
+
+    @property
+    def energy_pj(self) -> float:
+        """Total layer energy in pico-joules."""
+        return self.energy.total_pj
+
+    def movement_pj(self, hw: HardwareConfig) -> float:
+        """Data-movement energy: total minus the dataflow-invariant terms."""
+        from repro.core.cost import intrinsic_compute_energy_pj
+
+        return max(
+            self.energy_pj - intrinsic_compute_energy_pj(self.layer, hw), 0.0
+        )
+
+
+def _core_tile_pixels(hw: HardwareConfig) -> int:
+    """Output pixels per temporal core tile, bounded by the O-L1 psums."""
+    psum_bytes = hw.tech.psum_bits / 8.0
+    return max(int(hw.memory.o_l1_bytes / (psum_bytes * hw.lanes)), 1)
+
+
+def _square_tile(layer: ConvLayer, max_pixels: int) -> tuple[int, int]:
+    """Largest square-ish output tile within ``max_pixels``."""
+    side = 1
+    while (side * 2) * (side * 2) <= max_pixels:
+        side *= 2
+    th = min(side, layer.ho)
+    tw = min(max(max_pixels // th, 1), layer.wo)
+    return th, tw
+
+
+def evaluate_grid(layer: ConvLayer, hw: HardwareConfig, grid: SimbaGrid) -> SimbaReport:
+    """Evaluate one grid organization of the baseline."""
+    tech = hw.tech
+    data_bits = tech.data_bits
+    psum_bits = tech.psum_bits
+    model = EnergyModel(hw)
+
+    # Grouped convolutions reduce over ci/groups channels per output; the
+    # grid's CI rows split that reduction dimension.
+    ci_share = ceil_div(layer.ci_per_group, grid.ci_ways)
+    co_share = ceil_div(layer.co, grid.co_ways)
+
+    # Temporal plane tiling (O-L1 bound), identical policy to NN-Baton cores.
+    tile_h, tile_w = _square_tile(layer, _core_tile_pixels(hw))
+    tiles_h = ceil_div(layer.ho, tile_h)
+    tiles_w = ceil_div(layer.wo, tile_w)
+    plane_tiles = tiles_h * tiles_w
+
+    # Weight sub-blocking: a core owns ci_share x co_share x KH x KW weights;
+    # every sub-block beyond W-L1 forces another full plane sweep.
+    core_weight_bytes = layer.kh * layer.kw * ci_share * co_share * data_bits // 8
+    plane_sweeps = max(ceil_div(core_weight_bytes, hw.memory.w_l1_bytes), 1)
+
+    # --- input traffic ---------------------------------------------------------
+    # Per plane sweep, each core streams its ci-share of every tile window
+    # (inter-tile halo refetched: no planar spatial split to amortize it).
+    # The same Cc0 rule as NN-Baton's A-L1 analysis applies: when the input
+    # buffer cannot hold one P-channel chunk of the tile window, the kernel
+    # sweep refetches it per position.
+    tile_window = (
+        layer.input_rows_for(tile_h) * layer.input_cols_for(tile_w)
+    )
+    cc0_bytes = tile_window * min(hw.vector_size, ci_share) * data_bits / 8
+    kernel_reload = 1 if hw.memory.a_l1_bytes >= cc0_bytes else layer.kh * layer.kw
+    core_in_channels = ceil_div(
+        layer.input_channels_for(co_share), grid.ci_ways
+    )
+    core_input_fill_bits = (
+        tile_window
+        * plane_tiles
+        * core_in_channels
+        * plane_sweeps
+        * kernel_reload
+        * data_bits
+    )
+    # A-L2 holds a chiplet's ci-share (package_ci row): chiplet fill equals a
+    # core-row stream; core columns multicast from it on the central bus.
+    chiplet_co_share = ceil_div(layer.co, grid.package_co_ways)
+    chiplet_ci_share = ceil_div(
+        layer.input_channels_for(chiplet_co_share), grid.package_ci_ways
+    )
+    chiplet_input_fill_bits = (
+        tile_window * plane_tiles * chiplet_ci_share * plane_sweeps * data_bits
+    )
+    # Chiplet columns duplicate DRAM reads (no rotating transfer).
+    dram_input_bits = chiplet_input_fill_bits * grid.package_ci_ways * grid.package_co_ways
+    a_l2_write_bits = chiplet_input_fill_bits * hw.n_chiplets
+    # One multicast stream per core row feeds all core columns.
+    a_l2_read_bits = core_input_fill_bits * grid.core_ci_ways * hw.n_chiplets
+    a_l1_write_bits = core_input_fill_bits * hw.n_cores * hw.n_chiplets
+    a_l1_read_bits = layer.macs / hw.lanes * data_bits
+
+    # --- weight traffic -----------------------------------------------------------
+    # Weight-centric: every core owns distinct weights, fetched once.
+    weight_bits = layer.weight_elements * data_bits
+    dram_weight_bits = weight_bits
+    w_l1_write_bits = weight_bits
+    # The array re-reads each weight sub-block once per plane tile it sweeps
+    # (the O-L1 psum capacity forces the tiling); sub-blocks themselves are
+    # disjoint, so the re-read factor is plane_tiles, not plane_sweeps.
+    block_weight_bits = layer.kh * layer.kw * ci_share * min(hw.lanes, co_share) * data_bits
+    blocks_per_core = plane_tiles * ceil_div(co_share, hw.lanes)
+    w_l1_read_bits = block_weight_bits * blocks_per_core * hw.n_cores * hw.n_chiplets
+
+    # --- partial-sum movement ----------------------------------------------------
+    outputs = layer.output_elements
+    core_hops = max(grid.core_ci_ways - 1, 0)
+    package_hops = max(grid.package_ci_ways - 1, 0)
+    # Each output's reduction chain crosses core rows on the bus and chiplet
+    # rows on the ring, at the full partial-sum width.
+    psum_noc_bits = outputs * core_hops * psum_bits * grid.package_ci_ways
+    psum_d2d_bit_hops = outputs * package_hops * psum_bits
+    rf_rmw_bits = layer.macs / hw.vector_size * psum_bits
+    rf_drain_bits = outputs * psum_bits
+
+    # --- outputs -------------------------------------------------------------------
+    output_bits = outputs * data_bits
+    o_l2_write_bits = output_bits
+    o_l2_read_bits = output_bits
+    dram_output_bits = output_bits
+
+    o_l2_bytes = max(tile_h * tile_w * co_share, 1)
+    energy = EnergyBreakdown(
+        dram_pj=model.dram_energy_pj(
+            dram_input_bits + dram_weight_bits + dram_output_bits
+        ),
+        d2d_pj=model.d2d_energy_pj(psum_d2d_bit_hops),
+        a_l2_pj=(a_l2_write_bits + a_l2_read_bits + psum_noc_bits)
+        * model.a_l2_pj_per_bit,
+        o_l2_pj=(o_l2_write_bits + o_l2_read_bits)
+        * model.o_l2_pj_per_bit(o_l2_bytes),
+        a_l1_pj=(a_l1_write_bits + a_l1_read_bits) * model.a_l1_pj_per_bit,
+        w_l1_pj=(w_l1_write_bits + w_l1_read_bits) * model.w_l1_pj_per_bit,
+        rf_pj=(rf_rmw_bits + rf_drain_bits) * model.rf_rmw_pj_per_bit,
+        mac_pj=model.mac_energy_pj(layer.macs),
+    )
+
+    # --- runtime --------------------------------------------------------------------
+    ci_chunks = ceil_div(ci_share, hw.vector_size)
+    lane_blocks = ceil_div(co_share, hw.lanes)
+    cycles = tile_h * tile_w * plane_tiles * layer.kh * layer.kw * ci_chunks * lane_blocks
+    ideal = layer.macs / hw.total_macs
+    utilization = min(ideal / cycles, 1.0) if cycles else 0.0
+
+    return SimbaReport(
+        layer=layer,
+        grid=grid,
+        energy=energy,
+        cycles=cycles,
+        utilization=utilization,
+    )
+
+
+def evaluate_simba(layer: ConvLayer, hw: HardwareConfig) -> SimbaReport:
+    """Best-grid baseline evaluation of one layer (generous baseline)."""
+    reports = [
+        evaluate_grid(layer, hw, grid)
+        for grid in grid_options(hw.n_chiplets, hw.n_cores, layer)
+    ]
+    return min(reports, key=lambda r: r.energy_pj)
+
+
+def evaluate_simba_model(
+    layers: list[ConvLayer], hw: HardwareConfig
+) -> tuple[EnergyBreakdown, int, list[SimbaReport]]:
+    """Baseline totals for a whole model.
+
+    Returns:
+        ``(energy_breakdown, total_cycles, per_layer_reports)``.
+    """
+    if not layers:
+        raise ValueError("layers must be non-empty")
+    reports = [evaluate_simba(layer, hw) for layer in layers]
+    energy = EnergyBreakdown.zero()
+    cycles = 0
+    for report in reports:
+        energy = energy + report.energy
+        cycles += report.cycles
+    return energy, cycles, reports

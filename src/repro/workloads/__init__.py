@@ -1,0 +1,41 @@
+"""DNN workload substrate: layer geometry and network definitions.
+
+The mapping and DSE engines consume layer shape tuples only, so this package
+replaces the paper's ``torch.jit`` model parsing with from-scratch layer
+tables for the paper's four networks (AlexNet, VGG-16, ResNet-50, DarkNet-19)
+plus MobileNetV2 (grouped/depthwise convolutions), at both evaluated input
+resolutions (224x224 classification, 512x512 detection).  Custom models load
+from JSON layer lists via :mod:`repro.workloads.io`.
+"""
+
+from repro.workloads.extraction import (
+    LayerKind,
+    classify_layer,
+    representative_layers,
+)
+from repro.workloads.io import layers_from_specs, load_model_file, save_model_file
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+from repro.workloads.models import alexnet, darknet19, mobilenetv2, resnet50, vgg16
+from repro.workloads.registry import MODEL_BUILDERS, get_model, list_models
+from repro.workloads.stats import LayerStats, ModelStats
+
+__all__ = [
+    "ConvLayer",
+    "LayerKind",
+    "LayerStats",
+    "ModelStats",
+    "MODEL_BUILDERS",
+    "alexnet",
+    "classify_layer",
+    "darknet19",
+    "fc_as_pointwise",
+    "get_model",
+    "layers_from_specs",
+    "load_model_file",
+    "save_model_file",
+    "list_models",
+    "mobilenetv2",
+    "representative_layers",
+    "resnet50",
+    "vgg16",
+]

@@ -1,0 +1,79 @@
+"""Representative-layer extraction (Section V-B).
+
+The paper extracts five representative layer types from the benchmark models:
+
+* activation-intensive (activations > weights) -- VGG-16 conv1,
+* weight-intensive (weights > activations) -- VGG-16 conv12,
+* large kernel-size (7x7) -- ResNet-50 conv1,
+* point-wise (1x1) -- ResNet-50 res2a_branch2a,
+* common (3x3) -- ResNet-50 res2a_branch2b.
+
+(The paper's prose swaps the inequality signs in its parenthetical; the layer
+choices make the intended meaning unambiguous, and we follow the choices.)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.workloads.layer import ConvLayer
+from repro.workloads.models import resnet50, vgg16
+
+
+class LayerKind(Enum):
+    """The five representative layer categories of Section V-B.
+
+    DEPTHWISE extends the paper's taxonomy for grouped convolutions
+    (MobileNetV2), whose mapping behavior differs from every dense category.
+    """
+
+    ACTIVATION_INTENSIVE = "activation-intensive"
+    WEIGHT_INTENSIVE = "weight-intensive"
+    LARGE_KERNEL = "large-kernel"
+    POINTWISE = "point-wise"
+    COMMON = "common"
+    DEPTHWISE = "depthwise"
+
+
+def classify_layer(layer: ConvLayer) -> LayerKind:
+    """Classify a layer into its representative category.
+
+    Kernel-shape categories take precedence (large-kernel, point-wise), then
+    the activation/weight volume comparison decides the rest; a 3x3 layer
+    whose two volumes are within 8x of each other is "common" (the paper's
+    common example, res2a_branch2b, carries ~5x more activations than
+    weights and is still called common).
+    """
+    if layer.groups > 1:
+        return LayerKind.DEPTHWISE
+    if layer.kh >= 7 or layer.kw >= 7:
+        return LayerKind.LARGE_KERNEL
+    if layer.is_pointwise:
+        return LayerKind.POINTWISE
+    acts = layer.input_elements
+    weights = layer.weight_elements
+    if acts > 8 * weights:
+        return LayerKind.ACTIVATION_INTENSIVE
+    if weights > 8 * acts:
+        return LayerKind.WEIGHT_INTENSIVE
+    return LayerKind.COMMON
+
+
+def _layer(layers: list[ConvLayer], name: str) -> ConvLayer:
+    for layer in layers:
+        if layer.name == name:
+            return layer
+    raise KeyError(f"layer {name!r} not found")
+
+
+def representative_layers(resolution: int = 224) -> dict[LayerKind, ConvLayer]:
+    """The paper's five case-study layers at the given input resolution."""
+    vgg = vgg16(resolution, include_fc=False)
+    res = resnet50(resolution, include_fc=False)
+    return {
+        LayerKind.ACTIVATION_INTENSIVE: _layer(vgg, "conv1"),
+        LayerKind.WEIGHT_INTENSIVE: _layer(vgg, "conv12"),
+        LayerKind.LARGE_KERNEL: _layer(res, "conv1"),
+        LayerKind.POINTWISE: _layer(res, "res2a_branch2a"),
+        LayerKind.COMMON: _layer(res, "res2a_branch2b"),
+    }

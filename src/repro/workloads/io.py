@@ -1,0 +1,114 @@
+"""Workload import/export: map your own network.
+
+The paper parses models with ``torch.jit``; this repository keeps the core
+dependency-free and instead accepts a plain JSON description -- a list of
+layer dictionaries -- so any frontend (a PyTorch exporter, a hand-written
+file) can feed the tool::
+
+    [
+      {"name": "conv1", "h": 224, "w": 224, "ci": 3, "co": 64,
+       "kh": 7, "kw": 7, "stride": 2, "padding": 3},
+      {"name": "fc", "fc_in": 2048, "fc_out": 1000}
+    ]
+
+Entries with ``fc_in``/``fc_out`` are folded into pointwise layers, the
+same treatment the paper applies to FC layers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+
+#: Accepted convolution keys (everything else is rejected loudly).
+_CONV_KEYS = {"name", "h", "w", "ci", "co", "kh", "kw", "stride", "padding", "groups"}
+_FC_KEYS = {"name", "fc_in", "fc_out"}
+
+
+def layer_from_spec(spec: dict[str, Any]) -> ConvLayer:
+    """Build one layer from a JSON-style dictionary.
+
+    Raises:
+        ValueError: For unknown keys or a spec that is neither a convolution
+            nor an FC entry.
+    """
+    keys = set(spec)
+    if {"fc_in", "fc_out"} <= keys:
+        unknown = keys - _FC_KEYS
+        if unknown:
+            raise ValueError(f"unknown FC keys: {', '.join(sorted(unknown))}")
+        return fc_as_pointwise(
+            spec.get("name", "fc"), spec["fc_in"], spec["fc_out"]
+        )
+    unknown = keys - _CONV_KEYS
+    if unknown:
+        raise ValueError(f"unknown layer keys: {', '.join(sorted(unknown))}")
+    missing = {"h", "w", "ci", "co", "kh", "kw"} - keys
+    if missing:
+        raise ValueError(f"missing layer keys: {', '.join(sorted(missing))}")
+    return ConvLayer(
+        name=spec.get("name", "layer"),
+        h=spec["h"],
+        w=spec["w"],
+        ci=spec["ci"],
+        co=spec["co"],
+        kh=spec["kh"],
+        kw=spec["kw"],
+        stride=spec.get("stride", 1),
+        padding=spec.get("padding", 0),
+        groups=spec.get("groups", 1),
+    )
+
+
+def layers_from_specs(specs: list[dict[str, Any]]) -> list[ConvLayer]:
+    """Build a model from a list of layer dictionaries.
+
+    Raises:
+        ValueError: For an empty list (with the index of any bad entry
+            prepended to its error).
+    """
+    if not specs:
+        raise ValueError("model description is empty")
+    layers = []
+    for index, spec in enumerate(specs):
+        try:
+            layers.append(layer_from_spec(spec))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"layer {index}: {exc}") from exc
+    return layers
+
+
+def load_model_file(path: str | Path) -> list[ConvLayer]:
+    """Load a model from a JSON file (a list of layer dictionaries)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError(
+            f"model file must contain a JSON list of layers, got {type(data).__name__}"
+        )
+    return layers_from_specs(data)
+
+
+def save_model_file(layers: list[ConvLayer], path: str | Path) -> None:
+    """Write a model to a JSON file in the import format."""
+    specs = []
+    for layer in layers:
+        spec: dict[str, Any] = {
+            "name": layer.name,
+            "h": layer.h,
+            "w": layer.w,
+            "ci": layer.ci,
+            "co": layer.co,
+            "kh": layer.kh,
+            "kw": layer.kw,
+        }
+        if layer.stride != 1:
+            spec["stride"] = layer.stride
+        if layer.padding:
+            spec["padding"] = layer.padding
+        if layer.groups != 1:
+            spec["groups"] = layer.groups
+        specs.append(spec)
+    Path(path).write_text(json.dumps(specs, indent=2) + "\n")

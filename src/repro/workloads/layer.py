@@ -1,0 +1,245 @@
+"""Convolution layer geometry: the seven-dimensional loop nest of Figure 1.
+
+A layer workload is defined output-centrically: a complete ``HO x WO x CO``
+output cube consuming a 3-D input cube (``H x W x CI``) and a 4-D weight
+tensor (``KH x KW x CI x CO``).  Batch size is fixed to one (Section II-A).
+
+The halo arithmetic here is the foundation of the partition-pattern analysis
+(Figures 7-8): when the stride is smaller than the kernel, adjacent output
+tiles require overlapping input regions of ``K - stride`` rows/columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer, batch size 1.
+
+    Attributes:
+        name: Layer label (e.g. ``"conv1"`` or ``"res2a_branch2a"``).
+        h: Input feature-map height.
+        w: Input feature-map width.
+        ci: Input channels.
+        co: Output channels.
+        kh: Kernel height.
+        kw: Kernel width.
+        stride: Convolution stride (same in both planar dimensions).
+        padding: Zero padding on each side.
+        groups: Grouped-convolution group count (1 = dense convolution;
+            ``groups == ci == co`` is a depthwise convolution, as in
+            MobileNetV2's inverted residual blocks).
+    """
+
+    name: str
+    h: int
+    w: int
+    ci: int
+    co: int
+    kh: int
+    kw: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("h", "w", "ci", "co", "kh", "kw", "stride", "groups"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+        if self.padding < 0:
+            raise ValueError(f"padding must be >= 0, got {self.padding}")
+        if self.ci % self.groups or self.co % self.groups:
+            raise ValueError(
+                f"layer {self.name!r}: groups ({self.groups}) must divide "
+                f"both ci ({self.ci}) and co ({self.co})"
+            )
+        if self.ho < 1 or self.wo < 1:
+            raise ValueError(
+                f"layer {self.name!r} produces an empty output plane "
+                f"({self.ho}x{self.wo})"
+            )
+
+    @property
+    def ci_per_group(self) -> int:
+        """Input channels feeding each output channel."""
+        return self.ci // self.groups
+
+    @property
+    def co_per_group(self) -> int:
+        """Output channels produced per group."""
+        return self.co // self.groups
+
+    @property
+    def is_depthwise(self) -> bool:
+        """Whether every channel forms its own group."""
+        return self.groups == self.ci == self.co
+
+    # --- derived geometry ------------------------------------------------------
+
+    @property
+    def ho(self) -> int:
+        """Output height."""
+        return (self.h + 2 * self.padding - self.kh) // self.stride + 1
+
+    @property
+    def wo(self) -> int:
+        """Output width."""
+        return (self.w + 2 * self.padding - self.kw) // self.stride + 1
+
+    @property
+    def output_elements(self) -> int:
+        """Total output activations (HO * WO * CO)."""
+        return self.ho * self.wo * self.co
+
+    @property
+    def input_elements(self) -> int:
+        """Total input activations (H * W * CI), excluding padding."""
+        return self.h * self.w * self.ci
+
+    @property
+    def weight_elements(self) -> int:
+        """Total weights (KH * KW * CI/G * CO)."""
+        return self.kh * self.kw * self.ci_per_group * self.co
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations."""
+        return self.output_elements * self.kh * self.kw * self.ci_per_group
+
+    @property
+    def is_pointwise(self) -> bool:
+        """Whether this is a 1x1 convolution (includes folded FC layers)."""
+        return self.kh == 1 and self.kw == 1
+
+    @property
+    def halo_rows(self) -> int:
+        """Overlap rows between vertically adjacent output tiles."""
+        return max(self.kh - self.stride, 0)
+
+    @property
+    def halo_cols(self) -> int:
+        """Overlap columns between horizontally adjacent output tiles."""
+        return max(self.kw - self.stride, 0)
+
+    # --- tile arithmetic ----------------------------------------------------------
+
+    def input_rows_for(self, out_rows: int) -> int:
+        """Input rows actually read for ``out_rows`` consecutive output rows.
+
+        For stride <= kernel the windows overlap into a contiguous span of
+        ``(n-1)*s + k`` rows; for stride > kernel the windows are disjoint
+        and only ``n*k`` rows are touched.  Both collapse to
+        ``(n-1)*min(s, k) + k``.
+        """
+        if out_rows < 0:
+            raise ValueError(f"out_rows must be >= 0, got {out_rows}")
+        if out_rows == 0:
+            return 0
+        return (out_rows - 1) * min(self.stride, self.kh) + self.kh
+
+    def input_cols_for(self, out_cols: int) -> int:
+        """Input columns actually read for ``out_cols`` consecutive columns."""
+        if out_cols < 0:
+            raise ValueError(f"out_cols must be >= 0, got {out_cols}")
+        if out_cols == 0:
+            return 0
+        return (out_cols - 1) * min(self.stride, self.kw) + self.kw
+
+    def input_tile_elements(self, out_rows: int, out_cols: int, channels: int | None = None) -> int:
+        """Input activations feeding an ``out_rows x out_cols`` output tile.
+
+        Args:
+            out_rows: Output tile height.
+            out_cols: Output tile width.
+            channels: Input channels counted (defaults to all ``ci``).
+        """
+        ch = self.ci if channels is None else channels
+        if ch < 0:
+            raise ValueError(f"channels must be >= 0, got {ch}")
+        return self.input_rows_for(out_rows) * self.input_cols_for(out_cols) * ch
+
+    def weights_for(self, out_channels: int, in_channels: int | None = None) -> int:
+        """Weights feeding ``out_channels`` output channels."""
+        ch = self.ci_per_group if in_channels is None else in_channels
+        if out_channels < 0 or ch < 0:
+            raise ValueError("channel counts must be >= 0")
+        return self.kh * self.kw * ch * out_channels
+
+    def input_channels_for(self, out_channels: int) -> int:
+        """Input channels read when computing ``out_channels`` outputs.
+
+        Dense convolution: all of ``ci``.  Grouped convolution: only the
+        groups spanned by the output slice (a depthwise layer's ``n``-channel
+        output slice reads exactly ``n`` input channels).
+        """
+        if out_channels < 0:
+            raise ValueError(f"out_channels must be >= 0, got {out_channels}")
+        if out_channels == 0:
+            return 0
+        groups_spanned = min(ceil_div(out_channels, self.co_per_group), self.groups)
+        return min(groups_spanned * self.ci_per_group, self.ci)
+
+    def scaled_to(self, resolution: int, base_resolution: int = 224) -> "ConvLayer":
+        """Return this layer at a different network input resolution.
+
+        Planar dimensions scale by ``resolution / base_resolution`` (the paper
+        evaluates every model at 224x224 and 512x512); channel and kernel
+        dimensions are unchanged.  FC-derived pointwise layers (1x1 plane)
+        do not scale.
+        """
+        if resolution < 1 or base_resolution < 1:
+            raise ValueError("resolutions must be >= 1")
+        if resolution == base_resolution or (self.h == 1 and self.w == 1):
+            return self
+        factor = resolution / base_resolution
+        new_h = max(int(round(self.h * factor)), self.kh)
+        new_w = max(int(round(self.w * factor)), self.kw)
+        return replace(self, h=new_h, w=new_w)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.h}x{self.w}x{self.ci} -> "
+            f"{self.ho}x{self.wo}x{self.co}, k={self.kh}x{self.kw}, "
+            f"s={self.stride}, p={self.padding}, "
+            f"{self.macs / 1e6:.1f} MMACs"
+        )
+
+
+def fc_as_pointwise(name: str, in_features: int, out_features: int) -> ConvLayer:
+    """Fold a fully-connected layer into a 1x1 pointwise convolution.
+
+    The paper's evaluation "reorganizes FC layers into point-wise layers"
+    (Figure 13 caption): an FC of ``in -> out`` features is a 1x1 convolution
+    over a 1x1 plane with ``ci = in`` and ``co = out``.
+    """
+    if in_features < 1 or out_features < 1:
+        raise ValueError("FC feature counts must be >= 1")
+    return ConvLayer(
+        name=name, h=1, w=1, ci=in_features, co=out_features, kh=1, kw=1
+    )
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division (``b`` must be positive)."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def tile_extent(total: int, ways: int, index: int) -> int:
+    """Extent of the ``index``-th tile when ``total`` splits ``ways`` ways.
+
+    Tiles are ceil-sized except the last, which takes the remainder; this is
+    the allocation rule the workload orchestration uses everywhere.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    if not 0 <= index < ways:
+        raise ValueError(f"index {index} out of range for {ways} ways")
+    size = ceil_div(total, ways)
+    start = index * size
+    return max(min(total - start, size), 0)

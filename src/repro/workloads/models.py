@@ -1,0 +1,300 @@
+"""From-scratch layer tables for the paper's four benchmark networks.
+
+The evaluation (Section V-B) uses AlexNet, VGG-16, ResNet-50 and DarkNet-19
+at 224x224 (classification) and 512x512 (detection) input resolutions, and
+folds FC layers into pointwise convolutions.  The shape tables below are the
+standard published architectures; pooling and activation layers carry no MACs
+in this cost model and appear only through the feature-map sizes they induce.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+
+
+def _scale_all(layers: list[ConvLayer], resolution: int) -> list[ConvLayer]:
+    """Scale every layer's plane from the 224 base to ``resolution``."""
+    return [layer.scaled_to(resolution) for layer in layers]
+
+
+def alexnet(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """AlexNet: five convolutions of diverse kernel sizes plus three FCs.
+
+    The paper highlights AlexNet's kernel diversity (3x3 up to 11x11).
+    """
+    layers = [
+        ConvLayer("conv1", h=224, w=224, ci=3, co=96, kh=11, kw=11, stride=4, padding=2),
+        ConvLayer("conv2", h=27, w=27, ci=96, co=256, kh=5, kw=5, stride=1, padding=2),
+        ConvLayer("conv3", h=13, w=13, ci=256, co=384, kh=3, kw=3, stride=1, padding=1),
+        ConvLayer("conv4", h=13, w=13, ci=384, co=384, kh=3, kw=3, stride=1, padding=1),
+        ConvLayer("conv5", h=13, w=13, ci=384, co=256, kh=3, kw=3, stride=1, padding=1),
+    ]
+    layers = _scale_all(layers, resolution)
+    if include_fc:
+        layers += [
+            fc_as_pointwise("fc6", 256 * 6 * 6, 4096),
+            fc_as_pointwise("fc7", 4096, 4096),
+            fc_as_pointwise("fc8", 4096, 1000),
+        ]
+    return layers
+
+
+def vgg16(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """VGG-16: thirteen 3x3 convolutions plus three FCs.
+
+    ``conv1`` (conv1_1) is the paper's activation-intensive example layer and
+    ``conv12`` (conv5_2) its weight-intensive one.
+    """
+    plan = [
+        # (name, plane, ci, co)
+        ("conv1", 224, 3, 64),
+        ("conv2", 224, 64, 64),
+        ("conv3", 112, 64, 128),
+        ("conv4", 112, 128, 128),
+        ("conv5", 56, 128, 256),
+        ("conv6", 56, 256, 256),
+        ("conv7", 56, 256, 256),
+        ("conv8", 28, 256, 512),
+        ("conv9", 28, 512, 512),
+        ("conv10", 28, 512, 512),
+        ("conv11", 14, 512, 512),
+        ("conv12", 14, 512, 512),
+        ("conv13", 14, 512, 512),
+    ]
+    layers = [
+        ConvLayer(name, h=plane, w=plane, ci=ci, co=co, kh=3, kw=3, stride=1, padding=1)
+        for name, plane, ci, co in plan
+    ]
+    layers = _scale_all(layers, resolution)
+    if include_fc:
+        layers += [
+            fc_as_pointwise("fc14", 512 * 7 * 7, 4096),
+            fc_as_pointwise("fc15", 4096, 4096),
+            fc_as_pointwise("fc16", 4096, 1000),
+        ]
+    return layers
+
+
+def _bottleneck(
+    stage: str,
+    block: str,
+    plane: int,
+    in_ch: int,
+    mid_ch: int,
+    out_ch: int,
+    stride: int,
+    project: bool,
+) -> list[ConvLayer]:
+    """One ResNet-50 bottleneck: 1x1 reduce, 3x3, 1x1 expand (+ projection)."""
+    prefix = f"res{stage}{block}_branch"
+    layers = [
+        ConvLayer(f"{prefix}2a", h=plane, w=plane, ci=in_ch, co=mid_ch, kh=1, kw=1, stride=stride),
+        ConvLayer(
+            f"{prefix}2b",
+            h=plane // stride,
+            w=plane // stride,
+            ci=mid_ch,
+            co=mid_ch,
+            kh=3,
+            kw=3,
+            stride=1,
+            padding=1,
+        ),
+        ConvLayer(
+            f"{prefix}2c",
+            h=plane // stride,
+            w=plane // stride,
+            ci=mid_ch,
+            co=out_ch,
+            kh=1,
+            kw=1,
+        ),
+    ]
+    if project:
+        layers.append(
+            ConvLayer(f"{prefix}1", h=plane, w=plane, ci=in_ch, co=out_ch, kh=1, kw=1, stride=stride)
+        )
+    return layers
+
+
+def resnet50(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """ResNet-50: conv1 (7x7 s2) plus four bottleneck stages, up to 2048 channels.
+
+    ``conv1`` is the paper's large-kernel example, ``res2a_branch2a`` its
+    pointwise example and ``res2a_branch2b`` its common-layer example.
+    """
+    layers = [
+        ConvLayer("conv1", h=224, w=224, ci=3, co=64, kh=7, kw=7, stride=2, padding=3),
+    ]
+    # (stage, blocks, plane at stage entry, in, mid, out, first stride)
+    stage_plan = [
+        ("2", 3, 56, 64, 64, 256, 1),
+        ("3", 4, 56, 256, 128, 512, 2),
+        ("4", 6, 28, 512, 256, 1024, 2),
+        ("5", 3, 14, 1024, 512, 2048, 2),
+    ]
+    for stage, blocks, plane, in_ch, mid_ch, out_ch, first_stride in stage_plan:
+        for i in range(blocks):
+            block = chr(ord("a") + i)
+            stride = first_stride if i == 0 else 1
+            block_plane = plane if i == 0 else plane // first_stride
+            block_in = in_ch if i == 0 else out_ch
+            layers += _bottleneck(
+                stage, block, block_plane, block_in, mid_ch, out_ch, stride, project=(i == 0)
+            )
+    layers = _scale_all(layers, resolution)
+    if include_fc:
+        layers.append(fc_as_pointwise("fc1000", 2048, 1000))
+    return layers
+
+
+def darknet19(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """DarkNet-19: alternating 3x3 and squeezing 1x1 convolutions.
+
+    A wide model whose feature map, like VGG-16's, shrinks late -- the case
+    where NN-Baton saves the most energy over Simba (Figure 13).
+    """
+    plan = [
+        # (name, plane, ci, co, k)
+        ("conv1", 224, 3, 32, 3),
+        ("conv2", 112, 32, 64, 3),
+        ("conv3", 56, 64, 128, 3),
+        ("conv4", 56, 128, 64, 1),
+        ("conv5", 56, 64, 128, 3),
+        ("conv6", 28, 128, 256, 3),
+        ("conv7", 28, 256, 128, 1),
+        ("conv8", 28, 128, 256, 3),
+        ("conv9", 14, 256, 512, 3),
+        ("conv10", 14, 512, 256, 1),
+        ("conv11", 14, 256, 512, 3),
+        ("conv12", 14, 512, 256, 1),
+        ("conv13", 14, 256, 512, 3),
+        ("conv14", 7, 512, 1024, 3),
+        ("conv15", 7, 1024, 512, 1),
+        ("conv16", 7, 512, 1024, 3),
+        ("conv17", 7, 1024, 512, 1),
+        ("conv18", 7, 512, 1024, 3),
+    ]
+    layers = [
+        ConvLayer(
+            name,
+            h=plane,
+            w=plane,
+            ci=ci,
+            co=co,
+            kh=k,
+            kw=k,
+            stride=1,
+            padding=k // 2,
+        )
+        for name, plane, ci, co, k in plan
+    ]
+    layers = _scale_all(layers, resolution)
+    if include_fc:
+        # DarkNet-19's classifier head is itself a 1x1 convolution.
+        head_plane = layers[-1].ho
+        layers.append(
+            ConvLayer("conv19", h=head_plane, w=head_plane, ci=1024, co=1000, kh=1, kw=1)
+        )
+    return layers
+
+
+def _inverted_residual(
+    index: int,
+    plane: int,
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+    expansion: int,
+) -> list[ConvLayer]:
+    """One MobileNetV2 inverted-residual block: expand, depthwise, project."""
+    hidden = in_ch * expansion
+    prefix = f"block{index}"
+    layers = []
+    if expansion != 1:
+        layers.append(
+            ConvLayer(f"{prefix}_expand", h=plane, w=plane, ci=in_ch, co=hidden, kh=1, kw=1)
+        )
+    layers.append(
+        ConvLayer(
+            f"{prefix}_dwise",
+            h=plane,
+            w=plane,
+            ci=hidden,
+            co=hidden,
+            kh=3,
+            kw=3,
+            stride=stride,
+            padding=1,
+            groups=hidden,
+        )
+    )
+    layers.append(
+        ConvLayer(
+            f"{prefix}_project",
+            h=plane // stride,
+            w=plane // stride,
+            ci=hidden,
+            co=out_ch,
+            kh=1,
+            kw=1,
+        )
+    )
+    return layers
+
+
+def mobilenetv2(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """MobileNetV2: depthwise-separable inverted residuals (Sandler et al.).
+
+    Cited among the paper's workload sources [53]; exercises the grouped /
+    depthwise convolution support of the cost model, where vector-MAC
+    utilization and activation reuse behave very differently from dense
+    convolutions.
+    """
+    layers = [
+        ConvLayer("conv1", h=224, w=224, ci=3, co=32, kh=3, kw=3, stride=2, padding=1),
+    ]
+    # (expansion t, out channels c, repeats n, first stride s)
+    plan = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+    plane = 112
+    in_ch = 32
+    index = 0
+    for expansion, out_ch, repeats, first_stride in plan:
+        for i in range(repeats):
+            index += 1
+            stride = first_stride if i == 0 else 1
+            layers += _inverted_residual(index, plane, in_ch, out_ch, stride, expansion)
+            plane //= stride
+            in_ch = out_ch
+    layers.append(ConvLayer("conv_last", h=plane, w=plane, ci=320, co=1280, kh=1, kw=1))
+    layers = _scale_all(layers, resolution)
+    if include_fc:
+        layers.append(fc_as_pointwise("fc", 1280, 1000))
+    return layers
+
+
+def peak_activation_elements(layers: list[ConvLayer]) -> int:
+    """Largest single-layer input activation volume across ``layers``.
+
+    The paper notes VGG-16/DarkNet-19 peak activation storage is about four
+    times ResNet-50's (their planes shrink later); this helper backs that
+    check in the tests.
+    """
+    if not layers:
+        raise ValueError("layers must be non-empty")
+    return max(layer.input_elements for layer in layers)
+
+
+def peak_weight_elements(layers: list[ConvLayer]) -> int:
+    """Largest single-layer weight volume across ``layers``."""
+    if not layers:
+        raise ValueError("layers must be non-empty")
+    return max(layer.weight_elements for layer in layers)

@@ -1,0 +1,54 @@
+"""Model registry: name -> layer-table builder.
+
+Gives benchmarks and examples a single place to resolve workloads by name
+(``"vgg16"``, ``"resnet50@512"``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.layer import ConvLayer
+from repro.workloads.models import alexnet, darknet19, mobilenetv2, resnet50, vgg16
+
+ModelBuilder = Callable[..., list[ConvLayer]]
+
+#: Registered builders, keyed by canonical lowercase name.
+MODEL_BUILDERS: dict[str, ModelBuilder] = {
+    "alexnet": alexnet,
+    "mobilenetv2": mobilenetv2,
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+    "darknet19": darknet19,
+}
+
+
+def list_models() -> list[str]:
+    """Canonical names of every registered model."""
+    return sorted(MODEL_BUILDERS)
+
+
+def get_model(
+    name: str, resolution: int = 224, include_fc: bool = True
+) -> list[ConvLayer]:
+    """Build a model's layer table by name.
+
+    Args:
+        name: Registered name, optionally with an ``@resolution`` suffix
+            (e.g. ``"vgg16@512"``), which overrides ``resolution``.
+        resolution: Network input resolution (224 or 512 in the paper).
+        include_fc: Whether to append the FC layers folded into pointwise
+            convolutions.
+
+    Raises:
+        KeyError: For an unregistered name.
+    """
+    canonical = name.strip().lower()
+    if "@" in canonical:
+        canonical, _, suffix = canonical.partition("@")
+        resolution = int(suffix)
+    if canonical not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; registered models: {', '.join(list_models())}"
+        )
+    return MODEL_BUILDERS[canonical](resolution=resolution, include_fc=include_fc)

@@ -1,0 +1,87 @@
+"""Per-model workload statistics.
+
+Backs the Section V-B characterization the paper does by hand (extracting
+activation-intensive / weight-intensive / large-kernel / point-wise / common
+layers) with computed per-model summaries: category histograms, arithmetic
+intensity, and peak storage requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.extraction import LayerKind, classify_layer
+from repro.workloads.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Derived statistics of one layer."""
+
+    layer: ConvLayer
+    kind: LayerKind
+    arithmetic_intensity: float  # MACs per byte moved (ideal, 8-bit data)
+
+    @staticmethod
+    def of(layer: ConvLayer) -> "LayerStats":
+        """Compute a layer's statistics."""
+        moved_bytes = (
+            layer.input_elements + layer.weight_elements + layer.output_elements
+        )
+        return LayerStats(
+            layer=layer,
+            kind=classify_layer(layer),
+            arithmetic_intensity=layer.macs / moved_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Aggregate statistics of one model."""
+
+    name: str
+    layers: int
+    total_macs: int
+    total_weights: int
+    peak_activations: int
+    kind_histogram: dict[LayerKind, int]
+    mean_arithmetic_intensity: float
+
+    @staticmethod
+    def of(name: str, layers: list[ConvLayer]) -> "ModelStats":
+        """Compute a model's statistics.
+
+        Raises:
+            ValueError: For an empty layer list.
+        """
+        if not layers:
+            raise ValueError("layers must be non-empty")
+        per_layer = [LayerStats.of(layer) for layer in layers]
+        histogram: dict[LayerKind, int] = {kind: 0 for kind in LayerKind}
+        for stats in per_layer:
+            histogram[stats.kind] += 1
+        return ModelStats(
+            name=name,
+            layers=len(layers),
+            total_macs=sum(l.macs for l in layers),
+            total_weights=sum(l.weight_elements for l in layers),
+            peak_activations=max(l.input_elements for l in layers),
+            kind_histogram=histogram,
+            mean_arithmetic_intensity=(
+                sum(s.arithmetic_intensity for s in per_layer) / len(per_layer)
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line model summary."""
+        kinds = ", ".join(
+            f"{kind.value}:{count}"
+            for kind, count in self.kind_histogram.items()
+            if count
+        )
+        return (
+            f"{self.name}: {self.layers} layers, "
+            f"{self.total_macs / 1e9:.2f} GMACs, "
+            f"{self.total_weights / 1e6:.1f}M weights, "
+            f"AI {self.mean_arithmetic_intensity:.1f} MAC/B [{kinds}]"
+        )

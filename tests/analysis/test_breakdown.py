@@ -1,0 +1,82 @@
+"""Tests for breakdown normalization and stacked-bar rendering."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    COMPONENT_GLYPHS,
+    aggregate,
+    dominant_component,
+    normalize,
+    shares,
+    stacked_bar,
+    stacked_bar_chart,
+)
+from repro.core.cost import EnergyBreakdown
+
+
+def sample():
+    return EnergyBreakdown(
+        dram_pj=50, d2d_pj=10, a_l2_pj=8, o_l2_pj=2, a_l1_pj=15, w_l1_pj=5, rf_pj=7, mac_pj=3
+    )
+
+
+class TestNormalization:
+    def test_normalize_against_baseline(self):
+        norm = normalize(sample(), baseline_pj=200)
+        assert norm["dram"] == pytest.approx(0.25)
+        assert sum(norm.values()) == pytest.approx(0.5)
+
+    def test_normalize_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            normalize(sample(), 0)
+
+    def test_shares_sum_to_one(self):
+        assert sum(shares(sample()).values()) == pytest.approx(1.0)
+
+    def test_shares_of_zero_breakdown(self):
+        assert sum(shares(EnergyBreakdown.zero()).values()) == 0.0
+
+    def test_dominant_component(self):
+        assert dominant_component(sample()) == "dram"
+
+
+class TestStackedBars:
+    def test_bar_length_proportional(self):
+        bar = stacked_bar(sample(), scale_pj=sample().total_pj, width=100)
+        assert len(bar) == pytest.approx(100, abs=4)  # rounding slack
+
+    def test_glyph_counts_match_shares(self):
+        bar = stacked_bar(sample(), scale_pj=100, width=100)
+        assert bar.count("D") == 50
+        assert bar.count("m") == 3
+
+    def test_every_component_has_a_glyph(self):
+        assert set(COMPONENT_GLYPHS) == set(EnergyBreakdown.zero().as_dict())
+
+    def test_chart_shared_scale(self):
+        big = sample()
+        small = EnergyBreakdown(5, 1, 1, 0, 1, 1, 1, 0)
+        chart = stacked_bar_chart([("big", big), ("small", small)], width=40)
+        lines = chart.splitlines()
+        assert "legend:" in lines[-1]
+        big_bar = lines[0].split("|")[1]
+        small_bar = lines[1].split("|")[1]
+        assert big_bar.strip()
+        assert len(small_bar.strip()) < len(big_bar.strip())
+
+    def test_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart([])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            stacked_bar(sample(), 0)
+
+
+class TestAggregate:
+    def test_sums_components(self):
+        total = aggregate({"a": sample(), "b": sample()})
+        assert total.total_pj == pytest.approx(2 * sample().total_pj)
+
+    def test_empty_is_zero(self):
+        assert aggregate({}).total_pj == 0.0

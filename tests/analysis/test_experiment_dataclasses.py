@@ -1,0 +1,114 @@
+"""Tests for the experiment result dataclasses (tiny-model fixtures)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    Fig13Point,
+    Fig14Data,
+    Fig15Data,
+    fig14_data,
+    fig15_data,
+    fig15_models,
+)
+from repro.core.dse import DesignSpace
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def tiny_builder(resolution=224, include_fc=True):
+    return [
+        ConvLayer("c1", h=28, w=28, ci=32, co=64, kh=3, kw=3, stride=1, padding=1),
+        ConvLayer("c2", h=14, w=14, ci=64, co=128, kh=1, kw=1),
+    ]
+
+
+SMALL_SPACE = DesignSpace(
+    vector_sizes=(8,),
+    lanes=(8,),
+    cores=(2, 4),
+    chiplets=(2, 4),
+    o_l1_per_lane_bytes=(96,),
+    a_l1_kb=(1, 4),
+    w_l1_kb=(18,),
+    a_l2_kb=(64,),
+)
+
+
+class TestFig13Point:
+    def test_savings_math(self):
+        point = Fig13Point(
+            model="m",
+            resolution=224,
+            simba_energy_pj=100.0,
+            baton_energy_pj=75.0,
+            simba_movement_pj=60.0,
+            baton_movement_pj=30.0,
+        )
+        assert point.saving == pytest.approx(0.25)
+        assert point.movement_saving == pytest.approx(0.5)
+
+    def test_zero_movement_baseline(self):
+        point = Fig13Point("m", 224, 10.0, 10.0, 0.0, 0.0)
+        assert point.movement_saving == 0.0
+
+
+class TestFig14Data:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig14_data(
+            total_macs=256,
+            area_constraint_mm2=5.0,
+            profile=SearchProfile.MINIMAL,
+            models={"tiny": tiny_builder},
+        )
+
+    def test_by_chiplets_filters(self, data):
+        for n in (2, 4):
+            for point in data.by_chiplets(n):
+                assert point.hw.n_chiplets == n
+
+    def test_best_respects_constraint(self, data):
+        constrained = data.best("tiny", constrained=True)
+        if constrained is not None:
+            assert constrained.chiplet_area_mm2 <= data.area_constraint_mm2
+
+    def test_edp_winner_is_minimal(self, data):
+        winner = data.edp_winner("tiny")
+        assert winner is not None
+        for point in data.points:
+            if point.valid and point.meets_area(data.area_constraint_mm2):
+                assert winner.edp("tiny") <= point.edp("tiny") + 1e-20
+
+
+class TestFig15Data:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig15_data(
+            required_macs=256,
+            area_constraint_mm2=5.0,
+            memory_stride=1,
+            profile=SearchProfile.MINIMAL,
+            models={"tiny": tiny_builder()},
+            space=SMALL_SPACE,
+        )
+
+    def test_swept_counts_full_structural_space(self, data):
+        assert data.swept >= len(data.valid_points)
+
+    def test_valid_points_evaluated(self, data):
+        assert data.valid_points
+        for point in data.valid_points:
+            assert point.energy_pj["tiny"] > 0
+
+    def test_optimum_under_constraint(self, data):
+        optimum = data.optimum("tiny")
+        assert optimum is not None
+        assert optimum.chiplet_area_mm2 <= data.area_constraint_mm2
+
+
+class TestFig15Models:
+    def test_benchmark_trio(self):
+        models = fig15_models()
+        assert set(models) == {"vgg16@512", "resnet50@512", "darknet19@224"}
+        assert models["vgg16@512"][0].h == 512
+        assert models["darknet19@224"][0].h == 224

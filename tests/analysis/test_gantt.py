@@ -1,0 +1,75 @@
+"""Tests for Gantt rendering of simulator traces."""
+
+import pytest
+
+from repro.analysis.gantt import PHASE_GLYPHS, phase_summary, render_gantt
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.sim import Phase, Trace, simulate_runtime
+from repro.workloads.layer import ConvLayer
+
+
+def traced_run():
+    hw = case_study_hardware()
+    layer = ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, padding=1)
+    mapping = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer).mapping
+    return simulate_runtime(layer, hw, mapping, collect_trace=True)
+
+
+class TestRenderGantt:
+    def test_synthetic_trace(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.DRAM_LOAD, 0, 10)
+        trace.add(0, 0, Phase.COMPUTE, 10, 50)
+        trace.add(1, 0, Phase.DRAM_LOAD, 0, 20)
+        trace.add(1, 0, Phase.COMPUTE, 20, 50)
+        text = render_gantt(trace, width=50)
+        lines = text.splitlines()
+        assert lines[0].startswith("chiplet 0")
+        assert "L" in lines[0] and "C" in lines[0]
+        assert "legend:" in lines[-1]
+
+    def test_compute_overwrites_overlapping_load(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.DRAM_LOAD, 0, 100)
+        trace.add(0, 0, Phase.COMPUTE, 0, 100)
+        text = render_gantt(trace, width=20)
+        row = text.splitlines()[0]
+        assert "C" in row and "L" not in row
+
+    def test_simulated_trace_renders(self):
+        result = traced_run()
+        text = render_gantt(result.trace, width=80)
+        assert text.count("chiplet") == 4
+        assert "C" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt(Trace())
+
+    def test_narrow_width_rejected(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.COMPUTE, 0, 10)
+        with pytest.raises(ValueError):
+            render_gantt(trace, width=5)
+
+    def test_all_phases_have_glyphs(self):
+        assert set(PHASE_GLYPHS) == set(Phase)
+
+
+class TestPhaseSummary:
+    def test_totals(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.DRAM_LOAD, 0, 10)
+        trace.add(1, 0, Phase.DRAM_LOAD, 0, 12)
+        trace.add(0, 0, Phase.COMPUTE, 10, 50)
+        summary = phase_summary(trace)
+        assert summary["dram_load"] == 22
+        assert summary["compute"] == 40
+        assert summary["writeback"] == 0
+
+    def test_simulated_summary_dominated_by_compute(self):
+        result = traced_run()
+        summary = phase_summary(result.trace)
+        assert summary["compute"] > summary["dram_load"]

@@ -1,0 +1,41 @@
+"""Tests for Pareto utilities."""
+
+from repro.analysis.pareto import dominates, pareto_points
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_one_axis_tie(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 3.0))
+
+
+class TestParetoPoints:
+    def test_filters_dominated(self):
+        items = [(1, 3), (2, 2), (3, 1), (3, 3), (2.5, 2.5)]
+        front = pareto_points(items, x=lambda p: p[0], y=lambda p: p[1])
+        assert front == [(1, 3), (2, 2), (3, 1)]
+
+    def test_sorted_by_x(self):
+        items = [(3, 1), (1, 3), (2, 2)]
+        front = pareto_points(items, x=lambda p: p[0], y=lambda p: p[1])
+        assert [p[0] for p in front] == [1, 2, 3]
+
+    def test_single_item(self):
+        assert pareto_points([(5, 5)], x=lambda p: p[0], y=lambda p: p[1]) == [(5, 5)]
+
+    def test_empty(self):
+        assert pareto_points([], x=lambda p: p[0], y=lambda p: p[1]) == []
+
+    def test_duplicates_all_kept(self):
+        items = [(1, 1), (1, 1)]
+        front = pareto_points(items, x=lambda p: p[0], y=lambda p: p[1])
+        assert len(front) == 2

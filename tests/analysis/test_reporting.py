@@ -1,0 +1,73 @@
+"""Tests for plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_bar,
+    format_percent,
+    format_scatter,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatBar:
+    def test_proportional(self):
+        assert format_bar(5, 10, width=10) == "#####"
+
+    def test_clamped(self):
+        assert format_bar(20, 10, width=10) == "#" * 10
+        assert format_bar(-5, 10, width=10) == ""
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            format_bar(1, 0)
+        with pytest.raises(ValueError):
+            format_bar(1, 1, width=0)
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.225) == "22.5%"
+        assert format_percent(0.4401, digits=0) == "44%"
+
+
+class TestFormatScatter:
+    def test_renders_points(self):
+        text = format_scatter(
+            [(0.0, 0.0, "a"), (1.0, 1.0, "b"), (0.5, 0.2, "c")],
+            width=20,
+            height=5,
+            x_label="area",
+            y_label="edp",
+        )
+        assert "a" in text and "b" in text and "c" in text
+        assert "area" in text and "edp" in text
+
+    def test_single_point(self):
+        text = format_scatter([(1.0, 2.0, "x")], width=10, height=3)
+        assert "x" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_scatter([])

@@ -1,0 +1,97 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.analysis.roofline import Roofline
+from repro.arch.config import case_study_hardware
+from repro.core.loopnest import LoopNest
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+
+
+@pytest.fixture
+def roofline():
+    return Roofline(case_study_hardware())
+
+
+def mapped(layer, hw):
+    return Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer)
+
+
+class TestRooflineModel:
+    def test_peak_is_total_macs(self, roofline):
+        assert roofline.peak_macs_per_cycle == 2048
+
+    def test_dram_bandwidth_aggregates_channels(self, roofline):
+        hw = case_study_hardware()
+        expected = hw.tech.dram_bandwidth_bits_per_cycle / 8 * 4
+        assert roofline.dram_bytes_per_cycle == expected
+
+    def test_ridge_point(self, roofline):
+        assert roofline.ridge_intensity == pytest.approx(
+            roofline.peak_macs_per_cycle / roofline.dram_bytes_per_cycle
+        )
+
+    def test_attainable_clamps_at_peak(self, roofline):
+        assert roofline.attainable(1e9) == roofline.peak_macs_per_cycle
+        assert roofline.attainable(0.0) == 0.0
+
+    def test_attainable_linear_below_ridge(self, roofline):
+        half = roofline.ridge_intensity / 2
+        assert roofline.attainable(half) == pytest.approx(
+            roofline.peak_macs_per_cycle / 2
+        )
+
+    def test_negative_intensity_rejected(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.attainable(-1)
+
+
+class TestLayerPlacement:
+    def test_dense_conv_is_compute_bound(self, roofline):
+        hw = case_study_hardware()
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, padding=1)
+        point = roofline.locate_report(mapped(layer, hw).best)
+        assert point.compute_bound
+        assert point.attainable_macs_per_cycle == roofline.peak_macs_per_cycle
+
+    def test_fc_layer_is_memory_bound(self, roofline):
+        # An FC layer reads every weight once and reuses nothing: intensity
+        # barely exceeds 1 MAC/byte, far below the ridge.
+        hw = case_study_hardware()
+        layer = fc_as_pointwise("fc", 4096, 4096)
+        point = roofline.locate_report(mapped(layer, hw).best)
+        assert not point.compute_bound
+        assert point.intensity_macs_per_byte < roofline.ridge_intensity
+
+    def test_locate_matches_locate_report(self, roofline):
+        hw = case_study_hardware()
+        layer = ConvLayer("c", h=28, w=28, ci=64, co=128, kh=3, kw=3, padding=1)
+        result = mapped(layer, hw)
+        nest = LoopNest(layer, hw, result.mapping)
+        a = roofline.locate(layer, nest)
+        b = roofline.locate_report(result.best)
+        assert a.intensity_macs_per_byte == pytest.approx(b.intensity_macs_per_byte)
+
+    def test_better_mapping_higher_intensity(self, roofline):
+        # The optimal mapping's DRAM traffic is minimal, so its operational
+        # intensity is at least that of any other legal candidate.
+        hw = case_study_hardware()
+        layer = ConvLayer("c", h=28, w=28, ci=128, co=256, kh=3, kw=3, padding=1)
+        from repro.core.cost import evaluate_mapping
+        from repro.core.space import MappingSpace
+
+        best = mapped(layer, hw).best
+        best_point = roofline.locate_report(best)
+        space = MappingSpace(hw, SearchProfile.MINIMAL)
+        worst_intensity = best_point.intensity_macs_per_byte
+        for mapping in space.unique_candidates(layer):
+            try:
+                report = evaluate_mapping(layer, hw, mapping)
+            except Exception:
+                continue
+            point = roofline.locate_report(report)
+            worst_intensity = min(worst_intensity, point.intensity_macs_per_byte)
+        # The best-energy mapping is never the most DRAM-hungry one.
+        assert best_point.intensity_macs_per_byte >= worst_intensity

@@ -1,0 +1,79 @@
+"""Tests for chiplet/package area accounting."""
+
+import pytest
+
+from repro.arch.area import AreaModel
+from repro.arch.config import build_hardware, case_study_hardware
+
+
+class TestChipletBreakdown:
+    def test_total_is_sum_of_parts(self):
+        breakdown = AreaModel(case_study_hardware()).chiplet_breakdown()
+        parts = [v for k, v in breakdown.as_dict().items() if k != "total"]
+        assert breakdown.total_mm2 == pytest.approx(sum(parts))
+
+    def test_mac_area_matches_published_per_unit(self):
+        hw = case_study_hardware()
+        breakdown = AreaModel(hw).chiplet_breakdown()
+        per_chiplet_macs = hw.n_cores * hw.lanes * hw.vector_size
+        assert breakdown.macs_mm2 == pytest.approx(per_chiplet_macs * 135.1e-6)
+
+    def test_grs_phy_present_in_multichip(self):
+        breakdown = AreaModel(case_study_hardware()).chiplet_breakdown()
+        assert breakdown.d2d_phy_mm2 == pytest.approx(0.38)
+
+    def test_no_grs_phy_for_monolithic(self):
+        hw = build_hardware(1, 8, 16, 16)
+        assert AreaModel(hw).chiplet_breakdown().d2d_phy_mm2 == 0.0
+
+    def test_case_study_meets_2mm2(self):
+        # The paper's 4-chiplet case-study machine respects the Figure 14
+        # constraint by construction.
+        assert AreaModel(case_study_hardware()).meets_chiplet_constraint(2.0)
+
+    def test_monolithic_2048_violates_2mm2(self):
+        # "no implementation meets the constraint using one chiplet"
+        for cores, lanes, vec in [(8, 16, 16), (16, 16, 8), (16, 8, 16)]:
+            hw = build_hardware(1, cores, lanes, vec)
+            assert hw.total_macs == 2048
+            assert not AreaModel(hw).meets_chiplet_constraint(2.0)
+
+    def test_package_area_is_chiplets_times_chiplet(self):
+        hw = case_study_hardware()
+        model = AreaModel(hw)
+        assert model.package_area_mm2() == pytest.approx(
+            4 * model.chiplet_area_mm2()
+        )
+
+
+class TestAreaMonotonicity:
+    def test_more_lanes_more_area(self):
+        small = AreaModel(build_hardware(4, 4, 8, 8)).chiplet_area_mm2()
+        large = AreaModel(build_hardware(4, 4, 16, 8)).chiplet_area_mm2()
+        assert large > small
+
+    def test_more_cores_more_area(self):
+        small = AreaModel(build_hardware(4, 4, 8, 8)).chiplet_area_mm2()
+        large = AreaModel(build_hardware(4, 8, 8, 8)).chiplet_area_mm2()
+        assert large > small
+
+    def test_fewer_chiplets_bigger_chiplets(self):
+        # Same 2048 MACs, proportional memory: chiplet area grows as the
+        # design concentrates.
+        areas = [
+            AreaModel(build_hardware(n, 2048 // (n * 64), 8, 8)).chiplet_area_mm2()
+            for n in (2, 4, 8)
+        ]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_o_l2_default_from_a_l2(self):
+        hw = case_study_hardware()
+        explicit = AreaModel(hw, o_l2_default_bytes=hw.memory.a_l2_bytes // 4)
+        implicit = AreaModel(hw)
+        assert explicit.chiplet_area_mm2() == pytest.approx(
+            implicit.chiplet_area_mm2()
+        )
+
+    def test_invalid_constraint_raises(self):
+        with pytest.raises(ValueError):
+            AreaModel(case_study_hardware()).meets_chiplet_constraint(0)

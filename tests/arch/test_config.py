@@ -1,0 +1,148 @@
+"""Tests for the three-level hardware description and presets."""
+
+import pytest
+
+from repro.arch.config import (
+    KB,
+    ChipletConfig,
+    CoreConfig,
+    HardwareConfig,
+    MemoryConfig,
+    PackageConfig,
+    build_hardware,
+    case_study_hardware,
+    proportional_memory,
+    simba_like_hardware,
+)
+
+
+class TestStructuralConfigs:
+    def test_core_mac_count(self):
+        assert CoreConfig(lanes=8, vector_size=8).macs == 64
+
+    def test_chiplet_mac_count(self):
+        chiplet = ChipletConfig(cores=8, core=CoreConfig(lanes=8, vector_size=8))
+        assert chiplet.macs == 512
+
+    def test_package_mac_count(self):
+        package = PackageConfig(
+            chiplets=4,
+            chiplet=ChipletConfig(cores=8, core=CoreConfig(lanes=8, vector_size=8)),
+        )
+        assert package.macs == 2048
+
+    @pytest.mark.parametrize("lanes,vector", [(0, 8), (8, 0), (-1, 8)])
+    def test_invalid_core_raises(self, lanes, vector):
+        with pytest.raises(ValueError):
+            CoreConfig(lanes=lanes, vector_size=vector)
+
+    def test_invalid_chiplet_raises(self):
+        with pytest.raises(ValueError):
+            ChipletConfig(cores=0, core=CoreConfig(lanes=1, vector_size=1))
+
+    def test_invalid_package_raises(self):
+        with pytest.raises(ValueError):
+            PackageConfig(
+                chiplets=0,
+                chiplet=ChipletConfig(cores=1, core=CoreConfig(lanes=1, vector_size=1)),
+            )
+
+    def test_negative_memory_raises(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(a_l1_bytes=-1, w_l1_bytes=0, o_l1_bytes=0, a_l2_bytes=0)
+
+
+class TestCaseStudyPreset:
+    """Pin the Section VI-A configuration exactly."""
+
+    def test_computation_resources(self):
+        hw = case_study_hardware()
+        assert hw.config_tuple() == (4, 8, 8, 8)
+        assert hw.total_macs == 2048
+
+    def test_memory_sizes(self):
+        hw = case_study_hardware()
+        assert hw.memory.o_l1_bytes == 1536          # 1.5 KB
+        assert hw.memory.a_l1_bytes == 800           # 800 B
+        assert hw.memory.w_l1_bytes == 18 * KB       # 18 KB
+        assert hw.memory.a_l2_bytes == 64 * KB       # 64 KB
+
+    def test_label(self):
+        assert case_study_hardware().label() == "4-8-8-8"
+
+    def test_o_l1_holds_core_tile_psums(self):
+        # 1.5 KB of 24-bit psums = 512 entries = 64 pixels x 8 lanes.
+        assert case_study_hardware().o_l1_psum_capacity() == 512
+
+    def test_simba_like_shares_resources(self):
+        baton = case_study_hardware()
+        simba = simba_like_hardware()
+        assert simba.memory == baton.memory
+        assert simba.package == baton.package
+
+    def test_with_memory_returns_copy(self):
+        hw = case_study_hardware()
+        new_mem = MemoryConfig(
+            a_l1_bytes=1024, w_l1_bytes=KB, o_l1_bytes=512, a_l2_bytes=32 * KB
+        )
+        updated = hw.with_memory(new_mem)
+        assert updated.memory == new_mem
+        assert hw.memory.a_l1_bytes == 800  # original untouched
+
+
+class TestProportionalMemory:
+    def test_anchors_to_case_study(self):
+        hw = case_study_hardware()
+        mem = proportional_memory(hw.package)
+        assert mem.w_l1_bytes == 18 * KB
+        assert mem.o_l1_bytes == 1536
+        assert mem.a_l1_bytes == 800
+        assert mem.a_l2_bytes == 64 * KB
+
+    def test_scales_with_lanes(self):
+        wide = build_hardware(4, 8, 16, 8)
+        assert wide.memory.w_l1_bytes == 36 * KB
+        assert wide.memory.o_l1_bytes == 3072
+
+    def test_scales_with_cores(self):
+        many = build_hardware(4, 16, 8, 8)
+        assert many.memory.a_l2_bytes == 128 * KB
+
+    def test_floors_for_tiny_cores(self):
+        tiny = build_hardware(1, 1, 2, 2)
+        assert tiny.memory.w_l1_bytes >= 2 * KB
+        assert tiny.memory.a_l1_bytes >= 128
+        assert tiny.memory.o_l1_bytes >= 48
+
+
+class TestBuildHardware:
+    def test_label_from_dimensions(self):
+        assert build_hardware(2, 4, 8, 16).label() == "2-4-8-16"
+
+    def test_explicit_memory_respected(self):
+        mem = MemoryConfig(
+            a_l1_bytes=2048, w_l1_bytes=4 * KB, o_l1_bytes=768, a_l2_bytes=32 * KB
+        )
+        hw = build_hardware(2, 2, 4, 4, memory=mem)
+        assert hw.memory == mem
+
+    def test_macro_accessors(self):
+        hw = case_study_hardware()
+        assert hw.a_l1().size_bytes == 800
+        assert hw.w_l1().size_bytes == 18 * KB
+        assert hw.o_l1().size_bytes == 1536
+        assert hw.a_l2().size_bytes == 64 * KB
+
+    def test_o_l2_auto_sizing(self):
+        hw = case_study_hardware()
+        assert hw.o_l2(4096).size_bytes == 4096
+        pinned = hw.with_memory(
+            MemoryConfig(
+                a_l1_bytes=800,
+                w_l1_bytes=18 * KB,
+                o_l1_bytes=1536,
+                a_l2_bytes=64 * KB,
+                o_l2_bytes=8 * KB,
+            )
+        )
+        assert pinned.o_l2(4096).size_bytes == 8 * KB

@@ -1,0 +1,134 @@
+"""Tests for SRAM/RF macro models and the Figure 10 regression."""
+
+import pytest
+
+from repro.arch.memory import (
+    LinearFit,
+    MemoryLibrary,
+    RegisterFileModel,
+    SramModel,
+)
+from repro.arch.technology import DEFAULT_TECHNOLOGY
+
+
+class TestLinearFit:
+    def test_recovers_exact_line(self):
+        xs = [1.0, 2.0, 5.0, 9.0]
+        ys = [3.0 + 2.0 * x for x in xs]
+        fit = LinearFit.fit(xs, ys)
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_evaluation(self):
+        fit = LinearFit(intercept=1.0, slope=0.5, r_squared=1.0)
+        assert fit(4.0) == pytest.approx(3.0)
+
+    def test_constant_data_gives_zero_slope(self):
+        fit = LinearFit.fit([1.0, 2.0, 3.0], [7.0, 7.0, 7.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            LinearFit.fit([1.0], [1.0, 2.0])
+
+    def test_single_point_raises(self):
+        with pytest.raises(ValueError):
+            LinearFit.fit([1.0], [1.0])
+
+    def test_zero_x_variance_raises(self):
+        with pytest.raises(ValueError):
+            LinearFit.fit([2.0, 2.0], [1.0, 5.0])
+
+
+class TestSramModel:
+    def test_case_study_sizes(self):
+        # The paper's anchors: 1 KB L1 at 0.30 pJ/bit, 32 KB L2 at 0.81.
+        assert SramModel(1024).energy_pj_per_bit == pytest.approx(0.30)
+        assert SramModel(32 * 1024).energy_pj_per_bit == pytest.approx(0.81)
+
+    def test_access_energy_scales_with_bits(self):
+        macro = SramModel(1024)
+        assert macro.access_energy_pj(1000) == pytest.approx(300.0)
+
+    def test_area_monotone_in_size(self):
+        areas = [SramModel(k * 1024).area_mm2 for k in (1, 4, 16, 64)]
+        assert areas == sorted(areas)
+
+    def test_zero_size_zero_area(self):
+        assert SramModel(0).area_mm2 == 0.0
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            SramModel(-1)
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            SramModel(1024).access_energy_pj(-1)
+
+
+class TestRegisterFileModel:
+    def test_rmw_energy_is_published_value(self):
+        rf = RegisterFileModel(1536)
+        assert rf.rmw_energy_pj_per_bit == pytest.approx(0.104)
+
+    def test_rmw_energy_total(self):
+        rf = RegisterFileModel(1536)
+        assert rf.rmw_energy_pj(1000) == pytest.approx(104.0)
+
+    def test_rf_area_exceeds_same_size_sram(self):
+        # Register files are area-hungrier per KB than SRAM macros.
+        assert RegisterFileModel(4096).area_mm2 > SramModel(4096).area_mm2
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            RegisterFileModel(-8)
+
+
+class TestMemoryLibrary:
+    def test_default_library_has_points(self):
+        library = MemoryLibrary()
+        assert len(library.points) == len(MemoryLibrary.DEFAULT_SIZES_KB)
+
+    def test_fits_are_near_perfect(self):
+        # Figure 10: "the area and power approximately satisfy a linear
+        # relationship with the SRAM size".
+        library = MemoryLibrary()
+        assert library.fit_area().r_squared > 0.99
+        assert library.fit_energy().r_squared > 0.99
+
+    def test_fit_slopes_match_technology_laws(self):
+        library = MemoryLibrary()
+        tech = DEFAULT_TECHNOLOGY
+        assert library.fit_area().slope == pytest.approx(
+            tech.sram_area_mm2_per_kb, rel=0.05
+        )
+
+    def test_extrapolation_between_points(self):
+        library = MemoryLibrary()
+        predicted = library.extrapolate(48.0)
+        assert predicted.size_kb == 48.0
+        expected = DEFAULT_TECHNOLOGY.sram_area_mm2(48.0)
+        assert predicted.area_mm2 == pytest.approx(expected, rel=0.05)
+
+    def test_extrapolation_beyond_library(self):
+        library = MemoryLibrary()
+        predicted = library.extrapolate(512.0)
+        assert predicted.area_mm2 > library.points[-1].area_mm2
+
+    def test_extrapolation_energy_floored_at_rf(self):
+        library = MemoryLibrary()
+        tiny = library.extrapolate(0.001)
+        assert tiny.energy_pj_per_bit >= DEFAULT_TECHNOLOGY.rf_rmw_energy_pj_per_bit
+
+    def test_deterministic(self):
+        a = MemoryLibrary().points
+        b = MemoryLibrary().points
+        assert a == b
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            MemoryLibrary(sizes_kb=[0])
+        with pytest.raises(ValueError):
+            MemoryLibrary().extrapolate(0)

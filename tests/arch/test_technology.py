@@ -1,0 +1,105 @@
+"""Tests for the technology operating point and Table I."""
+
+import pytest
+
+from repro.arch.technology import (
+    DEFAULT_TECHNOLOGY,
+    TABLE_I,
+    TechnologyParams,
+    table_i_row,
+)
+
+
+class TestTableI:
+    def test_has_six_operations(self):
+        assert len(TABLE_I) == 6
+
+    def test_published_energies(self):
+        assert table_i_row("DRAM").energy_pj_per_bit == 8.75
+        assert table_i_row("die-to-die").energy_pj_per_bit == 1.17
+        assert table_i_row("L2").energy_pj_per_bit == 0.81
+        assert table_i_row("L1").energy_pj_per_bit == 0.30
+        assert table_i_row("register").energy_pj_per_bit == 0.104
+        assert table_i_row("MAC").energy_pj_per_bit == 0.024
+
+    def test_relative_costs_normalize_to_mac(self):
+        mac = table_i_row("MAC")
+        assert mac.relative_cost == 1.0
+        # DRAM's published 364.58x is (8.75 / 0.024) for equal bit counts.
+        dram = table_i_row("DRAM")
+        assert dram.relative_cost == pytest.approx(
+            dram.energy_pj_per_bit / mac.energy_pj_per_bit, rel=0.01
+        )
+
+    def test_rows_ordered_most_to_least_expensive(self):
+        energies = [row.energy_pj_per_bit for row in TABLE_I]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            table_i_row("NVLink")
+
+
+class TestTechnologyParams:
+    def test_defaults_match_paper(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.process_nm == 16
+        assert tech.frequency_mhz == 500.0
+        assert tech.mac_area_um2 == 135.1
+        assert tech.grs_phy_area_mm2 == 0.38
+        assert tech.data_bits == 8
+        assert tech.psum_bits == 24
+
+    def test_cycle_time_at_500mhz_is_2ns(self):
+        assert DEFAULT_TECHNOLOGY.cycle_time_ns() == pytest.approx(2.0)
+
+    def test_sram_energy_hits_both_anchors(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.sram_energy_pj_per_bit(1.0) == pytest.approx(0.30)
+        assert tech.sram_energy_pj_per_bit(32.0) == pytest.approx(0.81)
+
+    def test_sram_energy_linear_between_anchors(self):
+        tech = DEFAULT_TECHNOLOGY
+        mid = tech.sram_energy_pj_per_bit(16.5)
+        assert mid == pytest.approx((0.30 + 0.81) / 2, rel=0.02)
+
+    def test_sram_energy_clamped_at_rf_floor(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.sram_energy_pj_per_bit(0.0) >= tech.rf_rmw_energy_pj_per_bit
+
+    def test_sram_energy_monotone_in_size(self):
+        tech = DEFAULT_TECHNOLOGY
+        sizes = [1, 2, 8, 32, 128, 512]
+        energies = [tech.sram_energy_pj_per_bit(s) for s in sizes]
+        assert energies == sorted(energies)
+
+    def test_sram_area_zero_for_zero_size(self):
+        assert DEFAULT_TECHNOLOGY.sram_area_mm2(0) == 0.0
+
+    def test_sram_area_linear_slope(self):
+        tech = DEFAULT_TECHNOLOGY
+        delta = tech.sram_area_mm2(64) - tech.sram_area_mm2(32)
+        assert delta == pytest.approx(32 * tech.sram_area_mm2_per_kb)
+
+    def test_mac_area_scales_linearly(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.mac_area_mm2(2048) == pytest.approx(2048 * 135.1e-6)
+
+    def test_negative_inputs_raise(self):
+        tech = DEFAULT_TECHNOLOGY
+        with pytest.raises(ValueError):
+            tech.sram_energy_pj_per_bit(-1)
+        with pytest.raises(ValueError):
+            tech.sram_area_mm2(-1)
+        with pytest.raises(ValueError):
+            tech.rf_area_mm2(-0.5)
+        with pytest.raises(ValueError):
+            tech.mac_area_mm2(-8)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TECHNOLOGY.mac_energy_pj = 1.0
+
+    def test_custom_technology_point(self):
+        tech = TechnologyParams(frequency_mhz=1000.0)
+        assert tech.cycle_time_ns() == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Tests for the NoP topology models (ring + mesh extension)."""
+
+import pytest
+
+from repro.arch.config import build_hardware
+from repro.arch.topology import Topology
+from repro.arch.validate import is_valid, validation_errors
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+class TestTopologyGeometry:
+    def test_ring_link_count(self):
+        assert Topology.RING.link_count(4) == 4
+        assert Topology.RING.link_count(8) == 8
+        assert Topology.RING.link_count(1) == 0
+
+    def test_mesh_link_count_simba_6x6(self):
+        # 6x6 mesh: 6 rows x 5 + 6 cols x 5 = 60 edges.
+        assert Topology.MESH.link_count(36) == 60
+
+    def test_mesh_dims_near_square(self):
+        assert Topology.MESH.mesh_dims(36) == (6, 6)
+        assert Topology.MESH.mesh_dims(8) == (2, 4)
+        assert Topology.MESH.mesh_dims(16) == (4, 4)
+
+    def test_sharing_hops_topology_independent(self):
+        # Energy per shared bit is n-1 hops on both (rotation vs multicast
+        # spanning tree).
+        for n in (2, 4, 8, 16):
+            assert Topology.RING.sharing_hops_per_bit(n) == n - 1
+            assert Topology.MESH.sharing_hops_per_bit(n) == n - 1
+
+    def test_mesh_shorter_average_distance(self):
+        # The mesh's latency advantage at scale.
+        for n in (8, 16, 36):
+            assert Topology.MESH.average_distance(n) < Topology.RING.average_distance(n)
+
+    def test_validity_ranges(self):
+        assert Topology.RING.max_chiplets() == 8
+        assert Topology.MESH.max_chiplets() >= 36
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ValueError):
+            Topology.RING.link_count(0)
+        with pytest.raises(ValueError):
+            Topology.MESH.sharing_hops_per_bit(0)
+
+
+class TestTopologyInHardware:
+    def test_ring_default(self):
+        assert build_hardware(4, 8, 8, 8).topology is Topology.RING
+
+    def test_ring_caps_at_eight(self):
+        hw = build_hardware(16, 2, 8, 8)
+        assert any("ring" in e for e in validation_errors(hw))
+
+    def test_mesh_allows_sixteen(self):
+        hw = build_hardware(16, 2, 8, 8, topology=Topology.MESH)
+        assert is_valid(hw)
+
+    def test_mesh_allows_simba_scale(self):
+        hw = build_hardware(36, 1, 8, 8, topology=Topology.MESH)
+        assert is_valid(hw)
+
+    def test_sixteen_chiplet_mesh_maps_a_layer(self):
+        hw = build_hardware(16, 2, 8, 8, topology=Topology.MESH)
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, padding=1)
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+    def test_same_energy_ring_vs_mesh_at_equal_scale(self):
+        # The energy model is hop-count based, so at the same chiplet count
+        # the topology only changes runtime (link bandwidth), not energy.
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, padding=1)
+        ring = Mapper(
+            hw=build_hardware(4, 8, 8, 8), profile=SearchProfile.MINIMAL
+        ).search_layer(layer)
+        mesh = Mapper(
+            hw=build_hardware(4, 8, 8, 8, topology=Topology.MESH),
+            profile=SearchProfile.MINIMAL,
+        ).search_layer(layer)
+        assert ring.best.energy_pj == pytest.approx(mesh.best.energy_pj)

@@ -1,0 +1,90 @@
+"""Tests for the structural validity rules (DSE pruning)."""
+
+import pytest
+
+from repro.arch.config import (
+    KB,
+    ChipletConfig,
+    CoreConfig,
+    HardwareConfig,
+    MemoryConfig,
+    PackageConfig,
+    case_study_hardware,
+)
+from repro.arch.validate import (
+    ConfigValidationError,
+    is_valid,
+    validate_hardware,
+    validation_errors,
+)
+
+
+def _hw(memory: MemoryConfig, chiplets: int = 4) -> HardwareConfig:
+    package = PackageConfig(
+        chiplets=chiplets,
+        chiplet=ChipletConfig(cores=8, core=CoreConfig(lanes=8, vector_size=8)),
+    )
+    return HardwareConfig(package=package, memory=memory)
+
+
+GOOD = MemoryConfig(
+    a_l1_bytes=800, w_l1_bytes=18 * KB, o_l1_bytes=1536, a_l2_bytes=64 * KB
+)
+
+
+class TestValidityRules:
+    def test_case_study_is_valid(self):
+        assert is_valid(case_study_hardware())
+        validate_hardware(case_study_hardware())  # must not raise
+
+    def test_hierarchy_inversion_rejected(self):
+        # The paper's explicit pruning example: A-L2 smaller than A-L1.
+        bad = MemoryConfig(
+            a_l1_bytes=128 * KB, w_l1_bytes=18 * KB, o_l1_bytes=1536, a_l2_bytes=32 * KB
+        )
+        errors = validation_errors(_hw(bad))
+        assert any("inversion" in e for e in errors)
+
+    def test_tiny_o_l1_rejected(self):
+        bad = MemoryConfig(
+            a_l1_bytes=800, w_l1_bytes=18 * KB, o_l1_bytes=8, a_l2_bytes=64 * KB
+        )
+        errors = validation_errors(_hw(bad))
+        assert any("O-L1" in e for e in errors)
+
+    def test_tiny_w_l1_rejected(self):
+        bad = MemoryConfig(
+            a_l1_bytes=800, w_l1_bytes=16, o_l1_bytes=1536, a_l2_bytes=64 * KB
+        )
+        errors = validation_errors(_hw(bad))
+        assert any("W-L1" in e for e in errors)
+
+    def test_tiny_a_l1_rejected(self):
+        bad = MemoryConfig(
+            a_l1_bytes=4, w_l1_bytes=18 * KB, o_l1_bytes=1536, a_l2_bytes=64 * KB
+        )
+        errors = validation_errors(_hw(bad))
+        assert any("A-L1" in e for e in errors)
+
+    def test_mac_budget_rule(self):
+        hw = case_study_hardware()  # 2048 MACs
+        assert is_valid(hw, required_macs=2048)
+        assert not is_valid(hw, required_macs=4096)
+
+    def test_area_budget_rule(self):
+        hw = case_study_hardware()
+        assert is_valid(hw, max_chiplet_area_mm2=10.0)
+        assert not is_valid(hw, max_chiplet_area_mm2=0.01)
+
+    def test_ring_scale_rule(self):
+        # The directional ring model covers 1-to-8 chiplets.
+        errors = validation_errors(_hw(GOOD, chiplets=9))
+        assert any("ring" in e for e in errors)
+        assert not validation_errors(_hw(GOOD, chiplets=8))
+
+    def test_validate_raises_with_all_messages(self):
+        bad = MemoryConfig(a_l1_bytes=4, w_l1_bytes=16, o_l1_bytes=8, a_l2_bytes=2)
+        with pytest.raises(ConfigValidationError) as excinfo:
+            validate_hardware(_hw(bad))
+        message = str(excinfo.value)
+        assert "O-L1" in message and "W-L1" in message and "A-L1" in message

@@ -1,0 +1,118 @@
+"""Tests for the NN-Baton facade (pre-design and post-design flows)."""
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.baton import NNBaton
+from repro.core.dse import DesignSpace
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def tiny_layers():
+    return [
+        ConvLayer("c1", h=28, w=28, ci=32, co=64, kh=3, kw=3, stride=1, padding=1),
+        ConvLayer("c2", h=14, w=14, ci=64, co=128, kh=1, kw=1),
+        ConvLayer("c3", h=14, w=14, ci=64, co=128, kh=1, kw=1),  # repeated shape
+    ]
+
+
+SMALL_SPACE = DesignSpace(
+    vector_sizes=(4, 8),
+    lanes=(4, 8),
+    cores=(2, 4),
+    chiplets=(2, 4),
+    o_l1_per_lane_bytes=(96,),
+    a_l1_kb=(1, 4),
+    w_l1_kb=(4, 18),
+    a_l2_kb=(32, 64),
+)
+
+
+class TestPostDesign:
+    def test_maps_whole_model(self):
+        baton = NNBaton(profile=SearchProfile.FAST)
+        result = baton.post_design(tiny_layers(), case_study_hardware())
+        assert len(result.layers) == 3
+        assert result.energy_pj > 0
+        assert result.cycles > 0
+
+    def test_totals_aggregate_layers(self):
+        baton = NNBaton(profile=SearchProfile.FAST)
+        result = baton.post_design(tiny_layers(), case_study_hardware())
+        assert result.energy_pj == pytest.approx(
+            sum(r.best.energy_pj for r in result.layers)
+        )
+        assert result.cycles == sum(r.best.cycles for r in result.layers)
+
+    def test_mapping_table_lines(self):
+        baton = NNBaton(profile=SearchProfile.MINIMAL)
+        result = baton.post_design(tiny_layers(), case_study_hardware())
+        table = result.mapping_table()
+        assert len(table) == 3
+        assert table[0].startswith("c1:")
+        assert "pkg[" in table[0]
+
+    def test_runtime_and_edp_consistent(self):
+        baton = NNBaton(profile=SearchProfile.MINIMAL)
+        result = baton.post_design(tiny_layers(), case_study_hardware())
+        assert result.edp_js == pytest.approx(
+            result.energy_pj * 1e-12 * result.runtime_s()
+        )
+
+
+class TestPreDesign:
+    def test_recommends_a_point(self):
+        baton = NNBaton()
+        result = baton.pre_design(
+            {"tiny": tiny_layers()},
+            required_macs=256,
+            space=SMALL_SPACE,
+            memory_stride=4,
+        )
+        assert result.recommended is not None
+        assert result.recommended.hw.total_macs == 256
+        assert result.swept == len(result.points)
+
+    def test_recommendation_is_edp_optimal(self):
+        baton = NNBaton()
+        result = baton.pre_design(
+            {"tiny": tiny_layers()},
+            required_macs=256,
+            space=SMALL_SPACE,
+            memory_stride=4,
+        )
+        for point in result.valid_points:
+            assert result.recommended.edp("tiny") <= point.edp("tiny") + 1e-20
+
+    def test_area_budget_filters_recommendation(self):
+        baton = NNBaton()
+        unconstrained = baton.pre_design(
+            {"tiny": tiny_layers()},
+            required_macs=256,
+            space=SMALL_SPACE,
+            memory_stride=4,
+        )
+        cap = min(p.chiplet_area_mm2 for p in unconstrained.valid_points) + 0.05
+        constrained = baton.pre_design(
+            {"tiny": tiny_layers()},
+            required_macs=256,
+            max_chiplet_mm2=cap,
+            space=SMALL_SPACE,
+            memory_stride=4,
+        )
+        assert constrained.recommended.chiplet_area_mm2 <= cap
+
+    def test_primary_model_must_exist(self):
+        baton = NNBaton()
+        with pytest.raises(KeyError):
+            baton.pre_design(
+                {"tiny": tiny_layers()},
+                required_macs=256,
+                space=SMALL_SPACE,
+                primary_model="missing",
+            )
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            NNBaton().pre_design({}, required_macs=256)

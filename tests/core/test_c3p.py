@@ -1,0 +1,240 @@
+"""Tests for the C3P methodology, pinning the paper's worked examples.
+
+Figure 6(c)-(f) walks four examples; the cases here rebuild them with
+concrete loop nests and check critical capacities, penalties and reload
+factors against the equations.
+"""
+
+import pytest
+
+from repro.arch.config import KB, MemoryConfig, build_hardware, case_study_hardware
+from repro.core.c3p import (
+    analyze_activation_l1,
+    analyze_activation_l2,
+    analyze_weight_buffer,
+)
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import LoopOrder, SpatialPrimitive, TemporalPrimitive
+from repro.workloads.layer import ConvLayer
+
+
+def build_nest(
+    layer,
+    hw,
+    chip_order=LoopOrder.CHANNEL_PRIORITY,
+    pkg_order=LoopOrder.CHANNEL_PRIORITY,
+    tile=(32, 32, 64),
+    core=(8, 8),
+    chip_grid=None,
+):
+    grid = chip_grid or PlanarGrid(1, hw.n_cores)
+    mapping = Mapping(
+        package_spatial=SpatialPrimitive.channel(hw.n_chiplets)
+        if hw.n_chiplets > 1
+        else SpatialPrimitive.channel(1),
+        package_temporal=TemporalPrimitive(pkg_order, tile[0], tile[1], tile[2]),
+        chiplet_spatial=SpatialPrimitive.plane(grid)
+        if hw.n_cores > 1
+        else SpatialPrimitive.channel(1),
+        chiplet_temporal=TemporalPrimitive(chip_order, core[0], core[1], hw.lanes),
+    )
+    return LoopNest(layer, hw, mapping)
+
+
+def common_layer():
+    return ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+class TestWeightWalkPaperExamples:
+    """Example-1 and example-2 of Figure 6(c)-(d)."""
+
+    def _nest(self, chip_order):
+        # 2 chiplets x 2 cores keeps the loop counts legible.
+        hw = build_hardware(
+            2,
+            2,
+            8,
+            8,
+            memory=MemoryConfig(
+                a_l1_bytes=4 * KB,
+                w_l1_bytes=4 * KB,
+                o_l1_bytes=1536,
+                a_l2_bytes=64 * KB,
+            ),
+        )
+        return build_nest(common_layer(), hw, chip_order=chip_order, tile=(56, 56, 128))
+
+    def test_example1_channel_priority_critical_capacities(self):
+        # Nest (inner->outer): C1, W1, H1, C2, W2, H2.  Cc1 = C1 * filters,
+        # Cc2 = C2 * C1 * filters (Section IV-B).
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        filters = nest.layer.weights_for(nest.core_co)  # one block's filters
+        analysis = analyze_weight_buffer(nest, buffer_bytes=0)
+        caps = [cp.capacity_bytes for cp in analysis.critical_points]
+        assert caps[0] == pytest.approx(filters)
+        assert caps[1] == pytest.approx(nest.c1 * filters)
+        assert caps[2] == pytest.approx(nest.c2 * nest.c1 * filters)
+
+    def test_example1_small_buffer_pays_h1_w1_penalty(self):
+        # "W-L1 with less than Cc1 size will encounter H1 x W1 - 1 access
+        # penalties" -- i.e. the data moves H1 * W1 times in total.
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        filters = nest.layer.weights_for(nest.core_co)
+        just_below = nest.c1 * filters - 1
+        analysis = analyze_weight_buffer(nest, buffer_bytes=just_below)
+        # Large enough for one block, so only the Cc1 region penalizes
+        # (W2/H2 are 1 for this full-width tile).
+        assert analysis.reload_factor == pytest.approx(nest.h1 * nest.w1)
+
+    def test_example1_buffer_at_cc1_no_penalty(self):
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        filters = nest.layer.weights_for(nest.core_co)
+        analysis = analyze_weight_buffer(nest, buffer_bytes=nest.c1 * filters)
+        assert analysis.reload_factor == 1.0
+
+    def test_example2_boundary_critical_position_free(self):
+        # Plane-priority puts C1 at the level boundary: "the minimal capacity
+        # without penalty only depends on Cp1 because Cp2 is at the boundary
+        # of the loop nest".
+        nest = self._nest(LoopOrder.PLANE_PRIORITY)
+        filters = nest.layer.weights_for(nest.core_co)
+        # Nest: W1, H1, C1 | C2, W2, H2.  Below Cc0=filters, the W1/H1
+        # region reloads; at Cc0 the penalty disappears even though the
+        # buffer is far below C1 * filters.
+        below = analyze_weight_buffer(nest, buffer_bytes=filters - 1)
+        assert below.reload_factor == pytest.approx(nest.h1 * nest.w1)
+        at_cc0 = analyze_weight_buffer(nest, buffer_bytes=filters)
+        assert at_cc0.reload_factor == 1.0
+
+    def test_a0_counts_each_weight_once(self):
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        analysis = analyze_weight_buffer(nest, buffer_bytes=10**9)
+        expected_weights = (
+            nest.layer.weights_for(nest.core_co) * nest.c1 * nest.c2
+        )
+        assert analysis.a0_bits == pytest.approx(expected_weights * 8)
+
+    def test_fill_is_a0_times_factor(self):
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        analysis = analyze_weight_buffer(nest, buffer_bytes=0)
+        assert analysis.fill_bits == pytest.approx(
+            analysis.a0_bits * analysis.reload_factor
+        )
+
+    def test_reload_factor_monotone_in_buffer(self):
+        nest = self._nest(LoopOrder.CHANNEL_PRIORITY)
+        sizes = [0, 1 * KB, 8 * KB, 64 * KB, 1024 * KB]
+        factors = [
+            analyze_weight_buffer(nest, buffer_bytes=s).reload_factor for s in sizes
+        ]
+        assert factors == sorted(factors, reverse=True)
+        assert factors[-1] == 1.0
+
+
+class TestActivationL1Walk:
+    """Example-3 / example-4 of Figure 6(e)-(f) and the Cc0 supplement."""
+
+    def test_case_study_a_l1_is_exactly_cc0(self):
+        # The paper's 800 B A-L1 is precisely one P-channel chunk of the
+        # 8x8-output, 3x3-kernel input window: 10 * 10 * 8 = 800 bytes.
+        layer = ConvLayer("v", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        hw = case_study_hardware()
+        nest = build_nest(layer, hw, tile=(16, 32, 16), chip_grid=PlanarGrid(2, 4))
+        analysis = analyze_activation_l1(nest, buffer_bytes=800)
+        cc0 = analysis.critical_points[0]
+        assert cc0.capacity_bytes == pytest.approx(800)
+        assert cc0.satisfied
+
+    def test_below_cc0_pays_kernel_penalty(self):
+        layer = ConvLayer("v", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        nest = build_nest(
+            layer, case_study_hardware(), tile=(16, 32, 16), chip_grid=PlanarGrid(2, 4)
+        )
+        below = analyze_activation_l1(nest, buffer_bytes=799)
+        at = analyze_activation_l1(nest, buffer_bytes=800)
+        assert below.reload_factor == pytest.approx(at.reload_factor * 9)
+
+    def test_example4_bad_case_needs_cc2(self):
+        # Channel-priority with C1 immediately outside the block: a buffer
+        # above Cc0 but below the full-CI window gains nothing across C1
+        # (the paper's "bad case for A-L1").
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(16, 28, 128))
+        full_window = (
+            nest.layer.input_rows_for(nest.core_ho)
+            * nest.layer.input_cols_for(nest.core_wo)
+            * nest.layer.ci
+        )
+        mid = analyze_activation_l1(nest, buffer_bytes=full_window - 1)
+        big = analyze_activation_l1(nest, buffer_bytes=full_window)
+        assert mid.reload_factor > big.reload_factor
+        assert big.reload_factor * nest.c1 == pytest.approx(mid.reload_factor)
+
+    def test_c_loop_reuse_divides_fill(self):
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(16, 28, 128))
+        small = analyze_activation_l1(nest, buffer_bytes=800)
+        huge = analyze_activation_l1(nest, buffer_bytes=10**9)
+        assert small.fill_bits > huge.fill_bits
+
+    def test_a0_counts_halo_per_tile(self):
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(16, 28, 128))
+        window = (
+            nest.layer.input_rows_for(nest.core_ho)
+            * nest.layer.input_cols_for(nest.core_wo)
+            * nest.layer.ci
+        )
+        planar = nest.w1 * nest.h1 * nest.w2 * nest.h2
+        assert analyze_activation_l1(nest, 10**9).a0_bits == pytest.approx(
+            window * planar * 8
+        )
+
+
+class TestActivationL2Walk:
+    def test_union_window_counted_once(self):
+        # A-L2's intrinsic fill is the union window of the chiplet workload,
+        # not the sum of per-core windows.
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(28, 28, 64))
+        analysis = analyze_activation_l2(nest, buffer_bytes=10**9)
+        union = (
+            nest.layer.input_rows_for(nest.tile_ho)
+            * nest.layer.input_cols_for(nest.tile_wo)
+            * nest.layer.ci
+        )
+        assert analysis.a0_bits == pytest.approx(union * nest.w2 * nest.h2 * 8)
+
+    def test_c2_reuse_requires_window_capacity(self):
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(28, 28, 16))
+        assert nest.c2 > 1
+        window = (
+            nest.layer.input_rows_for(nest.tile_ho)
+            * nest.layer.input_cols_for(nest.tile_wo)
+            * nest.layer.ci
+        )
+        small = analyze_activation_l2(nest, buffer_bytes=window - 1)
+        big = analyze_activation_l2(nest, buffer_bytes=window)
+        assert small.reload_factor == pytest.approx(big.reload_factor * nest.c2)
+
+    def test_level1_loops_ignored(self):
+        # A-L2 analysis operates at chiplet-workload granularity only.
+        nest = build_nest(common_layer(), case_study_hardware(), tile=(28, 28, 64))
+        analysis = analyze_activation_l2(nest, buffer_bytes=0)
+        labels = [cp.label for cp in analysis.critical_points]
+        assert all(not label.startswith(("C1", "W1", "H1")) for label in labels)
+
+
+class TestInputValidation:
+    def test_negative_buffer_raises(self):
+        nest = build_nest(common_layer(), case_study_hardware())
+        with pytest.raises(ValueError):
+            analyze_weight_buffer(nest, -1)
+        with pytest.raises(ValueError):
+            analyze_activation_l1(nest, -1)
+        with pytest.raises(ValueError):
+            analyze_activation_l2(nest, -1)
+
+    def test_min_penalty_free_capacity(self):
+        nest = build_nest(common_layer(), case_study_hardware())
+        analysis = analyze_weight_buffer(nest, buffer_bytes=0)
+        threshold = analysis.min_penalty_free_capacity()
+        assert analyze_weight_buffer(nest, threshold).reload_factor == 1.0

@@ -1,0 +1,140 @@
+"""Tests for the C3P evaluation engine (energy / runtime / EDP)."""
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.cost import (
+    EnergyBreakdown,
+    InvalidMappingError,
+    evaluate_mapping,
+    intrinsic_compute_energy_pj,
+    model_cost,
+)
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.workloads.layer import ConvLayer
+
+
+def layer():
+    return ConvLayer("t", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+def good_mapping():
+    return Mapping(
+        package_spatial=SpatialPrimitive.channel(4),
+        package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 56, 56, 64),
+        chiplet_spatial=SpatialPrimitive.channel(8),
+        chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 8),
+        rotation=RotationKind.ACTIVATIONS,
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum(self):
+        b = EnergyBreakdown(1, 2, 3, 4, 5, 6, 7, 8)
+        assert b.total_pj == 36
+
+    def test_addition(self):
+        a = EnergyBreakdown(1, 1, 1, 1, 1, 1, 1, 1)
+        b = EnergyBreakdown(2, 2, 2, 2, 2, 2, 2, 2)
+        assert (a + b).total_pj == 24
+
+    def test_zero_identity(self):
+        a = EnergyBreakdown(1, 2, 3, 4, 5, 6, 7, 8)
+        assert (a + EnergyBreakdown.zero()).total_pj == a.total_pj
+
+    def test_as_dict_keys(self):
+        keys = list(EnergyBreakdown.zero().as_dict())
+        assert keys == ["dram", "d2d", "a_l2", "o_l2", "a_l1", "w_l1", "rf", "mac"]
+
+
+class TestEvaluateMapping:
+    def test_report_fields(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        assert report.energy_pj > 0
+        assert report.cycles > 0
+        assert 0 < report.utilization <= 1
+        assert report.o_l2_bytes > 0
+
+    def test_energy_total_matches_breakdown(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        assert report.energy_pj == pytest.approx(sum(report.energy.as_dict().values()))
+
+    def test_mac_energy_is_published_constant(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        assert report.energy.mac_pj == pytest.approx(layer().macs * 0.024)
+
+    def test_oversubscribed_mapping_raises(self):
+        hw = case_study_hardware()
+        bad = Mapping(
+            package_spatial=SpatialPrimitive.channel(8),  # > 4 chiplets
+            package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 56, 56, 64),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 8),
+        )
+        with pytest.raises(InvalidMappingError):
+            evaluate_mapping(layer(), hw, bad)
+
+    def test_partial_occupancy_is_legal(self):
+        # Thin layers may feed fewer units than the hardware provides; the
+        # idle units cost utilization, not legality.
+        hw = case_study_hardware()
+        partial = Mapping(
+            package_spatial=SpatialPrimitive.channel(2),
+            package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 56, 56, 128),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 8),
+        )
+        report = evaluate_mapping(layer(), hw, partial)
+        assert report.utilization <= 0.5  # half the chiplets idle
+
+    def test_runtime_and_edp(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        assert report.runtime_s(hw) == pytest.approx(report.cycles * 2e-9)
+        assert report.edp(hw) == pytest.approx(
+            report.energy_pj * 1e-12 * report.runtime_s(hw)
+        )
+
+    def test_movement_below_total(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        assert 0 < report.movement_pj(hw) < report.energy_pj
+
+    def test_intrinsic_is_mapping_invariant(self):
+        hw = case_study_hardware()
+        a = evaluate_mapping(layer(), hw, good_mapping())
+        other = Mapping(
+            package_spatial=SpatialPrimitive.plane(PlanarGrid(2, 2)),
+            package_temporal=TemporalPrimitive(LoopOrder.PLANE_PRIORITY, 28, 28, 256),
+            chiplet_spatial=SpatialPrimitive.plane(PlanarGrid(2, 4)),
+            chiplet_temporal=TemporalPrimitive(LoopOrder.PLANE_PRIORITY, 7, 7, 8),
+            rotation=RotationKind.WEIGHTS,
+        )
+        b = evaluate_mapping(layer(), hw, other)
+        intrinsic = intrinsic_compute_energy_pj(layer(), hw)
+        assert a.energy_pj - a.movement_pj(hw) == pytest.approx(intrinsic)
+        assert b.energy_pj - b.movement_pj(hw) == pytest.approx(intrinsic)
+
+
+class TestModelCost:
+    def test_aggregates_layers(self):
+        hw = case_study_hardware()
+        report = evaluate_mapping(layer(), hw, good_mapping())
+        energy, cycles, edp = model_cost([report, report], hw)
+        assert energy.total_pj == pytest.approx(2 * report.energy_pj)
+        assert cycles == 2 * report.cycles
+        assert edp == pytest.approx(energy.total_pj * 1e-12 * cycles * 2e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            model_cost([], case_study_hardware())

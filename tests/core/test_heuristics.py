@@ -1,0 +1,93 @@
+"""Tests for the rule-based one-shot mapper."""
+
+import pytest
+
+from repro.arch.config import build_hardware, case_study_hardware
+from repro.core.heuristics import heuristic_map_model, heuristic_mapping
+from repro.core.loopnest import LoopNest
+from repro.core.mapper import Mapper
+from repro.core.primitives import PartitionDim, RotationKind
+from repro.core.space import SearchProfile
+from repro.workloads.extraction import LayerKind, representative_layers
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+from repro.workloads.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return case_study_hardware()
+
+
+class TestHeuristicRules:
+    def test_activation_intensive_gets_plane_package(self, hw):
+        layer = representative_layers(224)[LayerKind.ACTIVATION_INTENSIVE]
+        mapping = heuristic_mapping(layer, hw)
+        assert mapping.package_spatial.dim is PartitionDim.PLANE
+        assert mapping.rotation is RotationKind.WEIGHTS
+
+    def test_weight_intensive_gets_channel_package(self, hw):
+        layer = representative_layers(224)[LayerKind.WEIGHT_INTENSIVE]
+        mapping = heuristic_mapping(layer, hw)
+        assert mapping.package_spatial.dim is PartitionDim.CHANNEL
+        assert mapping.rotation is RotationKind.ACTIVATIONS
+
+    def test_package_grid_bounds_conflict_degree(self, hw):
+        from repro.core.partition import max_conflict_degree
+
+        layer = representative_layers(224)[LayerKind.LARGE_KERNEL]
+        mapping = heuristic_mapping(layer, hw)
+        if mapping.package_spatial.dim is PartitionDim.PLANE:
+            assert max_conflict_degree(layer, mapping.package_spatial.grid) <= 2
+
+    def test_single_chiplet_never_rotates(self):
+        hw = build_hardware(1, 8, 16, 16)
+        layer = representative_layers(224)[LayerKind.COMMON]
+        assert heuristic_mapping(layer, hw).rotation is RotationKind.NONE
+
+
+class TestHeuristicLegality:
+    @pytest.mark.parametrize("model", ["alexnet", "resnet50", "mobilenetv2"])
+    def test_every_layer_of_every_model_is_legal(self, hw, model):
+        for layer in get_model(model):
+            mapping = heuristic_mapping(layer, hw)
+            nest = LoopNest(layer, hw, mapping)
+            assert nest.is_valid(), (layer.name, nest.validity_errors())
+
+    def test_tiny_fc_head_legal(self, hw):
+        fc = fc_as_pointwise("head", 512, 10)
+        nest = LoopNest(fc, hw, heuristic_mapping(fc, hw))
+        assert nest.is_valid(), nest.validity_errors()
+
+    @pytest.mark.parametrize("dims", [(1, 1, 2, 2), (2, 4, 8, 8), (8, 2, 16, 8)])
+    def test_legal_across_machines(self, dims):
+        hw = build_hardware(*dims)
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=128, kh=3, kw=3, padding=1)
+        nest = LoopNest(layer, hw, heuristic_mapping(layer, hw))
+        assert nest.is_valid(), nest.validity_errors()
+
+
+class TestHeuristicQuality:
+    def test_search_never_loses_to_heuristic(self, hw):
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        for kind, layer in representative_layers(224).items():
+            searched = mapper.search_layer(layer).best.energy_pj
+            ruled = heuristic_map_model([layer], hw)[0].energy_pj
+            assert searched <= ruled + 1e-6, kind
+
+    def test_heuristic_is_competitive(self, hw):
+        # The rules of thumb should land within 2x of the searched optimum
+        # on every representative layer (they encode real structure).
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        for kind, layer in representative_layers(224).items():
+            searched = mapper.search_layer(layer).best.energy_pj
+            ruled = heuristic_map_model([layer], hw)[0].energy_pj
+            assert ruled < 2.0 * searched, kind
+
+    def test_model_level_evaluation(self, hw):
+        reports = heuristic_map_model(get_model("alexnet"), hw)
+        assert len(reports) == 8
+        assert all(r.energy_pj > 0 for r in reports)
+
+    def test_empty_rejected(self, hw):
+        with pytest.raises(ValueError):
+            heuristic_map_model([], hw)

@@ -1,0 +1,179 @@
+"""Tests for loop-nest construction and validity."""
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.loopnest import Loop, LoopNest
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.workloads.layer import ConvLayer
+
+
+def common_layer():
+    return ConvLayer("common", h=56, w=56, ci=64, co=64, kh=3, kw=3, stride=1, padding=1)
+
+
+def make_mapping(
+    pkg=None,
+    chip=None,
+    pkg_order=LoopOrder.CHANNEL_PRIORITY,
+    chip_order=LoopOrder.CHANNEL_PRIORITY,
+    tile=(32, 32, 64),
+    core=(8, 8, 8),
+):
+    return Mapping(
+        package_spatial=pkg or SpatialPrimitive.channel(4),
+        package_temporal=TemporalPrimitive(pkg_order, *tile),
+        chiplet_spatial=chip or SpatialPrimitive.plane(PlanarGrid(2, 4)),
+        chiplet_temporal=TemporalPrimitive(chip_order, *core),
+    )
+
+
+class TestLoop:
+    def test_fields(self):
+        loop = Loop("C", 1, 4)
+        assert loop.is_channel and loop.describe() == "C1:4"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Loop("X", 1, 4)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            Loop("C", 3, 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            Loop("C", 1, 0)
+
+
+class TestDerivedExtents:
+    def test_channel_package_split(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.macro_co == 16          # 64 channels / 4 chiplets
+        assert nest.macro_ho == 56          # plane untouched by C-split
+
+    def test_plane_chiplet_split(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.share_ho == 16          # 32-row tile / 2 core rows
+        assert nest.share_wo == 8           # 32-col tile / 4 core cols
+
+    def test_core_co_capped_at_lanes(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.core_co == 8
+
+    def test_tiles_clamped_to_macro(self):
+        mapping = make_mapping(tile=(999, 999, 999))
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        assert nest.tile_ho == 56 and nest.tile_co == 16
+
+    def test_loop_counts_cover_extents(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.h1 * nest.core_ho >= nest.share_ho
+        assert nest.c1 * nest.core_co >= nest.share_co
+        assert nest.h2 * nest.tile_ho >= nest.macro_ho
+        assert nest.c2 * nest.tile_co >= nest.macro_co
+
+
+class TestLoopOrdering:
+    def test_channel_priority_puts_c_innermost(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        kinds = [loop.kind for loop in nest.loops()]
+        assert kinds == ["C", "W", "H", "C", "W", "H"]
+
+    def test_plane_priority_puts_c_outermost(self):
+        mapping = make_mapping(
+            pkg_order=LoopOrder.PLANE_PRIORITY, chip_order=LoopOrder.PLANE_PRIORITY
+        )
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        kinds = [loop.kind for loop in nest.loops()]
+        assert kinds == ["W", "H", "C", "W", "H", "C"]
+
+    def test_levels_are_inner_then_outer(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        levels = [loop.level for loop in nest.loops()]
+        assert levels == [1, 1, 1, 2, 2, 2]
+
+
+class TestRuntimeModel:
+    def test_block_cycles(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        # 8x8 pixels * 3x3 kernel * ceil(64/8) chunks.
+        assert nest.block_cycles() == 8 * 8 * 9 * 8
+
+    def test_total_cycles_at_least_ideal(self):
+        layer = common_layer()
+        hw = case_study_hardware()
+        nest = LoopNest(layer, hw, make_mapping())
+        assert nest.total_cycles() >= layer.macs / hw.total_macs
+
+    def test_utilization_in_unit_interval(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert 0.0 < nest.utilization() <= 1.0
+
+    def test_perfectly_divisible_mapping_full_utilization(self):
+        layer = ConvLayer("even", h=32, w=32, ci=64, co=256, kh=1, kw=1)
+        mapping = make_mapping(
+            pkg=SpatialPrimitive.channel(4),
+            chip=SpatialPrimitive.channel(8),
+            tile=(32, 32, 64),
+            core=(4, 8, 8),
+        )
+        nest = LoopNest(layer, case_study_hardware(), mapping)
+        assert nest.utilization() == pytest.approx(1.0)
+
+
+class TestValidity:
+    def test_case_study_mapping_valid(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.is_valid(), nest.validity_errors()
+
+    def test_o_l1_overflow_rejected(self):
+        mapping = make_mapping(core=(32, 32, 8))  # 1024 pixels of psums
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        assert any("O-L1" in e for e in nest.validity_errors())
+
+    def test_oversubscribed_package_rejected(self):
+        mapping = make_mapping(pkg=SpatialPrimitive.channel(8))
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        assert any("package partition" in e for e in nest.validity_errors())
+
+    def test_oversubscribed_chiplet_rejected(self):
+        mapping = make_mapping(chip=SpatialPrimitive.channel(16))
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        assert any("chiplet partition" in e for e in nest.validity_errors())
+
+    def test_partial_occupancy_legal_with_active_counts(self):
+        mapping = make_mapping(pkg=SpatialPrimitive.channel(2))
+        nest = LoopNest(common_layer(), case_study_hardware(), mapping)
+        assert nest.is_valid(), nest.validity_errors()
+        assert nest.active_chiplets == 2
+        assert nest.active_cores == 8
+
+    def test_channel_split_beyond_channels_rejected(self):
+        thin = ConvLayer("thin", h=56, w=56, ci=8, co=2, kh=3, kw=3, padding=1)
+        mapping = make_mapping()  # C4 package on a 2-channel layer
+        nest = LoopNest(thin, case_study_hardware(), mapping)
+        assert any("channels" in e for e in nest.validity_errors())
+
+    def test_grid_beyond_plane_rejected(self):
+        tiny = ConvLayer("tiny", h=3, w=3, ci=64, co=64, kh=3, kw=3, padding=1)
+        mapping = make_mapping(
+            pkg=SpatialPrimitive.plane(PlanarGrid(4, 1)), tile=(1, 3, 64)
+        )
+        nest = LoopNest(tiny, case_study_hardware(), mapping)
+        assert any("plane" in e for e in nest.validity_errors())
+
+    def test_o_l1_requirement_formula(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        assert nest.o_l1_required_bytes() == 8 * 8 * 8 * 3  # 24-bit psums
+
+    def test_describe_mentions_block_and_loops(self):
+        nest = LoopNest(common_layer(), case_study_hardware(), make_mapping())
+        text = nest.describe()
+        assert "block[8x8x8]" in text and "C1:" in text

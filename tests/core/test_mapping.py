@@ -1,0 +1,106 @@
+"""Tests for the Mapping dataclass and its structural rules."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+
+
+def tp(h=8, w=8, co=8):
+    return TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, h, w, co)
+
+
+class TestMappingRules:
+    def test_valid_mapping(self):
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=tp(28, 28, 64),
+            chiplet_spatial=SpatialPrimitive.plane(PlanarGrid(2, 4)),
+            chiplet_temporal=tp(),
+            rotation=RotationKind.ACTIVATIONS,
+        )
+        assert mapping.spatial_combo == ("C", "P")
+
+    def test_hybrid_rejected_at_package(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                package_spatial=SpatialPrimitive.hybrid(2, PlanarGrid(1, 2)),
+                package_temporal=tp(),
+                chiplet_spatial=SpatialPrimitive.channel(8),
+                chiplet_temporal=tp(),
+            )
+
+    def test_activation_rotation_needs_c_package(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                package_spatial=SpatialPrimitive.plane(PlanarGrid(2, 2)),
+                package_temporal=tp(),
+                chiplet_spatial=SpatialPrimitive.channel(8),
+                chiplet_temporal=tp(),
+                rotation=RotationKind.ACTIVATIONS,
+            )
+
+    def test_weight_rotation_needs_p_package(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                package_spatial=SpatialPrimitive.channel(4),
+                package_temporal=tp(),
+                chiplet_spatial=SpatialPrimitive.channel(8),
+                chiplet_temporal=tp(),
+                rotation=RotationKind.WEIGHTS,
+            )
+
+    def test_with_rotation_copy(self):
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=tp(),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=tp(),
+        )
+        rotated = mapping.with_rotation(RotationKind.ACTIVATIONS)
+        assert rotated.rotation is RotationKind.ACTIVATIONS
+        assert mapping.rotation is RotationKind.NONE
+
+    def test_temporal_combo(self):
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=TemporalPrimitive(LoopOrder.PLANE_PRIORITY, 8, 8, 8),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=tp(),
+        )
+        assert mapping.temporal_combo == (
+            LoopOrder.PLANE_PRIORITY,
+            LoopOrder.CHANNEL_PRIORITY,
+        )
+
+    def test_describe_is_complete(self):
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=tp(28, 28, 64),
+            chiplet_spatial=SpatialPrimitive.plane(PlanarGrid(2, 4)),
+            chiplet_temporal=tp(),
+            rotation=RotationKind.ACTIVATIONS,
+        )
+        text = mapping.describe()
+        assert "C4" in text and "P2x4" in text and "rot=activations" in text
+
+    def test_hashable_for_dedup(self):
+        a = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=tp(),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=tp(),
+        )
+        b = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=tp(),
+            chiplet_spatial=SpatialPrimitive.channel(8),
+            chiplet_temporal=tp(),
+        )
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,161 @@
+"""Tests for planar partition patterns and halo analysis (Figures 7-8)."""
+
+import pytest
+
+from repro.core.partition import (
+    PlanarGrid,
+    conflict_elements,
+    factor_grids,
+    halo_redundancy_ratio,
+    max_conflict_degree,
+    preferred_grid,
+    tile_input_elements,
+    unique_input_elements,
+)
+from repro.workloads.layer import ConvLayer
+
+
+def resnet_conv1(resolution=512):
+    return ConvLayer(
+        "conv1", h=resolution, w=resolution, ci=3, co=64, kh=7, kw=7, stride=2, padding=3
+    )
+
+
+def vgg_conv(resolution=512):
+    return ConvLayer(
+        "conv", h=resolution, w=resolution, ci=64, co=64, kh=3, kw=3, stride=1, padding=1
+    )
+
+
+class TestPlanarGrid:
+    def test_pattern_classification(self):
+        assert PlanarGrid(2, 2).is_square
+        assert PlanarGrid(1, 4).is_stripe
+        assert not PlanarGrid(2, 4).is_square
+        assert not PlanarGrid(1, 1).is_stripe
+
+    def test_aspect_ratio(self):
+        assert PlanarGrid(2, 8).aspect_ratio() == 4.0
+        assert PlanarGrid(3, 3).aspect_ratio() == 1.0
+
+    def test_tiles_cover_plane_exactly(self):
+        for grid in (PlanarGrid(2, 2), PlanarGrid(3, 5), PlanarGrid(7, 1)):
+            for ho, wo in ((56, 56), (55, 13), (7, 7)):
+                total = sum(tr * tc for tr, tc in grid.tiles(ho, wo))
+                assert total == ho * wo
+
+    def test_tile_shape_is_ceil(self):
+        assert PlanarGrid(4, 4).tile_shape(55, 55) == (14, 14)
+
+    def test_invalid_grid_raises(self):
+        with pytest.raises(ValueError):
+            PlanarGrid(0, 2)
+
+
+class TestFactorGrids:
+    def test_all_factorizations(self):
+        grids = factor_grids(8)
+        assert {(g.rows, g.cols) for g in grids} == {(1, 8), (2, 4), (4, 2), (8, 1)}
+
+    def test_aspect_cap(self):
+        grids = factor_grids(16, max_aspect=4.0)
+        assert all(g.aspect_ratio() <= 4.0 for g in grids)
+        assert PlanarGrid(4, 4) in grids
+
+    def test_invalid_ways_raises(self):
+        with pytest.raises(ValueError):
+            factor_grids(0)
+
+
+class TestHaloRedundancy:
+    def test_single_tile_no_redundancy(self):
+        assert halo_redundancy_ratio(vgg_conv(), PlanarGrid(1, 1)) == 0.0
+
+    def test_no_halo_when_kernel_equals_stride(self):
+        layer = ConvLayer("pool", h=64, w=64, ci=8, co=8, kh=2, kw=2, stride=2)
+        assert halo_redundancy_ratio(layer, PlanarGrid(4, 4)) == pytest.approx(0.0)
+
+    def test_redundancy_grows_with_partitions(self):
+        layer = resnet_conv1()
+        ratios = [
+            halo_redundancy_ratio(layer, PlanarGrid(n, n)) for n in (2, 4, 8, 16)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_square_beats_stripe_at_same_tile_count(self):
+        # "the square pattern enjoys less redundant access compared to the
+        # rectangle (stripe) one"
+        layer = resnet_conv1()
+        square = halo_redundancy_ratio(layer, PlanarGrid(4, 4))
+        stripe = halo_redundancy_ratio(layer, PlanarGrid(1, 16))
+        assert square < stripe
+
+    def test_gap_narrows_with_larger_tiles(self):
+        # "the gap between them tends to be smaller when the tile size is
+        # getting larger"
+        layer = resnet_conv1()
+        gap_fine = halo_redundancy_ratio(layer, PlanarGrid(8, 32)) - (
+            halo_redundancy_ratio(layer, PlanarGrid(16, 16))
+        )
+        gap_coarse = halo_redundancy_ratio(layer, PlanarGrid(2, 8)) - (
+            halo_redundancy_ratio(layer, PlanarGrid(4, 4))
+        )
+        assert gap_coarse < gap_fine
+
+    def test_7x7_worse_than_3x3(self):
+        # "Compared to the 7x7 convolution, the 3x3 convolution in VGG-16
+        # presents lower extra access"
+        grid = PlanarGrid(8, 8)
+        assert halo_redundancy_ratio(resnet_conv1(), grid) > halo_redundancy_ratio(
+            vgg_conv(), grid
+        )
+
+    def test_fine_tiles_reach_paper_scale(self):
+        # The paper reports up to 650% extra access for ResNet-50 conv1.
+        layer = resnet_conv1()
+        fine = halo_redundancy_ratio(layer, PlanarGrid(256, 64))  # 1x4 tiles
+        assert fine > 4.0
+
+    def test_tile_input_sums_per_consumer(self):
+        layer = vgg_conv(64)
+        assert tile_input_elements(layer, PlanarGrid(1, 1)) == unique_input_elements(
+            layer
+        )
+        assert tile_input_elements(layer, PlanarGrid(2, 2)) > unique_input_elements(
+            layer
+        )
+
+
+class TestConflict:
+    def test_square_conflict_degree_4(self):
+        # Figure 8(a): the central halo is needed by all four chiplets.
+        assert max_conflict_degree(resnet_conv1(), PlanarGrid(2, 2)) == 4
+
+    def test_rectangle_conflict_degree_2(self):
+        # Figure 8(b): at most two chiplets share any halo element.
+        assert max_conflict_degree(resnet_conv1(), PlanarGrid(1, 4)) == 2
+
+    def test_no_conflict_without_halo(self):
+        layer = ConvLayer("pool", h=64, w=64, ci=8, co=8, kh=2, kw=2, stride=2)
+        assert max_conflict_degree(layer, PlanarGrid(2, 2)) == 1
+
+    def test_conflict_elements_positive_with_halo(self):
+        assert conflict_elements(resnet_conv1(), PlanarGrid(2, 2)) > 0
+
+    def test_conflict_elements_zero_for_single_tile(self):
+        assert conflict_elements(resnet_conv1(), PlanarGrid(1, 1)) == 0
+
+
+class TestPreferredGrid:
+    def test_prefers_square_for_redundancy(self):
+        grid = preferred_grid(vgg_conv(), 16)
+        assert grid.is_square
+
+    def test_conflict_cap_forces_stripe(self):
+        # Package level: bound the DRAM conflict degree at 2 (Figure 8).
+        grid = preferred_grid(resnet_conv1(), 4, max_conflict=2)
+        assert max_conflict_degree(resnet_conv1(), grid) <= 2
+
+    def test_returns_factorization(self):
+        grid = preferred_grid(vgg_conv(), 6)
+        assert grid.ways == 6

@@ -1,0 +1,85 @@
+"""Tests for the pre-design flow's performance budget."""
+
+import pytest
+
+from repro.core.baton import NNBaton
+from repro.core.dse import DesignSpace, best_point, granularity_study
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def tiny_model():
+    return {
+        "tiny": [
+            ConvLayer("c1", h=28, w=28, ci=32, co=64, kh=3, kw=3, stride=1, padding=1),
+        ]
+    }
+
+
+SMALL_SPACE = DesignSpace(
+    vector_sizes=(4, 8),
+    lanes=(4, 8),
+    cores=(2, 4),
+    chiplets=(2, 4),
+    o_l1_per_lane_bytes=(96,),
+    a_l1_kb=(1,),
+    w_l1_kb=(18,),
+    a_l2_kb=(64,),
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return granularity_study(
+        tiny_model(), total_macs=256, space=SMALL_SPACE, profile=SearchProfile.MINIMAL
+    )
+
+
+class TestPerformanceBudget:
+    def test_budget_excludes_slow_points(self, points):
+        runtimes = sorted(
+            p.runtime_s("tiny") for p in points if p.valid
+        )
+        # Budget below the fastest point: nothing qualifies.
+        assert (
+            best_point(points, "tiny", max_runtime_s=runtimes[0] / 2) is None
+        )
+
+    def test_budget_admits_fast_points(self, points):
+        runtimes = sorted(p.runtime_s("tiny") for p in points if p.valid)
+        budget = runtimes[0] * 1.001
+        chosen = best_point(points, "tiny", max_runtime_s=budget)
+        assert chosen is not None
+        assert chosen.runtime_s("tiny") <= budget
+
+    def test_budget_changes_recommendation(self, points):
+        free = best_point(points, "tiny", objective="energy")
+        runtimes = sorted(p.runtime_s("tiny") for p in points if p.valid)
+        tight = best_point(
+            points, "tiny", objective="energy", max_runtime_s=runtimes[0] * 1.001
+        )
+        # Under a tight budget the pick is the fastest-feasible, which may
+        # cost more energy than the unconstrained optimum.
+        assert tight.energy_pj["tiny"] >= free.energy_pj["tiny"] - 1e-6
+
+    def test_pre_design_accepts_budget(self):
+        baton = NNBaton()
+        result = baton.pre_design(
+            tiny_model(),
+            required_macs=256,
+            space=SMALL_SPACE,
+            profile=SearchProfile.MINIMAL,
+            max_runtime_s=1.0,  # generous: everything qualifies
+        )
+        assert result.recommended is not None
+
+    def test_pre_design_impossible_budget(self):
+        baton = NNBaton()
+        result = baton.pre_design(
+            tiny_model(),
+            required_macs=256,
+            space=SMALL_SPACE,
+            profile=SearchProfile.MINIMAL,
+            max_runtime_s=1e-12,
+        )
+        assert result.recommended is None

@@ -1,0 +1,77 @@
+"""Tests for the spatial / temporal / rotating primitives."""
+
+import pytest
+
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    PartitionDim,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+
+
+class TestSpatialPrimitive:
+    def test_channel_partition(self):
+        spatial = SpatialPrimitive.channel(4)
+        assert spatial.dim is PartitionDim.CHANNEL
+        assert spatial.ways == 4
+        assert spatial.grid.ways == 1
+
+    def test_plane_partition(self):
+        spatial = SpatialPrimitive.plane(PlanarGrid(2, 2))
+        assert spatial.dim is PartitionDim.PLANE
+        assert spatial.ways == 4
+        assert spatial.co_ways == 1
+
+    def test_hybrid_partition(self):
+        spatial = SpatialPrimitive.hybrid(2, PlanarGrid(2, 2))
+        assert spatial.dim is PartitionDim.HYBRID
+        assert spatial.ways == 8
+
+    def test_channel_must_not_split_plane(self):
+        with pytest.raises(ValueError):
+            SpatialPrimitive(PartitionDim.CHANNEL, co_ways=4, grid=PlanarGrid(2, 1))
+
+    def test_plane_must_not_split_channels(self):
+        with pytest.raises(ValueError):
+            SpatialPrimitive(PartitionDim.PLANE, co_ways=2, grid=PlanarGrid(2, 1))
+
+    def test_hybrid_must_split_both(self):
+        with pytest.raises(ValueError):
+            SpatialPrimitive.hybrid(1, PlanarGrid(2, 2))
+        with pytest.raises(ValueError):
+            SpatialPrimitive.hybrid(4, PlanarGrid(1, 1))
+
+    def test_nonpositive_ways_raise(self):
+        with pytest.raises(ValueError):
+            SpatialPrimitive.channel(0)
+
+    def test_describe(self):
+        assert SpatialPrimitive.channel(4).describe() == "C4"
+        assert SpatialPrimitive.plane(PlanarGrid(2, 2)).describe() == "P2x2"
+        assert "H(" in SpatialPrimitive.hybrid(2, PlanarGrid(1, 4)).describe()
+
+
+class TestTemporalPrimitive:
+    def test_fields(self):
+        temporal = TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 64)
+        assert temporal.tile_h == 8
+        assert temporal.order is LoopOrder.CHANNEL_PRIORITY
+
+    @pytest.mark.parametrize("field", ["tile_h", "tile_w", "tile_co"])
+    def test_nonpositive_tiles_raise(self, field):
+        kwargs = {"order": LoopOrder.PLANE_PRIORITY, "tile_h": 8, "tile_w": 8, "tile_co": 8}
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            TemporalPrimitive(**kwargs)
+
+    def test_describe(self):
+        temporal = TemporalPrimitive(LoopOrder.PLANE_PRIORITY, 4, 8, 16)
+        assert temporal.describe() == "plane[4x8x16]"
+
+
+class TestRotationKind:
+    def test_three_kinds(self):
+        assert {r.value for r in RotationKind} == {"none", "activations", "weights"}

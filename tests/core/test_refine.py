@@ -1,0 +1,72 @@
+"""Tests for the DES-refined DSE re-ranking."""
+
+import pytest
+
+from repro.core.dse import DesignSpace, granularity_study, refine_with_simulator
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def tiny_model():
+    return {
+        "tiny": [
+            ConvLayer("c1", h=28, w=28, ci=32, co=64, kh=3, kw=3, stride=1, padding=1),
+        ]
+    }
+
+
+SMALL_SPACE = DesignSpace(
+    vector_sizes=(4, 8),
+    lanes=(4, 8),
+    cores=(2, 4),
+    chiplets=(2, 4),
+    o_l1_per_lane_bytes=(96,),
+    a_l1_kb=(1,),
+    w_l1_kb=(18,),
+    a_l2_kb=(64,),
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return granularity_study(
+        tiny_model(), total_macs=256, space=SMALL_SPACE, profile=SearchProfile.MINIMAL
+    )
+
+
+class TestRefineWithSimulator:
+    def test_returns_top_k_sorted_by_simulated_edp(self, points):
+        refined = refine_with_simulator(
+            points, tiny_model(), "tiny", top_k=3, profile=SearchProfile.MINIMAL
+        )
+        assert len(refined) == 3
+        edps = [p.edp("tiny") for p in refined]
+        assert edps == sorted(edps)
+
+    def test_simulated_cycles_at_least_analytical(self, points):
+        refined = refine_with_simulator(
+            points, tiny_model(), "tiny", top_k=3, profile=SearchProfile.MINIMAL
+        )
+        analytical = {p.label: p.cycles["tiny"] for p in points if p.valid}
+        for point in refined:
+            assert point.cycles["tiny"] >= analytical[point.label]
+
+    def test_energy_untouched(self, points):
+        refined = refine_with_simulator(
+            points, tiny_model(), "tiny", top_k=2, profile=SearchProfile.MINIMAL
+        )
+        original = {p.label: p.energy_pj["tiny"] for p in points if p.valid}
+        for point in refined:
+            assert point.energy_pj["tiny"] == original[point.label]
+
+    def test_top_k_larger_than_pool_ok(self, points):
+        valid = sum(1 for p in points if p.valid)
+        refined = refine_with_simulator(
+            points, tiny_model(), "tiny", top_k=valid + 10,
+            profile=SearchProfile.MINIMAL,
+        )
+        assert len(refined) == valid
+
+    def test_invalid_top_k_rejected(self, points):
+        with pytest.raises(ValueError):
+            refine_with_simulator(points, tiny_model(), "tiny", top_k=0)

@@ -1,0 +1,88 @@
+"""Tests for mapping serialization and the compiler report."""
+
+import json
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.core.serialize import (
+    compiler_report,
+    layer_from_dict,
+    layer_to_dict,
+    mapping_from_dict,
+    mapping_to_dict,
+)
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def sample_mapping():
+    return Mapping(
+        package_spatial=SpatialPrimitive.channel(4),
+        package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 28, 28, 64),
+        chiplet_spatial=SpatialPrimitive.hybrid(2, PlanarGrid(2, 2)),
+        chiplet_temporal=TemporalPrimitive(LoopOrder.PLANE_PRIORITY, 8, 8, 8),
+        rotation=RotationKind.ACTIVATIONS,
+    )
+
+
+def sample_layer():
+    return ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+class TestMappingRoundTrip:
+    def test_round_trip_identity(self):
+        mapping = sample_mapping()
+        assert mapping_from_dict(mapping_to_dict(mapping)) == mapping
+
+    def test_json_serializable(self):
+        text = json.dumps(mapping_to_dict(sample_mapping()))
+        assert mapping_from_dict(json.loads(text)) == sample_mapping()
+
+    def test_layer_round_trip(self):
+        layer = sample_layer()
+        assert layer_from_dict(layer_to_dict(layer)) == layer
+
+    def test_grouped_layer_round_trip(self):
+        dw = ConvLayer("dw", h=28, w=28, ci=32, co=32, kh=3, kw=3, padding=1, groups=32)
+        assert layer_from_dict(layer_to_dict(dw)) == dw
+
+    def test_invalid_rotation_rejected_on_load(self):
+        data = mapping_to_dict(sample_mapping())
+        data["rotation"] = "weights"  # incompatible with a C-type package
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+
+class TestCompilerReport:
+    def test_report_structure(self):
+        hw = case_study_hardware()
+        layer = sample_layer()
+        mapping = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer).mapping
+        report = compiler_report(layer, hw, mapping)
+        assert report["layer"]["name"] == "c"
+        assert len(report["loop_nest"]["loops_inner_to_outer"]) == 6
+        assert report["loop_nest"]["core_tile"][2] <= hw.lanes
+        assert report["sharing"]["ring_rotation"] == mapping.rotation.value
+
+    def test_report_is_json_serializable(self):
+        hw = case_study_hardware()
+        layer = sample_layer()
+        mapping = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer).mapping
+        json.dumps(compiler_report(layer, hw, mapping))
+
+    def test_sharing_modes_reflect_partition(self):
+        hw = case_study_hardware()
+        report = compiler_report(sample_layer(), hw, sample_mapping())
+        # H(C2 x P2x2): pool groups of 4 cores, 2 multicast groups.
+        assert report["sharing"]["w_l1_pool_group_size"] == 4
+        assert report["sharing"]["bus_multicast_groups"] == 2

@@ -1,0 +1,102 @@
+"""Unit tests for mapping-space internals (tile candidates, Cc0 logic)."""
+
+import pytest
+
+from repro.arch.config import KB, MemoryConfig, build_hardware, case_study_hardware
+from repro.core.space import MappingSpace, SearchProfile, _dedupe, _divisors
+from repro.workloads.layer import ConvLayer
+
+
+class TestHelpers:
+    def test_divisors(self):
+        assert _divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert _divisors(1) == [1]
+
+    def test_dedupe_preserves_order(self):
+        assert _dedupe([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+
+class TestCoreTiles:
+    def test_tiles_respect_o_l1_budget(self):
+        hw = case_study_hardware()  # 1.5 KB O-L1, 8 lanes -> 64 pixels max
+        space = MappingSpace(hw, SearchProfile.EXHAUSTIVE)
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        for tile_h, tile_w in space.core_tiles(layer, 56, 56):
+            assert tile_h * tile_w <= 64
+
+    def test_tiles_clamped_to_share(self):
+        hw = case_study_hardware()
+        space = MappingSpace(hw, SearchProfile.EXHAUSTIVE)
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        for tile_h, tile_w in space.core_tiles(layer, 4, 3):
+            assert tile_h <= 4 and tile_w <= 3
+
+    def test_cc0_tile_present_for_large_kernel(self):
+        # A 7x7-stride-2 layer with an 800 B A-L1: the Cc0-fitting tile must
+        # be offered so the mapper can dodge the kernel-sweep penalty.
+        hw = case_study_hardware()
+        space = MappingSpace(hw, SearchProfile.FAST)
+        layer = ConvLayer("lk", h=224, w=224, ci=3, co=64, kh=7, kw=7, stride=2, padding=3)
+        tiles = space.core_tiles(layer, 112, 112)
+        chunk = min(hw.vector_size, layer.ci)
+        assert any(
+            layer.input_rows_for(h) * layer.input_cols_for(w) * chunk
+            <= hw.memory.a_l1_bytes
+            for h, w in tiles
+        ), tiles
+
+    def test_cc0_none_when_even_1x1_overflows(self):
+        tiny = build_hardware(
+            4, 8, 8, 8,
+            memory=MemoryConfig(
+                a_l1_bytes=16, w_l1_bytes=18 * KB, o_l1_bytes=1536, a_l2_bytes=64 * KB
+            ),
+        )
+        space = MappingSpace(tiny, SearchProfile.FAST)
+        layer = ConvLayer("lk", h=224, w=224, ci=64, co=64, kh=7, kw=7, stride=2, padding=3)
+        assert space._cc0_square_tile(layer, 64) is None
+
+    def test_pointwise_plane_collapses_tiles(self):
+        hw = case_study_hardware()
+        space = MappingSpace(hw, SearchProfile.EXHAUSTIVE)
+        fc = ConvLayer("fc", h=1, w=1, ci=4096, co=1000, kh=1, kw=1)
+        tiles = space.core_tiles(fc, 1, 1)
+        assert tiles == [(1, 1)]
+
+
+class TestNonSquareLayers:
+    def test_rectangular_plane_enumerates(self):
+        hw = case_study_hardware()
+        layer = ConvLayer("rect", h=30, w=90, ci=32, co=64, kh=3, kw=3, padding=1)
+        space = MappingSpace(hw, SearchProfile.FAST)
+        candidates = space.unique_candidates(layer)
+        assert candidates
+        from repro.core.cost import evaluate_mapping, InvalidMappingError
+
+        evaluated = 0
+        for mapping in candidates:
+            try:
+                report = evaluate_mapping(layer, hw, mapping)
+            except InvalidMappingError:
+                continue
+            evaluated += 1
+            assert report.energy_pj > 0
+        assert evaluated > 0
+
+    def test_valid_padding_zero_layer(self):
+        hw = case_study_hardware()
+        layer = ConvLayer("valid", h=32, w=32, ci=32, co=64, kh=5, kw=5, padding=0)
+        assert (layer.ho, layer.wo) == (28, 28)
+        space = MappingSpace(hw, SearchProfile.FAST)
+        from repro.core.mapper import Mapper
+
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+    def test_tall_stripe_plane(self):
+        hw = case_study_hardware()
+        layer = ConvLayer("tall", h=128, w=4, ci=16, co=32, kh=3, kw=3, padding=1)
+        from repro.core.mapper import Mapper
+
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert result.best.utilization > 0

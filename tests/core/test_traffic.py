@@ -1,0 +1,164 @@
+"""Tests for the hierarchical traffic assembly."""
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.core.traffic import (
+    compute_traffic,
+    plane_groups_per_chiplet,
+    weight_group_size,
+    weight_groups_per_chiplet,
+)
+from repro.workloads.layer import ConvLayer
+
+
+def layer():
+    return ConvLayer("t", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+def tp(order, h, w, co):
+    return TemporalPrimitive(order, h, w, co)
+
+
+def mapping(pkg, chip, rotation=RotationKind.NONE, tile=(56, 56, 64), core=(8, 8)):
+    return Mapping(
+        package_spatial=pkg,
+        package_temporal=tp(LoopOrder.CHANNEL_PRIORITY, *tile),
+        chiplet_spatial=chip,
+        chiplet_temporal=tp(LoopOrder.CHANNEL_PRIORITY, core[0], core[1], 8),
+        rotation=rotation,
+    )
+
+
+def traffic_for(m):
+    nest = LoopNest(layer(), case_study_hardware(), m)
+    assert nest.is_valid(), nest.validity_errors()
+    report, _ = compute_traffic(nest)
+    return report
+
+
+class TestSharingModes:
+    def test_weight_group_size_is_plane_ways(self):
+        assert weight_group_size(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.plane(PlanarGrid(2, 4)))) == 8
+        assert weight_group_size(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8))) == 1
+        assert weight_group_size(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.hybrid(2, PlanarGrid(2, 2)))
+        ) == 4
+
+    def test_weight_groups_is_channel_ways(self):
+        assert weight_groups_per_chiplet(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8))
+        ) == 8
+        assert weight_groups_per_chiplet(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.plane(PlanarGrid(2, 4)))
+        ) == 1
+
+    def test_plane_groups(self):
+        assert plane_groups_per_chiplet(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8))
+        ) == 1
+        assert plane_groups_per_chiplet(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.plane(PlanarGrid(2, 4)))
+        ) == 8
+
+
+class TestRotation:
+    def test_activation_rotation_trades_dram_for_ring(self):
+        pkg = SpatialPrimitive.channel(4)
+        chip = SpatialPrimitive.channel(8)
+        plain = traffic_for(mapping(pkg, chip, RotationKind.NONE))
+        rotated = traffic_for(mapping(pkg, chip, RotationKind.ACTIVATIONS))
+        # DRAM input shrinks by exactly N_P; the ring carries N_P - 1 hops.
+        assert plain.dram_input_bits == pytest.approx(4 * rotated.dram_input_bits)
+        assert rotated.d2d_bit_hops == pytest.approx(3 * rotated.dram_input_bits)
+        assert plain.d2d_bit_hops == 0.0
+
+    def test_weight_rotation_trades_dram_for_ring(self):
+        pkg = SpatialPrimitive.plane(PlanarGrid(2, 2))
+        chip = SpatialPrimitive.channel(8)
+        plain = traffic_for(mapping(pkg, chip, RotationKind.NONE, tile=(28, 28, 256)))
+        rotated = traffic_for(mapping(pkg, chip, RotationKind.WEIGHTS, tile=(28, 28, 256)))
+        assert plain.dram_weight_bits == pytest.approx(4 * rotated.dram_weight_bits)
+        assert rotated.d2d_bit_hops == pytest.approx(3 * rotated.dram_weight_bits)
+
+    def test_rotation_is_net_win_under_table_i(self):
+        # One DRAM access + (N_P - 1) ring hops beats N_P DRAM accesses.
+        pkg = SpatialPrimitive.channel(4)
+        chip = SpatialPrimitive.channel(8)
+        hw = case_study_hardware()
+        plain = traffic_for(mapping(pkg, chip, RotationKind.NONE))
+        rotated = traffic_for(mapping(pkg, chip, RotationKind.ACTIVATIONS))
+        tech = hw.tech
+        plain_pj = plain.dram_input_bits * tech.dram_energy_pj_per_bit
+        rotated_pj = (
+            rotated.dram_input_bits * tech.dram_energy_pj_per_bit
+            + rotated.d2d_bit_hops * tech.d2d_energy_pj_per_bit
+        )
+        assert rotated_pj < plain_pj
+
+
+class TestInvariants:
+    def test_output_traffic_exact(self):
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        expected = layer().output_elements * 8
+        assert report.dram_output_bits == expected
+        assert report.o_l2_write_bits == expected
+        assert report.o_l2_read_bits == expected
+
+    def test_dram_weight_at_least_unique_weights(self):
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        assert report.dram_weight_bits >= layer().weight_elements * 8
+
+    def test_rf_traffic_formula(self):
+        hw = case_study_hardware()
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        assert report.rf_rmw_bits == pytest.approx(layer().macs / hw.vector_size * 24)
+        assert report.rf_drain_bits == layer().output_elements * 24
+
+    def test_a_l1_write_covers_all_cores(self):
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        # 32 cores each fill their own A-L1; the multicast bus reads L2 once
+        # per chiplet (C-type: one plane group).
+        assert report.a_l1_write_bits == pytest.approx(report.a_l2_read_bits * 8)
+
+    def test_plane_partition_multiplies_l2_reads(self):
+        c_type = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        p_type = traffic_for(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.plane(PlanarGrid(2, 4)))
+        )
+        # P-type cores read distinct data: one L2 stream per plane tile.
+        assert p_type.a_l2_read_bits > c_type.a_l2_read_bits / 2
+
+    def test_all_fields_non_negative(self):
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        for name in report.__dataclass_fields__:
+            assert getattr(report, name) >= 0, name
+
+    def test_total_bits_sums_fields(self):
+        report = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        total = sum(
+            getattr(report, name) for name in report.__dataclass_fields__
+        )
+        assert report.total_bits == pytest.approx(total)
+
+
+class TestWeightPoolSharing:
+    def test_plane_partition_fills_weights_once_per_chiplet(self):
+        # P-type chiplet: all cores share the same weights via the merged
+        # W-L1 pool -- fill is counted once, not 8 times.
+        c_type = traffic_for(mapping(SpatialPrimitive.channel(4), SpatialPrimitive.channel(8)))
+        p_type = traffic_for(
+            mapping(SpatialPrimitive.channel(4), SpatialPrimitive.plane(PlanarGrid(2, 4)))
+        )
+        # The same unique weights flow either way; the pool avoids any
+        # per-core duplication, so P-type never moves more weight bits.
+        assert p_type.dram_weight_bits <= c_type.dram_weight_bits

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hw_spec_parsing(self):
+        args = build_parser().parse_args(["map", "alexnet", "--hw", "2-4-8-8"])
+        assert args.hw.config_tuple() == (2, 4, 8, 8)
+
+    def test_case_study_default(self):
+        args = build_parser().parse_args(["map", "alexnet"])
+        assert args.hw.config_tuple() == (4, 8, 8, 8)
+
+    def test_bad_hw_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "alexnet", "--hw", "4x8"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "mobilenetv2" in out and "GMACs" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "8.750" in out and "DRAM" in out
+
+    def test_map_minimal_profile(self, capsys):
+        assert main(["map", "alexnet", "--profile", "minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "Total:" in out and "EDP" in out
+
+    def test_map_json_export(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "map",
+                    "alexnet",
+                    "--profile",
+                    "minimal",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(out_path.read_text())
+        assert data["model"] == "alexnet"
+        assert len(data["layers"]) == 8
+        assert data["layers"][0]["mapping"]["rotation"] in (
+            "none",
+            "activations",
+            "weights",
+        )
+
+    def test_compare(self, capsys):
+        assert main(["compare", "alexnet", "--profile", "minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "Simba baseline" in out and "Energy saving" in out
+
+    def test_explore(self, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "--macs",
+                    "512",
+                    "--models",
+                    "alexnet",
+                    "--stride",
+                    "24",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Recommended:" in out
+
+    def test_explore_impossible_budget(self, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "--macs",
+                    "512",
+                    "--models",
+                    "alexnet",
+                    "--area",
+                    "0.001",
+                    "--stride",
+                    "24",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "No design satisfies" in out

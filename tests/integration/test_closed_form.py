@@ -1,0 +1,175 @@
+"""Closed-form validation: hand-computed costs for degenerate machines.
+
+On a single-chiplet, single-core machine with buffers far larger than the
+workload, every C3P reload factor is 1 and the traffic collapses to
+closed-form expressions.  These tests pin the whole evaluation stack
+(loop nest -> C3P -> traffic -> energy) against numbers computed by hand.
+"""
+
+import pytest
+
+from repro.arch.config import KB, MemoryConfig, build_hardware
+from repro.core.cost import evaluate_mapping
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.primitives import (
+    LoopOrder,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.core.traffic import compute_traffic
+from repro.workloads.layer import ConvLayer
+
+
+def huge_memory():
+    return MemoryConfig(
+        a_l1_bytes=8 * 1024 * KB,
+        w_l1_bytes=8 * 1024 * KB,
+        o_l1_bytes=64 * KB,
+        a_l2_bytes=64 * 1024 * KB,
+    )
+
+
+def single_core_hw(lanes=8, vector=8):
+    return build_hardware(1, 1, lanes, vector, memory=huge_memory())
+
+
+def whole_layer_mapping(layer, lanes):
+    return Mapping(
+        package_spatial=SpatialPrimitive.channel(1),
+        package_temporal=TemporalPrimitive(
+            LoopOrder.CHANNEL_PRIORITY, layer.ho, layer.wo, layer.co
+        ),
+        chiplet_spatial=SpatialPrimitive.channel(1),
+        chiplet_temporal=TemporalPrimitive(
+            LoopOrder.CHANNEL_PRIORITY, layer.ho, layer.wo, lanes
+        ),
+    )
+
+
+class TestPointwiseClosedForm:
+    """A 1x1 convolution with one giant core: everything moves exactly once."""
+
+    LAYER = ConvLayer("pw", h=16, w=16, ci=64, co=64, kh=1, kw=1)
+
+    def test_dram_traffic_exact(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        assert nest.is_valid(), nest.validity_errors()
+        traffic, _ = compute_traffic(nest)
+        assert traffic.dram_input_bits == 16 * 16 * 64 * 8
+        assert traffic.dram_weight_bits == 64 * 64 * 8
+        assert traffic.dram_output_bits == 16 * 16 * 64 * 8
+
+    def test_cycles_exact(self):
+        # 16x16 pixels, 1 kernel position, ceil(64/8)=8 ci chunks per block,
+        # 8 channel blocks (co=64, L=8).
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        assert nest.block_cycles() == 16 * 16 * 8
+        assert nest.total_cycles() == 16 * 16 * 8 * 8
+        assert nest.utilization() == pytest.approx(1.0)
+
+    def test_rf_traffic_exact(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        traffic, _ = compute_traffic(nest)
+        macs = self.LAYER.macs
+        assert traffic.rf_rmw_bits == pytest.approx(macs / 8 * 24)
+        assert traffic.rf_drain_bits == 16 * 16 * 64 * 24
+
+    def test_mac_energy_exact(self):
+        hw = single_core_hw()
+        report = evaluate_mapping(
+            self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes)
+        )
+        assert report.energy.mac_pj == pytest.approx(self.LAYER.macs * 0.024)
+
+    def test_dram_energy_exact(self):
+        hw = single_core_hw()
+        report = evaluate_mapping(
+            self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes)
+        )
+        total_bits = (16 * 16 * 64 * 2 + 64 * 64) * 8
+        assert report.energy.dram_pj == pytest.approx(total_bits * 8.75)
+
+
+class Test3x3ClosedForm:
+    """A 3x3 same-padding convolution, one giant core."""
+
+    LAYER = ConvLayer("c3", h=16, w=16, ci=32, co=32, kh=3, kw=3, padding=1)
+
+    def test_input_window_counts_padding(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        traffic, _ = compute_traffic(nest)
+        # One planar tile covering the whole plane: the padded 18x18 window.
+        assert traffic.dram_input_bits == 18 * 18 * 32 * 8
+
+    def test_w_l1_reads_once_per_block(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        traffic, _ = compute_traffic(nest)
+        # 4 channel blocks (co=32, L=8); each block reads its own
+        # 3*3*32*8 weights once from W-L1.
+        assert traffic.w_l1_read_bits == 4 * (3 * 3 * 32 * 8) * 8
+
+    def test_cycles_exact(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        # 16*16 pixels * 9 kernel positions * 4 ci chunks * 4 co blocks.
+        assert nest.total_cycles() == 16 * 16 * 9 * 4 * 4
+
+
+class TestDepthwiseClosedForm:
+    """A depthwise layer: one input channel per lane."""
+
+    LAYER = ConvLayer(
+        "dw", h=16, w=16, ci=32, co=32, kh=3, kw=3, padding=1, groups=32
+    )
+
+    def test_weights_are_per_group(self):
+        assert self.LAYER.weight_elements == 3 * 3 * 32
+
+    def test_dram_weight_traffic(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        traffic, _ = compute_traffic(nest)
+        assert traffic.dram_weight_bits == 3 * 3 * 32 * 8
+
+    def test_cycles_reflect_channel_serialization(self):
+        hw = single_core_hw()
+        nest = LoopNest(self.LAYER, hw, whole_layer_mapping(self.LAYER, hw.lanes))
+        # Per block: 8 output channels need 8 input channels = 1 chunk of P=8;
+        # 4 blocks cover co=32.
+        assert nest.total_cycles() == 16 * 16 * 9 * 1 * 4
+        # 9216 useful MACs per block over 2304 cycles x 64 MACs: 1/8 util.
+        assert nest.utilization() == pytest.approx(1 / 8)
+
+
+class TestFourChipletRotationClosedForm:
+    """Four chiplets, C-type split, rotation: exact DRAM / ring split."""
+
+    LAYER = ConvLayer("pw4", h=16, w=16, ci=64, co=256, kh=1, kw=1)
+
+    def test_rotation_arithmetic(self):
+        from repro.core.primitives import RotationKind
+
+        hw = build_hardware(4, 1, 8, 8, memory=huge_memory())
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(4),
+            package_temporal=TemporalPrimitive(
+                LoopOrder.CHANNEL_PRIORITY, 16, 16, 64
+            ),
+            chiplet_spatial=SpatialPrimitive.channel(1),
+            chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 16, 16, 8),
+            rotation=RotationKind.ACTIVATIONS,
+        )
+        nest = LoopNest(self.LAYER, hw, mapping)
+        assert nest.is_valid(), nest.validity_errors()
+        traffic, _ = compute_traffic(nest)
+        input_bits = 16 * 16 * 64 * 8
+        assert traffic.dram_input_bits == input_bits            # fetched once
+        assert traffic.d2d_bit_hops == input_bits * 3           # N_P - 1 hops
+        # Each chiplet fetches its distinct quarter of the weights.
+        assert traffic.dram_weight_bits == 64 * 256 * 8

@@ -1,0 +1,107 @@
+"""Integration tests: the public API exercised end to end."""
+
+import pytest
+
+import repro
+from repro import (
+    NNBaton,
+    SearchProfile,
+    case_study_hardware,
+    evaluate_simba_model,
+    get_model,
+    simulate_runtime,
+)
+from repro.core.dse import DesignSpace
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPostDesignFlow:
+    @pytest.fixture(scope="class")
+    def result(self):
+        baton = NNBaton(profile=SearchProfile.FAST)
+        layers = get_model("alexnet")
+        return baton.post_design(layers, case_study_hardware())
+
+    def test_maps_all_layers(self, result):
+        assert len(result.layers) == 8
+
+    def test_energy_in_plausible_range(self, result):
+        # AlexNet at 224 on the case-study machine: single-digit mJ.
+        assert 0.1 < result.energy_pj / 1e9 < 100
+
+    def test_runtime_in_plausible_range(self, result):
+        # ~1.1 GMACs on 2048 MACs at 500 MHz: around a millisecond.
+        assert 1e-4 < result.runtime_s() < 1e-1
+
+    def test_mapping_table_is_compiler_ready(self, result):
+        table = result.mapping_table()
+        assert len(table) == 8
+        for line in table:
+            assert "pkg[" in line and "chip[" in line and "rot=" in line
+
+    def test_distinct_layers_get_distinct_strategies(self, result):
+        # "NN-Baton provides a distinct mapping strategy layer-wise."
+        mappings = {r.mapping.describe() for r in result.layers}
+        assert len(mappings) > 1
+
+
+class TestBaselineComparison:
+    def test_nn_baton_beats_simba_on_alexnet(self):
+        hw = case_study_hardware()
+        layers = get_model("alexnet")
+        simba_energy, _, _ = evaluate_simba_model(layers, hw)
+        baton = NNBaton(profile=SearchProfile.FAST).post_design(layers, hw)
+        assert baton.energy_pj < simba_energy.total_pj
+
+
+class TestSimulatorAgreement:
+    def test_simulated_runtime_close_to_analytical(self):
+        # The DES adds pipeline fill and bandwidth stalls but should stay
+        # within 2x of the compute bound for the case-study machine.
+        hw = case_study_hardware()
+        baton = NNBaton(profile=SearchProfile.MINIMAL)
+        layers = get_model("alexnet", include_fc=False)
+        result = baton.post_design(layers, hw)
+        for layer_result in result.layers:
+            sim = simulate_runtime(layer_result.layer, hw, layer_result.mapping)
+            assert sim.compute_cycles <= sim.cycles < 2.5 * sim.compute_cycles
+
+
+class TestPreDesignFlow:
+    def test_recommends_valid_hardware(self):
+        baton = NNBaton()
+        space = DesignSpace(
+            vector_sizes=(8,),
+            lanes=(8,),
+            cores=(2, 4),
+            chiplets=(2, 4),
+            o_l1_per_lane_bytes=(96,),
+            a_l1_kb=(1,),
+            w_l1_kb=(18,),
+            a_l2_kb=(64,),
+        )
+        result = baton.pre_design(
+            {"alexnet": get_model("alexnet", include_fc=False)},
+            required_macs=512,
+            space=space,
+        )
+        assert result.recommended is not None
+        assert result.recommended.hw.total_macs == 512
+
+
+class TestResolutionScalingBehaviour:
+    def test_energy_grows_with_resolution(self):
+        hw = case_study_hardware()
+        baton = NNBaton(profile=SearchProfile.MINIMAL)
+        small = baton.post_design(get_model("darknet19", 224, include_fc=False), hw)
+        large = baton.post_design(get_model("darknet19", 512, include_fc=False), hw)
+        assert large.energy_pj > 3 * small.energy_pj
+        assert large.cycles > 3 * small.cycles

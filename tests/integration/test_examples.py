@@ -1,0 +1,74 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run under pytest (the DSE-scale ones are exercised
+by the benchmark harness); each is executed as a real subprocess so import
+paths and ``__main__`` blocks are covered.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Winner:" in out
+        assert "Energy breakdown" in out
+        assert "utilization" in out
+
+    def test_simulate_and_trace(self):
+        out = run_example("simulate_and_trace.py")
+        assert "Roofline" in out
+        assert "chiplet 0" in out
+        assert "DRAM bandwidth / 16" in out
+
+    def test_map_model_vs_simba_small(self):
+        out = run_example("map_model_vs_simba.py", "alexnet", "224")
+        assert "Model totals" in out
+        assert "Energy saving vs Simba" in out
+
+    def test_custom_model(self, tmp_path):
+        out = subprocess.run(
+            [sys.executable, str(EXAMPLES / "custom_model.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=tmp_path,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "Compiler report written" in out.stdout
+        assert (tmp_path / "custom_model_mapping.json").exists()
+
+    def test_design_space_sweep_small(self, tmp_path):
+        out = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "design_space_sweep.py"),
+                "alexnet",
+                "512",
+                "48",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=tmp_path,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "Pareto front" in out.stdout
+        assert (tmp_path / "dse_sweep.csv").exists()

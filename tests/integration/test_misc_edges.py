@@ -1,0 +1,116 @@
+"""Edge-case coverage across modules: the paths the happy tests miss."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import KB, MemoryConfig, build_hardware, case_study_hardware
+from repro.arch.memory import MemoryLibrary
+from repro.arch.topology import Topology
+from repro.cli import main
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+class TestCliEdges:
+    def test_map_edp_objective(self, capsys):
+        assert main(["map", "alexnet", "--profile", "minimal", "--objective", "edp"]) == 0
+        assert "EDP" in capsys.readouterr().out
+
+    def test_compare_with_custom_hw(self, capsys):
+        assert main(["compare", "alexnet", "--hw", "2-4-8-8", "--profile", "minimal"]) == 0
+        assert "2-4-8-8" in capsys.readouterr().out
+
+    def test_map_default_model(self, capsys):
+        # `map` with no model falls back to resnet50.
+        assert main(["map", "--profile", "minimal"]) == 0
+        assert "resnet50" in capsys.readouterr().out
+
+    def test_models_at_512(self, capsys):
+        assert main(["models", "--resolution", "512"]) == 0
+        assert "512x512" in capsys.readouterr().out
+
+
+class TestMemoryLibraryEdges:
+    def test_custom_sizes(self):
+        library = MemoryLibrary(sizes_kb=[2, 8, 32, 128])
+        assert len(library.points) == 4
+        assert library.fit_area().r_squared > 0.99
+
+    def test_two_point_library_fits(self):
+        library = MemoryLibrary(sizes_kb=[4, 64])
+        assert library.fit_energy().slope > 0
+
+
+class TestTopologyEdges:
+    def test_prime_chiplet_count_mesh(self):
+        # 7 chiplets: the only factorization is 1x7 (a degenerate mesh).
+        assert Topology.MESH.mesh_dims(7) == (1, 7)
+        assert Topology.MESH.link_count(7) == 6
+
+    def test_single_chiplet_distances(self):
+        assert Topology.RING.average_distance(1) == 0.0
+        assert Topology.MESH.average_distance(1) == 0.0
+
+
+class TestMapperEdges:
+    def test_minimal_buffer_machine_still_maps(self):
+        # The smallest legal Table II-style corner.
+        hw = build_hardware(
+            2, 2, 2, 2,
+            memory=MemoryConfig(
+                a_l1_bytes=1 * KB,
+                w_l1_bytes=2 * KB,
+                o_l1_bytes=96,
+                a_l2_bytes=32 * KB,
+            ),
+        )
+        layer = ConvLayer("c", h=28, w=28, ci=16, co=16, kh=3, kw=3, padding=1)
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+    def test_asymmetric_kernel(self):
+        hw = case_study_hardware()
+        layer = ConvLayer("asym", h=32, w=32, ci=16, co=32, kh=1, kw=7, padding=0)
+        assert layer.wo == 26 and layer.ho == 32
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+    def test_stride_larger_than_kernel(self):
+        hw = case_study_hardware()
+        layer = ConvLayer("sub", h=64, w=64, ci=16, co=32, kh=2, kw=2, stride=4)
+        assert layer.halo_rows == 0
+        result = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        # Disjoint windows: no halo redundancy anywhere in the traffic.
+        assert result.best.energy_pj > 0
+
+    def test_mesh_hardware_full_flow(self):
+        hw = build_hardware(9, 2, 8, 8, topology=Topology.MESH)
+        layer = ConvLayer("c", h=54, w=54, ci=32, co=128, kh=3, kw=3, padding=1)
+        result = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+
+class TestTechnologyVariants:
+    def test_faster_clock_shortens_runtime_not_energy(self):
+        hw = case_study_hardware()
+        fast = dataclasses.replace(
+            hw, tech=dataclasses.replace(hw.tech, frequency_mhz=1000.0)
+        )
+        layer = ConvLayer("c", h=28, w=28, ci=32, co=64, kh=3, kw=3, padding=1)
+        base = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer).best
+        quick = Mapper(hw=fast, profile=SearchProfile.MINIMAL).search_layer(layer).best
+        assert quick.energy_pj == pytest.approx(base.energy_pj)
+        assert quick.runtime_s(fast) == pytest.approx(base.runtime_s(hw) / 2)
+
+    def test_cheaper_dram_shifts_breakdown(self):
+        hw = case_study_hardware()
+        cheap = dataclasses.replace(
+            hw, tech=dataclasses.replace(hw.tech, dram_energy_pj_per_bit=1.0)
+        )
+        layer = ConvLayer("c", h=28, w=28, ci=32, co=64, kh=3, kw=3, padding=1)
+        base = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer).best
+        shifted = Mapper(hw=cheap, profile=SearchProfile.MINIMAL).search_layer(layer).best
+        assert shifted.energy.dram_pj < base.energy.dram_pj
+        assert shifted.energy.mac_pj == pytest.approx(base.energy.mac_pj)

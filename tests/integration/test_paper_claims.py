@@ -1,0 +1,92 @@
+"""Fast regression pins for the paper's headline claims.
+
+The benchmark harness asserts these on full runs; this suite re-checks the
+cheap subset on every ``pytest tests/`` so cost-model regressions surface
+immediately.  Each test cites the paper section it guards.
+"""
+
+import pytest
+
+from repro.analysis.experiments import best_by_combo
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.core.primitives import PartitionDim
+from repro.core.space import SearchProfile
+from repro.simba import evaluate_simba
+from repro.workloads.extraction import LayerKind, representative_layers
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return case_study_hardware()
+
+
+@pytest.fixture(scope="module")
+def combos_224(hw):
+    return {
+        kind: best_by_combo(layer, hw, SearchProfile.FAST)
+        for kind, layer in representative_layers(224).items()
+    }
+
+
+class TestFigure11Claims:
+    """Section VI-A1: spatial-partition preferences per layer type."""
+
+    def test_weight_intensive_prefers_c_package(self, combos_224):
+        combos = combos_224[LayerKind.WEIGHT_INTENSIVE]
+        best = min(combos, key=lambda c: combos[c].energy_pj)
+        assert best[0] == "C"
+
+    def test_activation_intensive_prefers_p_package(self, combos_224):
+        combos = combos_224[LayerKind.ACTIVATION_INTENSIVE]
+        best = min(combos, key=lambda c: combos[c].energy_pj)
+        assert best[0] == "P"
+
+    def test_large_kernel_prefers_p_package(self, combos_224):
+        combos = combos_224[LayerKind.LARGE_KERNEL]
+        best = min(combos, key=lambda c: combos[c].energy_pj)
+        assert best[0] == "P"
+
+    def test_cc_removed_for_small_channel_large_plane_layers(self, combos_224):
+        # Figure 11(a)/(c): the paper drops (C,C) for the 64-channel layers.
+        assert ("C", "C") not in combos_224[LayerKind.ACTIVATION_INTENSIVE]
+        assert ("C", "C") not in combos_224[LayerKind.LARGE_KERNEL]
+
+    def test_cc_present_for_wide_layer(self, combos_224):
+        # VGG conv12 has 512 output channels: (C,C) fills every lane.
+        assert ("C", "C") in combos_224[LayerKind.WEIGHT_INTENSIVE]
+
+
+class TestFigure12Claims:
+    """Section VI-A2: NN-Baton vs the Simba baseline, per layer."""
+
+    @pytest.fixture(scope="class")
+    def comparisons(self, hw):
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        out = {}
+        for kind, layer in representative_layers(224).items():
+            out[kind] = (evaluate_simba(layer, hw), mapper.search_layer(layer).best)
+        return out
+
+    def test_nn_baton_wins_every_layer(self, comparisons):
+        for kind, (simba, baton) in comparisons.items():
+            assert baton.energy_pj < simba.energy_pj, kind
+
+    def test_output_centric_mappings_never_rotate_psums(self, comparisons):
+        # The output-centric flow keeps 24-bit partial sums inside the core:
+        # NN-Baton's D2D traffic is only 8-bit operand rotation.
+        for kind, (simba, baton) in comparisons.items():
+            if baton.mapping.package_spatial.dim is PartitionDim.CHANNEL:
+                continue
+            assert baton.traffic.d2d_bit_hops <= simba.energy.d2d_pj / 1.17 + 1e9
+
+
+class TestRotationClaim:
+    """Section III-A3: the rotating transfer beats DRAM refetch (Table I)."""
+
+    def test_winning_mappings_rotate_when_sharing(self, hw):
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        for kind, layer in representative_layers(224).items():
+            mapping = mapper.search_layer(layer).mapping
+            if mapping.package_spatial.ways > 1:
+                assert mapping.rotation.value != "none", kind

@@ -1,0 +1,134 @@
+"""Property-based tests for the analysis utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.pareto import dominates, pareto_points
+from repro.analysis.reporting import format_bar, format_scatter, format_table
+from repro.analysis.roofline import Roofline
+from repro.arch.config import build_hardware
+from repro.sim.trace import Phase, Trace
+
+
+@st.composite
+def traces(draw):
+    trace = Trace()
+    n = draw(st.integers(1, 30))
+    for _ in range(n):
+        start = draw(st.floats(0, 1e6))
+        duration = draw(st.floats(0.1, 1e4))
+        trace.add(
+            draw(st.integers(0, 7)),
+            draw(st.integers(0, 20)),
+            draw(st.sampled_from(list(Phase))),
+            start,
+            start + duration,
+        )
+    return trace
+
+
+class TestGanttProperties:
+    @given(traces(), st.integers(10, 200))
+    @settings(max_examples=60)
+    def test_render_never_crashes_and_covers_chiplets(self, trace, width):
+        text = render_gantt(trace, width=width)
+        chiplets = {r.chiplet for r in trace.records}
+        assert text.count("chiplet") == len(chiplets)
+
+    @given(traces())
+    @settings(max_examples=40)
+    def test_busy_cycles_sum_to_durations(self, trace):
+        total = sum(trace.busy_cycles(phase) for phase in Phase)
+        assert total == pytest.approx(sum(r.duration for r in trace.records))
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=80)
+    def test_front_members_mutually_nondominating(self, points):
+        front = pareto_points(points, x=lambda p: p[0], y=lambda p: p[1])
+        assert front
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b) or a == b
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=60)
+    def test_every_point_dominated_by_some_front_member(self, points):
+        front = pareto_points(points, x=lambda p: p[0], y=lambda p: p[1])
+        for point in points:
+            assert point in front or any(
+                dominates(member, point) or member == point for member in front
+            )
+
+
+class TestRooflineProperties:
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.floats(0.01, 1e6),
+    )
+    @settings(max_examples=80)
+    def test_attainable_bounded_by_peak(self, chiplets, cores, intensity):
+        roofline = Roofline(build_hardware(chiplets, cores, 8, 8))
+        attainable = roofline.attainable(intensity)
+        assert 0 <= attainable <= roofline.peak_macs_per_cycle
+
+    @given(st.floats(0.01, 1e4), st.floats(0.01, 1e4))
+    @settings(max_examples=60)
+    def test_attainable_monotone_in_intensity(self, a, b):
+        roofline = Roofline(build_hardware(4, 8, 8, 8))
+        low, high = sorted((a, b))
+        assert roofline.attainable(low) <= roofline.attainable(high) + 1e-9
+
+
+class TestReportingProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_categories=("Cc", "Cs")  # no control chars
+                    ),
+                    max_size=12,
+                ),
+                min_size=2,
+                max_size=2,
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60)
+    def test_table_rows_aligned(self, rows):
+        text = format_table(["a", "b"], rows)
+        lines = text.splitlines()
+        # Header + separator + one line per row.
+        assert len(lines) == 2 + len(rows)
+
+    @given(st.floats(0, 1e9), st.floats(1e-6, 1e9), st.integers(1, 120))
+    @settings(max_examples=80)
+    def test_bar_length_bounded(self, value, scale, width):
+        assert len(format_bar(value, scale, width)) <= width
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6), st.text(max_size=3)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60)
+    def test_scatter_never_crashes(self, points):
+        text = format_scatter(points, width=40, height=10)
+        assert text

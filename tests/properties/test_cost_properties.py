@@ -1,0 +1,133 @@
+"""Property-based tests for cost-model and simulator invariants."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import build_hardware
+from repro.arch.memory import LinearFit
+from repro.core.cost import InvalidMappingError, evaluate_mapping
+from repro.core.mapper import Mapper
+from repro.core.space import MappingSpace, SearchProfile
+from repro.sim.resources import BandwidthResource
+from repro.sim.runtime import simulate_runtime
+from repro.workloads.layer import ConvLayer
+
+
+@st.composite
+def layer_and_hw(draw):
+    layer = ConvLayer(
+        name="prop",
+        h=draw(st.sampled_from([14, 28, 56])),
+        w=draw(st.sampled_from([14, 28])),
+        ci=draw(st.sampled_from([3, 16, 64])),
+        co=draw(st.sampled_from([16, 64, 128])),
+        kh=draw(st.sampled_from([1, 3])),
+        kw=draw(st.sampled_from([1, 3])),
+        stride=draw(st.sampled_from([1, 2])),
+        padding=1,
+    )
+    hw = build_hardware(
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([4, 8])),
+        draw(st.sampled_from([4, 8])),
+    )
+    return layer, hw
+
+
+class TestEvaluationInvariants:
+    @given(layer_and_hw())
+    @settings(max_examples=40, deadline=None)
+    def test_every_candidate_energy_positive_and_util_bounded(self, pair):
+        layer, hw = pair
+        space = MappingSpace(hw, SearchProfile.MINIMAL)
+        for mapping in space.unique_candidates(layer):
+            try:
+                report = evaluate_mapping(layer, hw, mapping)
+            except InvalidMappingError:
+                continue
+            assert report.energy_pj > 0
+            assert 0 < report.utilization <= 1.0
+            assert report.cycles * hw.total_macs >= layer.macs
+            for value in report.energy.as_dict().values():
+                assert value >= 0
+
+    @given(layer_and_hw())
+    @settings(max_examples=25, deadline=None)
+    def test_mapper_beats_every_candidate(self, pair):
+        layer, hw = pair
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        try:
+            best = mapper.search_layer(layer)
+        except InvalidMappingError:
+            return
+        space = MappingSpace(hw, SearchProfile.MINIMAL)
+        for mapping in space.unique_candidates(layer):
+            try:
+                report = evaluate_mapping(layer, hw, mapping)
+            except InvalidMappingError:
+                continue
+            assert best.best.energy_pj <= report.energy_pj + 1e-6
+
+    @given(layer_and_hw())
+    @settings(max_examples=15, deadline=None)
+    def test_simulated_runtime_at_least_compute(self, pair):
+        layer, hw = pair
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        try:
+            best = mapper.search_layer(layer)
+        except InvalidMappingError:
+            return
+        result = simulate_runtime(layer, hw, best.mapping)
+        assert result.cycles >= best.best.cycles
+
+
+class TestResourceInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10000)), min_size=1, max_size=20
+        ),
+        st.floats(1, 1000),
+    )
+    def test_fifo_completions_monotone(self, requests, bandwidth):
+        resource = BandwidthResource("r", bandwidth)
+        completions = []
+        clock = 0.0
+        for arrival_delta, bits in requests:
+            clock += arrival_delta
+            completions.append(resource.request(clock, bits))
+        assert completions == sorted(completions)
+
+    @given(st.floats(0, 1000), st.floats(0, 1e6), st.floats(1, 1e4))
+    def test_completion_at_least_arrival_plus_service(self, arrival, bits, bw):
+        resource = BandwidthResource("r", bw)
+        done = resource.request(arrival, bits)
+        assert done >= arrival + bits / bw - 1e-9
+
+
+class TestLinearFitProperties:
+    @given(
+        st.floats(-100, 100),
+        st.floats(-10, 10),
+        st.lists(st.floats(0.1, 500), min_size=2, max_size=30, unique=True),
+    )
+    def test_exact_line_recovered(self, intercept, slope, xs):
+        ys = [intercept + slope * x for x in xs]
+        fit = LinearFit.fit(xs, ys)
+        assert abs(fit.intercept - intercept) < 1e-6 + 1e-6 * abs(intercept)
+        assert abs(fit.slope - slope) < 1e-6 + 1e-6 * abs(slope)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(-100, 100)),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_r_squared_at_most_one(self, points):
+        xs = [p[0] + i for i, p in enumerate(points)]  # ensure x-variance
+        ys = [p[1] for p in points]
+        fit = LinearFit.fit(xs, ys)
+        assert fit.r_squared <= 1.0 + 1e-9

@@ -1,0 +1,99 @@
+"""Property-based tests for layer geometry and tiling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    PlanarGrid,
+    halo_redundancy_ratio,
+    tile_input_elements,
+    unique_input_elements,
+)
+from repro.workloads.layer import ConvLayer, ceil_div, tile_extent
+
+
+@st.composite
+def conv_layers(draw):
+    kh = draw(st.integers(1, 7))
+    kw = draw(st.integers(1, 7))
+    stride = draw(st.integers(1, 3))
+    padding = draw(st.integers(0, 3))
+    h = draw(st.integers(max(kh - 2 * padding, 1), 64))
+    w = draw(st.integers(max(kw - 2 * padding, 1), 64))
+    # Guarantee a non-empty output plane.
+    if h + 2 * padding < kh:
+        h = kh
+    if w + 2 * padding < kw:
+        w = kw
+    return ConvLayer(
+        name="prop",
+        h=h,
+        w=w,
+        ci=draw(st.integers(1, 128)),
+        co=draw(st.integers(1, 128)),
+        kh=kh,
+        kw=kw,
+        stride=stride,
+        padding=padding,
+    )
+
+
+class TestLayerGeometry:
+    @given(conv_layers())
+    def test_macs_consistent_with_elements(self, layer):
+        assert layer.macs == layer.output_elements * layer.kh * layer.kw * layer.ci
+
+    @given(conv_layers(), st.integers(1, 32))
+    def test_input_rows_monotone(self, layer, rows):
+        assert layer.input_rows_for(rows + 1) > layer.input_rows_for(rows)
+
+    @given(conv_layers(), st.integers(1, 16), st.integers(1, 16))
+    def test_window_superadditive_with_halo(self, layer, a, b):
+        # Splitting a span refetches the halo: per-tile windows never sum to
+        # less than the joint window.
+        joint = layer.input_rows_for(a + b)
+        split = layer.input_rows_for(a) + layer.input_rows_for(b)
+        assert split >= joint
+
+    @given(conv_layers())
+    def test_halo_bounds(self, layer):
+        assert 0 <= layer.halo_rows < layer.kh
+        assert 0 <= layer.halo_cols < layer.kw
+
+
+class TestTileExtent:
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_partition_is_exact(self, total, ways):
+        extents = [tile_extent(total, ways, i) for i in range(ways)]
+        assert sum(extents) == total
+        assert all(0 <= e <= ceil_div(total, ways) for e in extents)
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_first_tile_is_ceil(self, total, ways):
+        assert tile_extent(total, ways, 0) == min(total, ceil_div(total, ways))
+
+
+class TestGridProperties:
+    @given(conv_layers(), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_tiles_cover_plane(self, layer, rows, cols):
+        grid = PlanarGrid(rows, cols)
+        covered = sum(tr * tc for tr, tc in grid.tiles(layer.ho, layer.wo))
+        assert covered == layer.ho * layer.wo
+
+    @given(conv_layers(), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_redundancy_non_negative(self, layer, rows, cols):
+        grid = PlanarGrid(rows, cols)
+        assert halo_redundancy_ratio(layer, grid) >= -1e-9
+
+    @given(conv_layers(), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_tile_input_at_least_unique(self, layer, rows, cols):
+        grid = PlanarGrid(rows, cols)
+        assert tile_input_elements(layer, grid) >= unique_input_elements(layer) - 1e-9
+
+    @given(conv_layers())
+    def test_single_tile_is_exact(self, layer):
+        grid = PlanarGrid(1, 1)
+        assert tile_input_elements(layer, grid) == unique_input_elements(layer)

@@ -1,0 +1,78 @@
+"""Property-based tests for the Simba baseline model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import build_hardware
+from repro.simba.config import SimbaGrid, grid_options
+from repro.simba.dataflow import evaluate_grid, evaluate_simba
+
+
+@st.composite
+def layers(draw):
+    from repro.workloads.layer import ConvLayer
+
+    groups = draw(st.sampled_from([1, 1, 1, 8]))
+    base = draw(st.sampled_from([8, 32, 64]))
+    return ConvLayer(
+        name="prop",
+        h=draw(st.sampled_from([14, 28, 56])),
+        w=draw(st.sampled_from([14, 28])),
+        ci=base * groups if groups > 1 else base,
+        co=base * groups if groups > 1 else draw(st.sampled_from([16, 64, 128])),
+        kh=draw(st.sampled_from([1, 3])),
+        kw=draw(st.sampled_from([1, 3])),
+        stride=1,
+        padding=1,
+        groups=groups,
+    )
+
+
+@st.composite
+def hardware(draw):
+    return build_hardware(
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([2, 4, 8])),
+        8,
+        8,
+    )
+
+
+class TestSimbaInvariants:
+    @given(layers(), hardware())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_positive_all_grids(self, layer, hw):
+        for grid in grid_options(hw.n_chiplets, hw.n_cores, layer):
+            report = evaluate_grid(layer, hw, grid)
+            assert report.energy_pj > 0
+            assert report.cycles > 0
+            assert 0 < report.utilization <= 1
+            for value in report.energy.as_dict().values():
+                assert value >= 0
+
+    @given(layers(), hardware())
+    @settings(max_examples=40, deadline=None)
+    def test_best_grid_is_minimum(self, layer, hw):
+        best = evaluate_simba(layer, hw)
+        for grid in grid_options(hw.n_chiplets, hw.n_cores, layer):
+            assert best.energy_pj <= evaluate_grid(layer, hw, grid).energy_pj + 1e-6
+
+    @given(layers(), hardware())
+    @settings(max_examples=40, deadline=None)
+    def test_channel_splits_respect_layer(self, layer, hw):
+        for grid in grid_options(hw.n_chiplets, hw.n_cores, layer):
+            assert grid.ci_ways <= max(layer.ci_per_group, 1) or grid.ci_ways <= layer.ci
+            assert grid.co_ways <= layer.co or grid.co_ways <= hw.n_chiplets * hw.n_cores
+
+    @given(layers(), hardware())
+    @settings(max_examples=40, deadline=None)
+    def test_weights_fetched_at_least_once(self, layer, hw):
+        report = evaluate_simba(layer, hw)
+        weight_pj = layer.weight_elements * 8 * hw.tech.dram_energy_pj_per_bit
+        assert report.energy.dram_pj >= weight_pj * 0.99
+
+    @given(layers(), hardware())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_at_least_ideal(self, layer, hw):
+        report = evaluate_simba(layer, hw)
+        assert report.cycles * hw.total_macs >= layer.macs * 0.99

@@ -1,0 +1,118 @@
+"""Property-based tests for traffic-assembly invariants."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import build_hardware
+from repro.core.cost import InvalidMappingError
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.partition import PlanarGrid
+from repro.core.primitives import (
+    LoopOrder,
+    PartitionDim,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.core.serialize import mapping_from_dict, mapping_to_dict
+from repro.core.space import MappingSpace, SearchProfile
+from repro.core.traffic import compute_traffic
+from repro.workloads.layer import ConvLayer
+
+
+@st.composite
+def cases(draw):
+    """A random (layer, hw, valid mapping) triple drawn from the space."""
+    layer = ConvLayer(
+        name="prop",
+        h=draw(st.sampled_from([14, 28, 56])),
+        w=draw(st.sampled_from([14, 28])),
+        ci=draw(st.sampled_from([8, 64])),
+        co=draw(st.sampled_from([32, 128])),
+        kh=draw(st.sampled_from([1, 3])),
+        kw=draw(st.sampled_from([1, 3])),
+        stride=1,
+        padding=draw(st.sampled_from([0, 1])),
+    )
+    hw = build_hardware(
+        draw(st.sampled_from([2, 4])),
+        draw(st.sampled_from([2, 4])),
+        8,
+        8,
+    )
+    space = MappingSpace(hw, SearchProfile.FAST)
+    candidates = [
+        m
+        for m in space.unique_candidates(layer)
+        if LoopNest(layer, hw, m).is_valid()
+    ]
+    if not candidates:
+        return None
+    mapping = candidates[draw(st.integers(0, len(candidates) - 1))]
+    return layer, hw, mapping
+
+
+class TestTrafficInvariants:
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_all_traffic_non_negative(self, case):
+        if case is None:
+            return
+        layer, hw, mapping = case
+        report, _ = compute_traffic(LoopNest(layer, hw, mapping))
+        for name in report.__dataclass_fields__:
+            assert getattr(report, name) >= 0, name
+
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_output_traffic_exact(self, case):
+        if case is None:
+            return
+        layer, hw, mapping = case
+        report, _ = compute_traffic(LoopNest(layer, hw, mapping))
+        assert report.dram_output_bits == layer.output_elements * 8
+
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_weight_dram_at_least_unique(self, case):
+        if case is None:
+            return
+        layer, hw, mapping = case
+        report, _ = compute_traffic(LoopNest(layer, hw, mapping))
+        # Rotation never drops below one DRAM fetch of each distinct weight.
+        assert report.dram_weight_bits >= layer.weight_elements * 8 * 0.99
+
+    @given(cases())
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_trade_identity(self, case):
+        """Rotation moves exactly (N_P - 1) x the DRAM savings to the ring."""
+        if case is None:
+            return
+        layer, hw, mapping = case
+        if mapping.rotation is RotationKind.NONE or hw.n_chiplets == 1:
+            return
+        nest = LoopNest(layer, hw, mapping)
+        rotated, _ = compute_traffic(nest)
+        plain, _ = compute_traffic(
+            LoopNest(layer, hw, dataclasses.replace(mapping, rotation=RotationKind.NONE))
+        )
+        n = hw.n_chiplets
+        if mapping.rotation is RotationKind.ACTIVATIONS:
+            saved = plain.dram_input_bits - rotated.dram_input_bits
+        else:
+            saved = plain.dram_weight_bits - rotated.dram_weight_bits
+        assert rotated.d2d_bit_hops - plain.d2d_bit_hops == (
+            saved / (n - 1) * (n - 1) if n > 1 else 0
+        )
+        assert saved >= 0
+
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_serialization_round_trip(self, case):
+        if case is None:
+            return
+        _, _, mapping = case
+        assert mapping_from_dict(mapping_to_dict(mapping)) == mapping

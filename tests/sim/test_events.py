@@ -1,0 +1,101 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda s: order.append("b"))
+        queue.push(1.0, lambda s: order.append("a"))
+        queue.push(9.0, lambda s: order.append("c"))
+        while queue:
+            queue.pop().action(None)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.push(3.0, lambda s, t=tag: order.append(t))
+        while queue:
+            queue.pop().action(None)
+        assert order == ["first", "second", "third"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(1.0, lambda s: None)
+        assert queue and len(queue) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda s: None)
+
+
+class TestSimulator:
+    def test_run_advances_time(self):
+        sim = Simulator()
+        sim.at(10.0, lambda s: None)
+        assert sim.run() == 10.0
+
+    def test_actions_can_schedule_followups(self):
+        sim = Simulator()
+        seen = []
+
+        def first(s):
+            seen.append(s.now)
+            s.after(5.0, second)
+
+        def second(s):
+            seen.append(s.now)
+
+        sim.at(2.0, first)
+        sim.run()
+        assert seen == [2.0, 7.0]
+
+    def test_at_clamps_to_now(self):
+        sim = Simulator()
+        times = []
+
+        def late(s):
+            s.at(0.0, lambda s2: times.append(s2.now))  # in the past -> now
+
+        sim.at(4.0, late)
+        sim.run()
+        assert times == [4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda s: None)
+
+    def test_horizon_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda s: fired.append(1))
+        sim.at(100.0, lambda s: fired.append(100))
+        sim.run(horizon=10.0)
+        assert fired == [1]
+        assert sim.now == 10.0
+
+    def test_event_count(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.at(float(t), lambda s: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i in range(10):
+                sim.at(float(i % 3), lambda s, i=i: log.append((s.now, i)))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

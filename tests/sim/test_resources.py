@@ -1,0 +1,49 @@
+"""Tests for bandwidth-served resources."""
+
+import pytest
+
+from repro.sim.resources import BandwidthResource
+
+
+class TestBandwidthResource:
+    def test_service_time(self):
+        resource = BandwidthResource("dram", bits_per_cycle=256.0)
+        assert resource.service_time(2560) == pytest.approx(10.0)
+
+    def test_request_when_idle_starts_immediately(self):
+        resource = BandwidthResource("dram", 256.0)
+        assert resource.request(arrival=5.0, bits=256) == pytest.approx(6.0)
+
+    def test_fifo_queueing(self):
+        resource = BandwidthResource("dram", 100.0)
+        first = resource.request(0.0, 1000)   # busy until 10
+        second = resource.request(2.0, 500)   # queued behind first
+        assert first == pytest.approx(10.0)
+        assert second == pytest.approx(15.0)
+
+    def test_idle_gap_not_carried(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 100)            # done at 1
+        late = resource.request(50.0, 100)    # arrives long after
+        assert late == pytest.approx(51.0)
+
+    def test_busy_accounting_and_utilization(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 500)
+        resource.request(0.0, 500)
+        assert resource.busy_cycles == pytest.approx(10.0)
+        assert resource.utilization(20.0) == pytest.approx(0.5)
+        assert resource.utilization(5.0) == 1.0   # clamped
+        assert resource.utilization(0.0) == 0.0
+
+    def test_zero_bits_is_free(self):
+        resource = BandwidthResource("link", 64.0)
+        assert resource.request(3.0, 0) == pytest.approx(3.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthResource("bad", 0.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthResource("dram", 10.0).request(0.0, -1)

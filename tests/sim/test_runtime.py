@@ -1,0 +1,115 @@
+"""Tests for the tile-pipeline runtime simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.core.mapping import Mapping
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.core.space import SearchProfile
+from repro.sim.runtime import simulate_runtime
+from repro.workloads.extraction import representative_layers
+from repro.workloads.layer import ConvLayer
+
+
+def common_layer():
+    return ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+def rotating_mapping():
+    return Mapping(
+        package_spatial=SpatialPrimitive.channel(4),
+        package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 28, 28, 64),
+        chiplet_spatial=SpatialPrimitive.channel(8),
+        chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 8),
+        rotation=RotationKind.ACTIVATIONS,
+    )
+
+
+class TestSimulateRuntime:
+    def test_simulated_at_least_compute_bound(self):
+        hw = case_study_hardware()
+        result = simulate_runtime(common_layer(), hw, rotating_mapping())
+        assert result.cycles >= result.compute_cycles
+        assert result.stall_cycles >= 0
+
+    def test_compute_bound_matches_analytical(self):
+        hw = case_study_hardware()
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        best = mapper.search_layer(common_layer())
+        result = simulate_runtime(common_layer(), hw, best.mapping)
+        assert result.compute_cycles == best.best.cycles
+
+    def test_oversubscribed_mapping_rejected(self):
+        hw = case_study_hardware()
+        bad = dataclasses.replace(
+            rotating_mapping(), package_spatial=SpatialPrimitive.channel(8)
+        )
+        with pytest.raises(ValueError):
+            simulate_runtime(common_layer(), hw, bad)
+
+    def test_partial_occupancy_simulates(self):
+        hw = case_study_hardware()
+        partial = dataclasses.replace(
+            rotating_mapping(), package_spatial=SpatialPrimitive.channel(2)
+        )
+        result = simulate_runtime(common_layer(), hw, partial)
+        assert result.cycles >= result.compute_cycles
+
+    def test_runtime_seconds(self):
+        hw = case_study_hardware()
+        result = simulate_runtime(common_layer(), hw, rotating_mapping())
+        assert result.runtime_s(hw) == pytest.approx(result.cycles * 2e-9)
+
+    def test_tiny_dram_bandwidth_makes_memory_bound(self):
+        hw = case_study_hardware()
+        slow = dataclasses.replace(
+            hw, tech=dataclasses.replace(hw.tech, dram_bandwidth_bits_per_cycle=0.5)
+        )
+        fast_result = simulate_runtime(common_layer(), hw, rotating_mapping())
+        slow_result = simulate_runtime(common_layer(), slow, rotating_mapping())
+        assert slow_result.cycles > fast_result.cycles
+        assert slow_result.memory_bound
+
+    def test_rotation_engages_ring_links(self):
+        hw = case_study_hardware()
+        narrow_ring = dataclasses.replace(
+            hw, tech=dataclasses.replace(hw.tech, ring_bandwidth_bits_per_cycle=0.5)
+        )
+        base = simulate_runtime(common_layer(), hw, rotating_mapping())
+        slowed = simulate_runtime(common_layer(), narrow_ring, rotating_mapping())
+        assert slowed.cycles > base.cycles
+
+    def test_no_rotation_ignores_ring_bandwidth(self):
+        hw = case_study_hardware()
+        mapping = dataclasses.replace(rotating_mapping(), rotation=RotationKind.NONE)
+        narrow_ring = dataclasses.replace(
+            hw, tech=dataclasses.replace(hw.tech, ring_bandwidth_bits_per_cycle=0.5)
+        )
+        base = simulate_runtime(common_layer(), hw, mapping)
+        same = simulate_runtime(common_layer(), narrow_ring, mapping)
+        assert same.cycles == pytest.approx(base.cycles)
+
+    def test_deterministic(self):
+        hw = case_study_hardware()
+        a = simulate_runtime(common_layer(), hw, rotating_mapping())
+        b = simulate_runtime(common_layer(), hw, rotating_mapping())
+        assert a.cycles == b.cycles
+
+    @pytest.mark.parametrize("resolution", [224])
+    def test_representative_layers_simulate(self, resolution):
+        hw = case_study_hardware()
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        for kind, layer in representative_layers(resolution).items():
+            best = mapper.search_layer(layer)
+            result = simulate_runtime(layer, hw, best.mapping)
+            assert result.cycles >= result.compute_cycles, kind
+            # Sanity: stalls are bounded (well under 10x compute).
+            assert result.cycles < 10 * result.compute_cycles, kind

@@ -1,0 +1,113 @@
+"""Tests for execution-trace recording and its pipeline invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.mapping import Mapping
+from repro.core.primitives import (
+    LoopOrder,
+    RotationKind,
+    SpatialPrimitive,
+    TemporalPrimitive,
+)
+from repro.sim import Phase, Trace, TraceRecord, simulate_runtime
+from repro.workloads.layer import ConvLayer
+
+
+def common_layer():
+    return ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1)
+
+
+def rotating_mapping():
+    return Mapping(
+        package_spatial=SpatialPrimitive.channel(4),
+        package_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 28, 28, 64),
+        chiplet_spatial=SpatialPrimitive.channel(8),
+        chiplet_temporal=TemporalPrimitive(LoopOrder.CHANNEL_PRIORITY, 8, 8, 8),
+        rotation=RotationKind.ACTIVATIONS,
+    )
+
+
+class TestTraceDataStructure:
+    def test_record_duration(self):
+        record = TraceRecord(0, 0, Phase.COMPUTE, 10.0, 25.0)
+        assert record.duration == 15.0
+
+    def test_inverted_record_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, Phase.COMPUTE, 25.0, 10.0)
+
+    def test_filters(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.DRAM_LOAD, 0.0, 5.0)
+        trace.add(1, 0, Phase.COMPUTE, 5.0, 10.0)
+        assert len(trace.for_chiplet(0)) == 1
+        assert len(trace.for_phase(Phase.COMPUTE)) == 1
+        assert trace.busy_cycles(Phase.DRAM_LOAD) == 5.0
+        assert trace.makespan() == 10.0
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.makespan() == 0.0
+        assert trace.validate_ordering() == []
+
+    def test_ordering_violation_detected(self):
+        trace = Trace()
+        trace.add(0, 0, Phase.DRAM_LOAD, 0.0, 10.0)
+        trace.add(0, 0, Phase.COMPUTE, 5.0, 15.0)  # starts before load ends
+        assert trace.validate_ordering()
+
+
+class TestSimulatedTrace:
+    @pytest.fixture(scope="class")
+    def result(self):
+        hw = case_study_hardware()
+        return simulate_runtime(
+            common_layer(), hw, rotating_mapping(), collect_trace=True
+        )
+
+    def test_trace_collected_on_request(self, result):
+        assert result.trace is not None
+        assert result.trace.records
+
+    def test_trace_absent_by_default(self):
+        hw = case_study_hardware()
+        plain = simulate_runtime(common_layer(), hw, rotating_mapping())
+        assert plain.trace is None
+
+    def test_pipeline_ordering_invariants_hold(self, result):
+        assert result.trace.validate_ordering() == []
+
+    def test_every_phase_present_with_rotation(self, result):
+        phases = {r.phase for r in result.trace.records}
+        assert phases == {
+            Phase.DRAM_LOAD,
+            Phase.RING_ROTATE,
+            Phase.COMPUTE,
+            Phase.WRITEBACK,
+        }
+
+    def test_all_chiplets_and_iterations_covered(self, result):
+        hw = case_study_hardware()
+        computes = result.trace.for_phase(Phase.COMPUTE)
+        chiplets = {r.chiplet for r in computes}
+        assert chiplets == set(range(hw.n_chiplets))
+        iterations = {r.iteration for r in computes if r.chiplet == 0}
+        assert iterations == set(range(max(iterations) + 1))
+
+    def test_makespan_within_reported_cycles(self, result):
+        assert result.trace.makespan() <= result.cycles + 1e-6
+
+    def test_no_rotation_has_no_ring_phase(self):
+        hw = case_study_hardware()
+        mapping = dataclasses.replace(
+            rotating_mapping(), rotation=RotationKind.NONE
+        )
+        result = simulate_runtime(common_layer(), hw, mapping, collect_trace=True)
+        assert not result.trace.for_phase(Phase.RING_ROTATE)
+
+    def test_utilizations_reported(self, result):
+        assert 0 < result.dram_utilization <= 1
+        assert 0 < result.ring_utilization <= 1

@@ -1,0 +1,50 @@
+"""Tests for the Simba baseline grid organization."""
+
+import pytest
+
+from repro.simba.config import SimbaGrid, grid_options
+from repro.workloads.layer import ConvLayer
+
+
+class TestSimbaGrid:
+    def test_total_ways(self):
+        grid = SimbaGrid(2, 2, 4, 2)
+        assert grid.ci_ways == 8
+        assert grid.co_ways == 4
+
+    def test_invalid_ways_raise(self):
+        with pytest.raises(ValueError):
+            SimbaGrid(0, 2, 2, 2)
+
+    def test_describe(self):
+        assert SimbaGrid(2, 2, 4, 2).describe() == "pkg2x2/core4x2"
+
+
+class TestGridOptions:
+    def test_balanced_default_is_square_mesh(self):
+        # 4 chiplets -> 2x2 only; 8 cores -> 2x4 and 4x2 (both near-square).
+        grids = grid_options(4, 8)
+        assert all(g.package_ci_ways == 2 and g.package_co_ways == 2 for g in grids)
+        assert {(g.core_ci_ways, g.core_co_ways) for g in grids} == {(2, 4), (4, 2)}
+
+    def test_full_factorization_option(self):
+        grids = grid_options(4, 8, balanced_only=False)
+        assert len(grids) == 3 * 4  # all factorizations of 4 and 8
+
+    def test_layer_channel_limits_respected(self):
+        deep = ConvLayer("d", h=14, w=14, ci=512, co=512, kh=3, kw=3, padding=1)
+        for grid in grid_options(4, 8, deep):
+            assert grid.ci_ways <= deep.ci
+            assert grid.co_ways <= deep.co
+
+    def test_shallow_layer_falls_back_to_co_split(self):
+        # VGG conv1 has 3 input channels: no balanced CI split fits, so the
+        # baseline falls back to output-channel-heavy grids.
+        shallow = ConvLayer("c1", h=224, w=224, ci=3, co=64, kh=3, kw=3, padding=1)
+        grids = grid_options(4, 8, shallow)
+        assert grids
+        assert all(g.ci_ways <= 3 for g in grids)
+
+    def test_always_returns_something(self):
+        degenerate = ConvLayer("deg", h=8, w=8, ci=1, co=1, kh=1, kw=1)
+        assert grid_options(4, 8, degenerate)

@@ -1,0 +1,65 @@
+"""Tests for representative-layer extraction and classification."""
+
+import pytest
+
+from repro.workloads.extraction import LayerKind, classify_layer, representative_layers
+from repro.workloads.layer import ConvLayer, fc_as_pointwise
+
+
+class TestClassification:
+    def test_large_kernel_takes_precedence(self):
+        layer = ConvLayer("c", h=224, w=224, ci=3, co=64, kh=7, kw=7, stride=2, padding=3)
+        assert classify_layer(layer) is LayerKind.LARGE_KERNEL
+
+    def test_pointwise(self):
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=1, kw=1)
+        assert classify_layer(layer) is LayerKind.POINTWISE
+
+    def test_fc_classified_pointwise(self):
+        assert classify_layer(fc_as_pointwise("fc", 4096, 1000)) is LayerKind.POINTWISE
+
+    def test_activation_intensive(self):
+        layer = ConvLayer("c", h=224, w=224, ci=3, co=64, kh=3, kw=3, padding=1)
+        assert classify_layer(layer) is LayerKind.ACTIVATION_INTENSIVE
+
+    def test_weight_intensive(self):
+        layer = ConvLayer("c", h=14, w=14, ci=512, co=512, kh=3, kw=3, padding=1)
+        assert classify_layer(layer) is LayerKind.WEIGHT_INTENSIVE
+
+    def test_common(self):
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        assert classify_layer(layer) is LayerKind.COMMON
+
+    def test_depthwise_extension_kind(self):
+        layer = ConvLayer(
+            "dw", h=28, w=28, ci=64, co=64, kh=3, kw=3, padding=1, groups=64
+        )
+        assert classify_layer(layer) is LayerKind.DEPTHWISE
+
+
+class TestRepresentativeLayers:
+    def test_all_five_paper_kinds_present(self):
+        layers = representative_layers()
+        # The paper's five categories; DEPTHWISE is this repo's extension
+        # and has no dense representative layer.
+        assert set(layers) == set(LayerKind) - {LayerKind.DEPTHWISE}
+
+    def test_paper_layer_choices(self):
+        layers = representative_layers()
+        assert layers[LayerKind.ACTIVATION_INTENSIVE].name == "conv1"      # VGG-16
+        assert layers[LayerKind.WEIGHT_INTENSIVE].name == "conv12"         # VGG-16
+        assert layers[LayerKind.LARGE_KERNEL].name == "conv1"              # ResNet-50
+        assert layers[LayerKind.POINTWISE].name == "res2a_branch2a"
+        assert layers[LayerKind.COMMON].name == "res2a_branch2b"
+
+    def test_layers_classify_as_their_kind(self):
+        for kind, layer in representative_layers().items():
+            assert classify_layer(layer) is kind
+
+    def test_resolution_512_variant(self):
+        layers = representative_layers(512)
+        assert layers[LayerKind.ACTIVATION_INTENSIVE].h == 512
+
+    def test_large_kernel_is_7x7_stride_2(self):
+        layer = representative_layers()[LayerKind.LARGE_KERNEL]
+        assert (layer.kh, layer.stride) == (7, 2)

@@ -1,0 +1,118 @@
+"""Tests for grouped / depthwise convolution support and MobileNetV2."""
+
+import pytest
+
+from repro.arch.config import case_study_hardware
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.simba import evaluate_simba
+from repro.workloads.layer import ConvLayer
+from repro.workloads.models import mobilenetv2
+
+
+def depthwise(plane=56, ch=64, stride=1):
+    return ConvLayer(
+        "dw", h=plane, w=plane, ci=ch, co=ch, kh=3, kw=3,
+        stride=stride, padding=1, groups=ch,
+    )
+
+
+class TestGroupedGeometry:
+    def test_depthwise_detection(self):
+        assert depthwise().is_depthwise
+        assert not ConvLayer("d", h=8, w=8, ci=8, co=8, kh=1, kw=1).is_depthwise
+
+    def test_grouped_weight_count(self):
+        layer = ConvLayer("g", h=8, w=8, ci=32, co=64, kh=3, kw=3, padding=1, groups=4)
+        assert layer.weight_elements == 3 * 3 * 8 * 64
+
+    def test_depthwise_macs(self):
+        layer = depthwise(ch=64)
+        assert layer.macs == 56 * 56 * 64 * 9  # one input channel per output
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", h=8, w=8, ci=10, co=8, kh=1, kw=1, groups=4)
+
+    def test_input_channels_for_dense(self):
+        layer = ConvLayer("d", h=8, w=8, ci=32, co=64, kh=1, kw=1)
+        assert layer.input_channels_for(8) == 32
+
+    def test_input_channels_for_depthwise(self):
+        assert depthwise(ch=64).input_channels_for(8) == 8
+        assert depthwise(ch=64).input_channels_for(64) == 64
+
+    def test_input_channels_for_grouped(self):
+        layer = ConvLayer("g", h=8, w=8, ci=32, co=64, kh=1, kw=1, groups=4)
+        # 16 outputs per group, 8 inputs per group.
+        assert layer.input_channels_for(16) == 8
+        assert layer.input_channels_for(17) == 16
+        assert layer.input_channels_for(64) == 32
+
+    def test_zero_outputs(self):
+        assert depthwise().input_channels_for(0) == 0
+
+
+class TestGroupedMapping:
+    def test_depthwise_layer_maps(self):
+        hw = case_study_hardware()
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        result = mapper.search_layer(depthwise())
+        assert result.best.energy_pj > 0
+
+    def test_depthwise_utilization_is_poor(self):
+        # A P-wide vector MAC does one useful multiply per lane per cycle on
+        # depthwise layers: utilization is capped near 1/P.
+        hw = case_study_hardware()
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        dw = mapper.search_layer(depthwise())
+        dense = mapper.search_layer(
+            ConvLayer("dense", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        )
+        assert dw.best.utilization < 0.3
+        assert dense.best.utilization > 2 * dw.best.utilization
+
+    def test_depthwise_cheaper_than_dense(self):
+        # 64x fewer MACs and weights must show up as far less energy.
+        hw = case_study_hardware()
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        dw = mapper.search_layer(depthwise())
+        dense = mapper.search_layer(
+            ConvLayer("dense", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        )
+        assert dw.best.energy_pj < dense.best.energy_pj
+
+    def test_simba_handles_depthwise(self):
+        hw = case_study_hardware()
+        report = evaluate_simba(depthwise(), hw)
+        # Depthwise has a 1-channel reduction: no CI split, hence no psum
+        # movement across chiplets.
+        assert report.grid.ci_ways == 1
+        assert report.energy.d2d_pj == 0.0
+
+
+class TestMobileNetV2:
+    def test_layer_count(self):
+        assert len(mobilenetv2(include_fc=True)) == 53
+
+    def test_macs_match_published(self):
+        total = sum(l.macs for l in mobilenetv2())
+        assert total == pytest.approx(300e6, rel=0.05)
+
+    def test_weights_match_published(self):
+        total = sum(l.weight_elements for l in mobilenetv2())
+        assert total == pytest.approx(3.4e6, rel=0.05)
+
+    def test_depthwise_layer_per_block(self):
+        dwise = [l for l in mobilenetv2(include_fc=False) if l.groups > 1]
+        assert len(dwise) == 17  # one per inverted-residual block
+        assert all(l.is_depthwise for l in dwise)
+
+    def test_plane_ends_at_seven(self):
+        last_conv = mobilenetv2(include_fc=False)[-1]
+        assert last_conv.ho == 7
+
+    def test_expansion_structure(self):
+        layers = {l.name: l for l in mobilenetv2(include_fc=False)}
+        assert "block1_expand" not in layers  # first block has t=1
+        assert layers["block2_expand"].co == 6 * layers["block2_expand"].ci

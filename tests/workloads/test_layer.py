@@ -1,0 +1,147 @@
+"""Tests for convolution layer geometry and tile arithmetic."""
+
+import pytest
+
+from repro.workloads.layer import ConvLayer, ceil_div, fc_as_pointwise, tile_extent
+
+
+def layer_3x3(h=56, w=56, ci=64, co=128):
+    return ConvLayer("t", h=h, w=w, ci=ci, co=co, kh=3, kw=3, stride=1, padding=1)
+
+
+class TestGeometry:
+    def test_same_padding_preserves_plane(self):
+        layer = layer_3x3()
+        assert (layer.ho, layer.wo) == (56, 56)
+
+    def test_strided_large_kernel(self):
+        # ResNet-50 conv1: 224x224, 7x7, s2, p3 -> 112x112.
+        layer = ConvLayer("c1", h=224, w=224, ci=3, co=64, kh=7, kw=7, stride=2, padding=3)
+        assert (layer.ho, layer.wo) == (112, 112)
+
+    def test_alexnet_conv1(self):
+        layer = ConvLayer("c1", h=224, w=224, ci=3, co=96, kh=11, kw=11, stride=4, padding=2)
+        assert (layer.ho, layer.wo) == (55, 55)
+
+    def test_macs(self):
+        layer = layer_3x3()
+        assert layer.macs == 56 * 56 * 128 * 3 * 3 * 64
+
+    def test_element_counts(self):
+        layer = layer_3x3()
+        assert layer.output_elements == 56 * 56 * 128
+        assert layer.input_elements == 56 * 56 * 64
+        assert layer.weight_elements == 3 * 3 * 64 * 128
+
+    def test_halo_is_kernel_minus_stride(self):
+        layer = ConvLayer("c", h=64, w=64, ci=8, co=8, kh=7, kw=7, stride=2, padding=3)
+        assert layer.halo_rows == 5  # the paper's "five elements on each side"
+        assert layer.halo_cols == 5
+
+    def test_no_halo_when_stride_matches_kernel(self):
+        layer = ConvLayer("c", h=64, w=64, ci=8, co=8, kh=2, kw=2, stride=2)
+        assert layer.halo_rows == 0
+
+    def test_pointwise_detection(self):
+        assert fc_as_pointwise("fc", 512, 10).is_pointwise
+        assert not layer_3x3().is_pointwise
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", h=2, w=2, ci=1, co=1, kh=5, kw=5)
+
+    @pytest.mark.parametrize("field", ["h", "w", "ci", "co", "kh", "kw", "stride"])
+    def test_nonpositive_dims_raise(self, field):
+        kwargs = dict(h=8, w=8, ci=4, co=4, kh=3, kw=3, stride=1, padding=1)
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ConvLayer("bad", **kwargs)
+
+
+class TestTileArithmetic:
+    def test_input_rows_sliding_window(self):
+        layer = layer_3x3()
+        assert layer.input_rows_for(1) == 3
+        assert layer.input_rows_for(8) == 10
+
+    def test_input_rows_with_stride(self):
+        layer = ConvLayer("c", h=64, w=64, ci=8, co=8, kh=7, kw=7, stride=2, padding=3)
+        assert layer.input_rows_for(4) == 3 * 2 + 7  # (n-1)*s + k
+
+    def test_zero_rows(self):
+        assert layer_3x3().input_rows_for(0) == 0
+
+    def test_input_tile_elements_full_ci_default(self):
+        layer = layer_3x3()
+        assert layer.input_tile_elements(8, 8) == 10 * 10 * 64
+
+    def test_input_tile_elements_channel_subset(self):
+        layer = layer_3x3()
+        assert layer.input_tile_elements(8, 8, channels=8) == 10 * 10 * 8
+
+    def test_weights_for(self):
+        layer = layer_3x3()
+        assert layer.weights_for(8) == 3 * 3 * 64 * 8
+        assert layer.weights_for(8, in_channels=16) == 3 * 3 * 16 * 8
+
+    def test_negative_tile_raises(self):
+        with pytest.raises(ValueError):
+            layer_3x3().input_rows_for(-1)
+
+
+class TestScaling:
+    def test_scale_to_512(self):
+        layer = layer_3x3(h=224, w=224).scaled_to(512)
+        assert layer.h == 512 and layer.w == 512
+
+    def test_scale_identity(self):
+        layer = layer_3x3()
+        assert layer.scaled_to(224) is layer
+
+    def test_fc_does_not_scale(self):
+        fc = fc_as_pointwise("fc", 512, 10)
+        assert fc.scaled_to(512) is fc
+
+    def test_scale_never_below_kernel(self):
+        tiny = ConvLayer("c", h=7, w=7, ci=8, co=8, kh=7, kw=7, stride=1, padding=3)
+        scaled = tiny.scaled_to(112, base_resolution=224)
+        assert scaled.h >= scaled.kh
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+        assert ceil_div(0, 3) == 0
+
+    def test_ceil_div_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_tile_extent_partition_sums_to_total(self):
+        for total, ways in [(56, 4), (55, 8), (7, 3), (10, 16)]:
+            extents = [tile_extent(total, ways, i) for i in range(ways)]
+            assert sum(extents) == total
+            assert all(e >= 0 for e in extents)
+
+    def test_tile_extent_first_is_largest(self):
+        assert tile_extent(55, 8, 0) >= tile_extent(55, 8, 7)
+
+    def test_tile_extent_bounds(self):
+        with pytest.raises(ValueError):
+            tile_extent(10, 2, 2)
+        with pytest.raises(ValueError):
+            tile_extent(10, 0, 0)
+
+    def test_fc_as_pointwise_shape(self):
+        fc = fc_as_pointwise("fc6", 9216, 4096)
+        assert (fc.h, fc.w, fc.ci, fc.co) == (1, 1, 9216, 4096)
+        assert fc.macs == 9216 * 4096
+
+    def test_fc_invalid(self):
+        with pytest.raises(ValueError):
+            fc_as_pointwise("fc", 0, 10)
+
+    def test_describe_mentions_shape(self):
+        text = layer_3x3().describe()
+        assert "56x56" in text and "k=3x3" in text

@@ -1,0 +1,129 @@
+"""Tests pinning the four benchmark networks to their published shapes."""
+
+import pytest
+
+from repro.workloads.models import (
+    alexnet,
+    darknet19,
+    peak_activation_elements,
+    peak_weight_elements,
+    resnet50,
+    vgg16,
+)
+
+
+class TestAlexNet:
+    def test_layer_count(self):
+        assert len(alexnet(include_fc=False)) == 5
+        assert len(alexnet(include_fc=True)) == 8
+
+    def test_kernel_diversity(self):
+        # "AlexNet contains convolution layers of diverse kernel sizes,
+        # ranging from 3x3 to 11x11."
+        kernels = {l.kh for l in alexnet(include_fc=False)}
+        assert 11 in kernels and 3 in kernels and 5 in kernels
+
+    def test_total_macs_about_1_1g(self):
+        total = sum(l.macs for l in alexnet())
+        assert total == pytest.approx(1.14e9, rel=0.1)
+
+
+class TestVGG16:
+    def test_layer_count(self):
+        assert len(vgg16(include_fc=False)) == 13
+        assert len(vgg16(include_fc=True)) == 16
+
+    def test_total_macs_about_15_5g(self):
+        total = sum(l.macs for l in vgg16())
+        assert total == pytest.approx(15.47e9, rel=0.02)
+
+    def test_all_convs_are_3x3(self):
+        assert all(l.kh == 3 for l in vgg16(include_fc=False))
+
+    def test_conv1_is_activation_intensive(self):
+        conv1 = vgg16(include_fc=False)[0]
+        assert conv1.input_elements + conv1.output_elements > 10 * conv1.weight_elements
+
+    def test_conv12_is_weight_intensive(self):
+        conv12 = next(l for l in vgg16(include_fc=False) if l.name == "conv12")
+        assert conv12.weight_elements > 4 * conv12.input_elements
+
+    def test_weight_total_about_138m(self):
+        total = sum(l.weight_elements for l in vgg16())
+        assert total == pytest.approx(138.3e6, rel=0.02)
+
+
+class TestResNet50:
+    def test_layer_count(self):
+        # conv1 + 16 bottlenecks x 3 + 4 projections + fc = 54.
+        assert len(resnet50(include_fc=True)) == 54
+
+    def test_total_macs_about_3_9g(self):
+        total = sum(l.macs for l in resnet50())
+        assert total == pytest.approx(3.86e9, rel=0.05)
+
+    def test_wide_model_reaches_2048_channels(self):
+        # "ResNet-50 and DarkNet-19 are wide models with up to 2048 channels."
+        assert max(l.co for l in resnet50(include_fc=False)) == 2048
+
+    def test_case_study_layers_exist(self):
+        names = {l.name for l in resnet50(include_fc=False)}
+        assert {"conv1", "res2a_branch2a", "res2a_branch2b"} <= names
+
+    def test_res2a_branch2a_shape(self):
+        layer = next(l for l in resnet50() if l.name == "res2a_branch2a")
+        assert (layer.h, layer.ci, layer.co, layer.kh) == (56, 64, 64, 1)
+
+    def test_plane_shrinks_early(self):
+        # "The feature map size in ResNet-50 reduces earlier than that in
+        # VGG-16 and DarkNet-19": peak activations ~4x smaller.
+        res_peak = peak_activation_elements(resnet50(include_fc=False))
+        vgg_peak = peak_activation_elements(vgg16(include_fc=False))
+        assert vgg_peak >= 3 * res_peak
+
+
+class TestDarkNet19:
+    def test_layer_count(self):
+        assert len(darknet19(include_fc=False)) == 18
+        assert len(darknet19(include_fc=True)) == 19
+
+    def test_alternating_kernels(self):
+        kernels = [l.kh for l in darknet19(include_fc=False)]
+        assert set(kernels) == {1, 3}
+
+    def test_total_macs_about_2_8g(self):
+        total = sum(l.macs for l in darknet19())
+        assert total == pytest.approx(2.79e9, rel=0.05)
+
+    def test_head_is_pointwise(self):
+        head = darknet19(include_fc=True)[-1]
+        assert head.is_pointwise and head.co == 1000
+
+    def test_peak_weights_larger_than_resnet_convs(self):
+        # Section VI-B2: DarkNet's peak weight storage (4.5 MB layer) exceeds
+        # VGG/ResNet convolution layers (2.25 MB).
+        dark = peak_weight_elements(darknet19(include_fc=False))
+        res = peak_weight_elements(resnet50(include_fc=False))
+        assert dark == 2 * res
+
+
+class TestResolutionScaling:
+    @pytest.mark.parametrize("builder", [alexnet, vgg16, resnet50, darknet19])
+    def test_512_scales_planes_not_channels(self, builder):
+        base = builder(224, include_fc=False)
+        scaled = builder(512, include_fc=False)
+        assert scaled[0].h == pytest.approx(base[0].h * 512 / 224, abs=2)
+        assert [l.ci for l in scaled] == [l.ci for l in base]
+        assert [l.co for l in scaled] == [l.co for l in base]
+
+    @pytest.mark.parametrize("builder", [vgg16, resnet50, darknet19])
+    def test_512_macs_grow_quadratically(self, builder):
+        base = sum(l.macs for l in builder(224, include_fc=False))
+        scaled = sum(l.macs for l in builder(512, include_fc=False))
+        assert scaled / base == pytest.approx((512 / 224) ** 2, rel=0.1)
+
+    def test_peak_helpers_reject_empty(self):
+        with pytest.raises(ValueError):
+            peak_activation_elements([])
+        with pytest.raises(ValueError):
+            peak_weight_elements([])

@@ -1,0 +1,34 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.workloads.registry import get_model, list_models
+
+
+class TestRegistry:
+    def test_all_four_models_registered(self):
+        assert list_models() == [
+            "alexnet", "darknet19", "mobilenetv2", "resnet50", "vgg16"
+        ]
+
+    def test_get_by_name(self):
+        assert len(get_model("vgg16")) == 16
+
+    def test_case_insensitive(self):
+        assert len(get_model("VGG16")) == 16
+
+    def test_resolution_argument(self):
+        layers = get_model("vgg16", resolution=512)
+        assert layers[0].h == 512
+
+    def test_at_suffix_overrides_resolution(self):
+        layers = get_model("vgg16@512", resolution=224)
+        assert layers[0].h == 512
+
+    def test_include_fc_flag(self):
+        assert len(get_model("vgg16", include_fc=False)) == 13
+
+    def test_unknown_model_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("mobilenet-v9")
+        assert "vgg16" in str(excinfo.value)

@@ -1,0 +1,59 @@
+"""Tests for workload statistics."""
+
+import pytest
+
+from repro.workloads.extraction import LayerKind
+from repro.workloads.models import mobilenetv2, resnet50, vgg16
+from repro.workloads.stats import LayerStats, ModelStats
+from repro.workloads.layer import ConvLayer
+
+
+class TestLayerStats:
+    def test_arithmetic_intensity(self):
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
+        stats = LayerStats.of(layer)
+        moved = layer.input_elements + layer.weight_elements + layer.output_elements
+        assert stats.arithmetic_intensity == pytest.approx(layer.macs / moved)
+
+    def test_depthwise_has_low_intensity(self):
+        dense = LayerStats.of(
+            ConvLayer("d", h=28, w=28, ci=128, co=128, kh=3, kw=3, padding=1)
+        )
+        dwise = LayerStats.of(
+            ConvLayer("dw", h=28, w=28, ci=128, co=128, kh=3, kw=3, padding=1, groups=128)
+        )
+        assert dwise.arithmetic_intensity < dense.arithmetic_intensity / 10
+
+    def test_kind_recorded(self):
+        layer = ConvLayer("pw", h=28, w=28, ci=64, co=64, kh=1, kw=1)
+        assert LayerStats.of(layer).kind is LayerKind.POINTWISE
+
+
+class TestModelStats:
+    def test_vgg_summary(self):
+        stats = ModelStats.of("vgg16", vgg16())
+        assert stats.layers == 16
+        assert stats.total_macs == pytest.approx(15.47e9, rel=0.02)
+        assert stats.kind_histogram[LayerKind.POINTWISE] == 3  # the FCs
+
+    def test_resnet_has_many_pointwise(self):
+        stats = ModelStats.of("resnet50", resnet50())
+        assert stats.kind_histogram[LayerKind.POINTWISE] > 20
+        assert stats.kind_histogram[LayerKind.LARGE_KERNEL] == 1
+
+    def test_mobilenet_low_intensity(self):
+        mobile = ModelStats.of("mobilenetv2", mobilenetv2())
+        vgg = ModelStats.of("vgg16", vgg16())
+        assert mobile.mean_arithmetic_intensity < vgg.mean_arithmetic_intensity
+
+    def test_histogram_covers_all_layers(self):
+        stats = ModelStats.of("vgg16", vgg16())
+        assert sum(stats.kind_histogram.values()) == stats.layers
+
+    def test_describe(self):
+        text = ModelStats.of("vgg16", vgg16()).describe()
+        assert "vgg16" in text and "GMACs" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModelStats.of("empty", [])
