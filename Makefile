@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full bench-smoke ci lint examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,8 +11,33 @@ test:
 test-fast:
 	pytest tests/ -x -q -m "not slow"
 
+# Cheap static-analysis gate (mirrors the CI lint job).  Prefers ruff,
+# falls back to pyflakes, and degrades to a syntax check when neither is
+# installed so the target never blocks on optional tooling.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif python -c "import pyflakes" >/dev/null 2>&1; then \
+		python -m pyflakes src/repro tests benchmarks examples; \
+	else \
+		echo "ruff/pyflakes not installed; syntax check only"; \
+		python -m compileall -q src tests benchmarks examples; \
+	fi
+
+# Mirrors .github/workflows/ci.yml so CI and local runs stay in lockstep:
+# lint, the tier-1 suite, then the fast benchmark smoke subset.
+ci: lint
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
+	$(MAKE) bench-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# The fast benchmark subset CI runs on every push to catch perf-path
+# regressions without paying for the full sweep.
+bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
+		benchmarks/bench_fig10_memory_model.py --benchmark-only -q
 
 # The paper-fidelity run: exhaustive mapping search and the full Figure 15
 # memory sweep (tens of minutes on one core).

@@ -5,14 +5,17 @@ count best implementations with and without the 2 mm^2 chiplet area
 constraint, plus the EDP winner (the paper's red dotted box: 4-4-16-8).
 """
 
-from conftest import bench_profile
+from conftest import bench_jobs, bench_profile
 from repro.analysis.experiments import FIG14_MODELS, fig14_data
 from repro.analysis.reporting import format_table
 
 
 def test_fig14_granularity(benchmark, record):
     data = benchmark.pedantic(
-        fig14_data, kwargs={"profile": bench_profile()}, rounds=1, iterations=1
+        fig14_data,
+        kwargs={"profile": bench_profile(), "jobs": bench_jobs()},
+        rounds=1,
+        iterations=1,
     )
     rows = []
     for model in FIG14_MODELS:

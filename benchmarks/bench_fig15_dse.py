@@ -10,17 +10,21 @@ subsamples it with REPRO_FIG15_STRIDE=4 (the structural sweep size is
 reported either way).
 """
 
-from collections import Counter
-
-from conftest import fig15_stride
+from conftest import bench_jobs, fig15_stride
 from repro.analysis.experiments import fig15_data
-from repro.analysis.reporting import format_scatter, format_table
+from repro.analysis.reporting import format_scatter, format_search_stats, format_table
+from repro.core.parallel import SweepStats
 
 
 def test_fig15_design_space(benchmark, record):
+    stats = SweepStats()
     data = benchmark.pedantic(
         fig15_data,
-        kwargs={"memory_stride": fig15_stride()},
+        kwargs={
+            "memory_stride": fig15_stride(),
+            "jobs": bench_jobs(),
+            "stats": stats,
+        },
         rounds=1,
         iterations=1,
     )
@@ -28,6 +32,7 @@ def test_fig15_design_space(benchmark, record):
     models = list(valid[0].energy_pj) if valid else []
 
     sections = [
+        format_search_stats(stats),
         f"Figure 15 -- 4096-MAC DSE: {data.swept} sweep points (paper: >100,000), "
         f"{len(valid)} valid evaluated at stride {fig15_stride()} (paper: ~5,800), "
         f"chiplet area constraint {data.area_constraint_mm2} mm^2",

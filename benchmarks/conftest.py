@@ -10,6 +10,9 @@ Environment knobs:
   (``exhaustive`` / ``fast`` / ``minimal``; default ``fast``).
 * ``REPRO_FIG15_STRIDE`` -- memory-sweep subsampling for the Figure 15 DSE
   (default 4; 1 reproduces the full sweep and takes tens of minutes).
+* ``REPRO_JOBS`` -- worker processes for the DSE sweeps (default serial;
+  ``0`` uses every core).  Sweep results are bit-identical at every count.
+* ``REPRO_CACHE_DIR`` -- persist the mapping cache across runs.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.parallel import resolve_jobs
 from repro.core.space import SearchProfile
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,6 +37,11 @@ def bench_profile() -> SearchProfile:
 def fig15_stride() -> int:
     """Memory-sweep stride for the Figure 15 DSE."""
     return int(os.environ.get("REPRO_FIG15_STRIDE", "4"))
+
+
+def bench_jobs() -> int:
+    """Worker-process count for the sweep benches (REPRO_JOBS, default 1)."""
+    return resolve_jobs(None)
 
 
 @pytest.fixture

@@ -43,15 +43,18 @@ from repro.core import (
     LoopNest,
     Mapper,
     Mapping,
+    MappingCache,
     MappingSpace,
     NNBaton,
     PlanarGrid,
     RotationKind,
     SpatialPrimitive,
+    SweepStats,
     TemporalPrimitive,
     evaluate_mapping,
     explore,
     granularity_study,
+    resolve_jobs,
 )
 from repro.core.space import SearchProfile
 from repro.simba import evaluate_simba, evaluate_simba_model
@@ -80,6 +83,7 @@ __all__ = [
     "LoopNest",
     "Mapper",
     "Mapping",
+    "MappingCache",
     "MappingSpace",
     "MemoryConfig",
     "NNBaton",
@@ -88,6 +92,7 @@ __all__ = [
     "RotationKind",
     "SearchProfile",
     "SpatialPrimitive",
+    "SweepStats",
     "TechnologyParams",
     "TemporalPrimitive",
     "Topology",
@@ -104,6 +109,7 @@ __all__ = [
     "load_model_file",
     "proportional_memory",
     "representative_layers",
+    "resolve_jobs",
     "save_model_file",
     "simba_like_hardware",
     "simulate_runtime",

@@ -24,6 +24,7 @@ from repro.core.dse import (
 )
 from repro.core.loopnest import LoopNest
 from repro.core.mapper import Mapper
+from repro.core.parallel import SweepStats
 from repro.core.partition import (
     PlanarGrid,
     conflict_elements,
@@ -386,6 +387,8 @@ def fig14_data(
     resolution: int = 224,
     profile: SearchProfile = SearchProfile.FAST,
     models: dict | None = None,
+    jobs: int | None = None,
+    stats: SweepStats | None = None,
 ) -> Fig14Data:
     """The chiplet-granularity study (Figure 14)."""
     builders = models or FIG14_MODELS
@@ -394,7 +397,7 @@ def fig14_data(
         for name, builder in builders.items()
     }
     points = granularity_study(
-        layer_sets, total_macs=total_macs, profile=profile
+        layer_sets, total_macs=total_macs, profile=profile, jobs=jobs, stats=stats
     )
     return Fig14Data(
         points=tuple(points),
@@ -452,11 +455,14 @@ def fig15_data(
     max_valid_points: int | None = None,
     models: dict[str, list[ConvLayer]] | None = None,
     space: DesignSpace | None = None,
+    jobs: int | None = None,
+    stats: SweepStats | None = None,
 ) -> Fig15Data:
     """The full design-space exploration (Figure 15).
 
     ``memory_stride`` subsamples the Table II memory sweep for quick runs;
-    the structural sweep size is reported either way.
+    the structural sweep size is reported either way.  ``jobs`` fans the
+    sweep out over worker processes (``None`` defers to ``REPRO_JOBS``).
     """
     benchmark_models = models or fig15_models()
     space = space or DesignSpace()
@@ -468,6 +474,8 @@ def fig15_data(
         profile=profile,
         memory_stride=memory_stride,
         max_valid_points=max_valid_points,
+        jobs=jobs,
+        stats=stats,
     )
     return Fig15Data(
         points=tuple(points),

@@ -55,6 +55,33 @@ def format_percent(fraction: float, digits: int = 1) -> str:
     return f"{fraction * 100:.{digits}f}%"
 
 
+def format_search_stats(stats) -> str:
+    """Render a :class:`repro.core.parallel.SweepStats` run summary.
+
+    One headline line (throughput, worker count) plus per-stage timings and
+    mapping-cache counters when the run recorded any.
+    """
+    lines = [
+        f"Search: {stats.points_evaluated}/{stats.points_total} points "
+        f"evaluated in {stats.wall_s:.2f} s "
+        f"({stats.points_per_sec:.1f} points/s, {stats.jobs} job"
+        f"{'s' if stats.jobs != 1 else ''})"
+    ]
+    if stats.stage_s:
+        stages = ", ".join(
+            f"{name} {seconds:.2f} s" for name, seconds in stats.stage_s.items()
+        )
+        lines.append(f"  stages: {stages}")
+    lookups = stats.cache_hits + stats.cache_misses
+    if lookups:
+        rate = stats.cache_hits / lookups
+        lines.append(
+            f"  mapping cache: {stats.cache_hits} hits / "
+            f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
+        )
+    return "\n".join(lines)
+
+
 def format_scatter(
     points: Sequence[tuple[float, float, str]],
     width: int = 70,

@@ -17,7 +17,7 @@ the paper's qualitative DSE conclusions hold (see DESIGN.md section 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -16,10 +16,12 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_search_stats, format_table
 from repro.arch.config import build_hardware, case_study_hardware
 from repro.arch.technology import TABLE_I
 from repro.core.baton import NNBaton
+from repro.core.cache import MappingCache
+from repro.core.parallel import SweepStats
 from repro.core.serialize import compiler_report
 from repro.core.space import SearchProfile
 from repro.simba import evaluate_simba_model
@@ -40,6 +42,16 @@ def _parse_hw(spec: str):
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
     return build_hardware(chiplets, cores, lanes, vector)
+
+
+def _parse_jobs(spec: str) -> int:
+    try:
+        jobs = int(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid int value: {spec!r}") from exc
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    return jobs
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -117,10 +129,17 @@ def cmd_map(args: argparse.Namespace) -> int:
     hw = _resolve_hw(args)
     layers, model_name = _resolve_model(args)
     objective = edp_objective if args.objective == "edp" else energy_objective
-    mapper = Mapper(
-        hw=hw, profile=SearchProfile(args.profile), objective=objective
+    cache = (
+        MappingCache(args.cache_dir) if args.cache_dir else MappingCache.from_env()
     )
-    results = mapper.search_model(layers)
+    stats = SweepStats()
+    mapper = Mapper(
+        hw=hw,
+        profile=SearchProfile(args.profile),
+        objective=objective,
+        cache=cache,
+    )
+    results = mapper.search_model(layers, jobs=args.jobs, stats=stats)
     energy, cycles, edp = model_cost([r.best for r in results], hw)
     result = PostDesignResult(
         hw=hw, layers=tuple(results), energy=energy, cycles=cycles, edp_js=edp
@@ -147,6 +166,8 @@ def cmd_map(args: argparse.Namespace) -> int:
         f"{result.cycles:,} cycles ({result.runtime_s() * 1e3:.2f} ms), "
         f"EDP {result.edp_js:.3e} Js"
     )
+    print(format_search_stats(stats))
+    print(f"Mapping cache: {cache.describe()}")
 
     if args.json:
         reports = [
@@ -198,17 +219,21 @@ def cmd_explore(args: argparse.Namespace) -> int:
         for name in args.models.split(",")
     }
     baton = NNBaton()
+    stats = SweepStats()
     result = baton.pre_design(
         models,
         required_macs=args.macs,
         max_chiplet_mm2=args.area,
         memory_stride=args.stride,
         profile=SearchProfile(args.profile),
+        jobs=args.jobs,
+        stats=stats,
     )
     print(
         f"Swept {result.swept} design points; "
         f"{len(result.valid_points)} valid evaluated."
     )
+    print(format_search_stats(stats))
     if result.recommended is None:
         print("No design satisfies the budgets.")
         return 1
@@ -279,6 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-layer search objective",
     )
     map_cmd.add_argument("--json", help="write the compiler report to this path")
+    map_cmd.add_argument(
+        "--jobs", type=_parse_jobs, default=None,
+        help="worker processes for the layer search "
+        "(default: $REPRO_JOBS, then serial; 0 = all cores)",
+    )
+    map_cmd.add_argument(
+        "--cache-dir",
+        help="persist the mapping cache under this directory "
+        "(default: $REPRO_CACHE_DIR, else memory-only)",
+    )
     map_cmd.set_defaults(func=cmd_map)
 
     compare = sub.add_parser("compare", help="compare against the Simba baseline")
@@ -301,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", choices=[p.value for p in SearchProfile], default="minimal"
     )
     explore.add_argument("--csv", help="export valid design points to this CSV")
+    explore.add_argument(
+        "--jobs", type=_parse_jobs, default=None,
+        help="worker processes fanning sweep points out "
+        "(default: $REPRO_JOBS, then serial; 0 = all cores)",
+    )
     explore.set_defaults(func=cmd_explore)
 
     return parser

@@ -20,7 +20,9 @@
 """
 
 from repro.core.baton import NNBaton, PostDesignResult, PreDesignResult
+from repro.core.cache import MappingCache
 from repro.core.cost import CostReport, EnergyBreakdown, evaluate_mapping
+from repro.core.parallel import SweepStats, resolve_jobs, run_tasks
 from repro.core.heuristics import heuristic_map_model, heuristic_mapping
 from repro.core.c3p import C3PAnalysis, CriticalPoint
 from repro.core.loopnest import Loop, LoopNest
@@ -57,8 +59,10 @@ __all__ = [
     "LoopOrder",
     "Mapper",
     "Mapping",
+    "MappingCache",
     "MappingSpace",
     "NNBaton",
+    "SweepStats",
     "PartitionDim",
     "PlanarGrid",
     "PostDesignResult",
@@ -74,6 +78,8 @@ __all__ = [
     "heuristic_mapping",
     "pareto_front",
     "refine_with_simulator",
+    "resolve_jobs",
+    "run_tasks",
     "halo_redundancy_ratio",
     "map_model",
 ]

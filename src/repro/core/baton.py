@@ -19,6 +19,7 @@ from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
 from repro.core.cost import EnergyBreakdown, model_cost
 from repro.core.dse import DesignPoint, DesignSpace, best_point, explore
 from repro.core.mapper import LayerMappingResult, Mapper
+from repro.core.parallel import SweepStats
 from repro.core.space import SearchProfile
 from repro.workloads.layer import ConvLayer
 
@@ -84,11 +85,23 @@ class NNBaton:
     profile: SearchProfile = SearchProfile.EXHAUSTIVE
 
     def post_design(
-        self, layers: list[ConvLayer], hw: HardwareConfig
+        self,
+        layers: list[ConvLayer],
+        hw: HardwareConfig,
+        jobs: int | None = None,
+        stats: SweepStats | None = None,
     ) -> PostDesignResult:
-        """Map every layer of a model onto a fixed hardware configuration."""
+        """Map every layer of a model onto a fixed hardware configuration.
+
+        Args:
+            layers: The model's layers.
+            hw: The machine to map onto.
+            jobs: Worker processes for the layer search (``None`` defers to
+                ``REPRO_JOBS``, then serial).
+            stats: Optional instrumentation record filled in place.
+        """
         mapper = Mapper(hw=hw, profile=self.profile)
-        results = mapper.search_model(layers)
+        results = mapper.search_model(layers, jobs=jobs, stats=stats)
         energy, cycles, edp = model_cost([r.best for r in results], hw)
         return PostDesignResult(
             hw=hw,
@@ -110,6 +123,8 @@ class NNBaton:
         max_valid_points: int | None = None,
         profile: SearchProfile | None = None,
         max_runtime_s: float | None = None,
+        jobs: int | None = None,
+        stats: SweepStats | None = None,
     ) -> PreDesignResult:
         """Explore the design space and recommend a configuration.
 
@@ -126,6 +141,10 @@ class NNBaton:
             profile: Mapping-search profile for the sweep (defaults to FAST;
                 large sweeps typically use MINIMAL).
             max_runtime_s: Performance budget on the primary model.
+            jobs: Worker processes fanning sweep points out (``None`` defers
+                to ``REPRO_JOBS``, then serial); results are bit-identical
+                at every worker count.
+            stats: Optional instrumentation record filled in place.
         """
         if not models:
             raise ValueError("models must be non-empty")
@@ -141,6 +160,8 @@ class NNBaton:
             tech=self.tech,
             memory_stride=memory_stride,
             max_valid_points=max_valid_points,
+            jobs=jobs,
+            stats=stats,
         )
         recommended = best_point(
             points,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.loopnest import Loop, LoopNest
+from repro.core.loopnest import LoopNest
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,262 @@
+"""Persistent mapping cache for the sweep-scale search paths.
+
+The DSE sweeps (:mod:`repro.core.dse`) evaluate thousands of hardware points
+and every model layer on each of them, yet the search space is heavily
+redundant: models repeat layer shapes (ResNet-50's bottlenecks), and sweeps
+repeat hardware points across runs.  This module memoizes
+:meth:`repro.core.mapper.Mapper.search_layer` results behind a key that
+captures everything the search depends on:
+
+``(layer shape, hardware digest, search profile, objective)``
+
+Two tiers back the cache:
+
+* an **in-memory** dict -- always on, shared across ``Mapper`` instances
+  when callers inject one cache object;
+* an optional **on-disk JSON store** under ``.repro_cache/`` (or the
+  directory named by ``REPRO_CACHE_DIR``) holding the *winning mapping* of
+  each entry, serialized with :mod:`repro.core.serialize`.  On a disk hit
+  the single stored mapping is re-evaluated (one cost-model call instead of
+  a full search), so results are bit-identical to a fresh search.
+
+Hit/miss counters feed the instrumentation surfaced by the CLI and
+:func:`repro.analysis.reporting.format_search_stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.arch.config import HardwareConfig
+from repro.core.serialize import hardware_digest, mapping_from_dict
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default directory name for the on-disk store (under the working dir).
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+
+#: On-disk schema version; bump to invalidate every stored entry.
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_key(
+    shape_key: tuple,
+    hw_digest: str,
+    profile: str,
+    objective: str,
+) -> str:
+    """The canonical string key of one search result.
+
+    Args:
+        shape_key: ``Mapper._shape_key``-style layer geometry tuple.
+        hw_digest: :func:`repro.core.serialize.hardware_digest` of the machine.
+        profile: Search-profile value (``"exhaustive"`` / ``"fast"`` / ...).
+        objective: Objective function name (``"energy_objective"`` / ...).
+    """
+    shape = "x".join(str(v) for v in shape_key)
+    return f"{shape}|{hw_digest}|{profile}|{objective}"
+
+
+class MappingCache:
+    """Two-tier (memory + optional disk) store of per-layer search results.
+
+    The in-memory tier holds opaque result objects
+    (:class:`repro.core.mapper.LayerMappingResult`); the disk tier holds
+    JSON records of the winning mapping plus the search statistics, grouped
+    into one file per hardware digest so unrelated machines never contend.
+
+    Attributes:
+        directory: Disk-store directory, or ``None`` for memory-only.
+        hits: Lookups answered from either tier.
+        misses: Lookups that required a fresh search.
+        disk_hits: Subset of ``hits`` answered by re-evaluating a stored
+            mapping from disk.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self._mem: dict[str, Any] = {}
+        self._disk: dict[str, dict[str, Any]] = {}
+        self._loaded_digests: set[str] = set()
+        self._dirty_digests: set[str] = set()
+
+    @classmethod
+    def from_env(cls) -> "MappingCache":
+        """A cache honouring ``REPRO_CACHE_DIR`` (memory-only when unset)."""
+        directory = os.environ.get(CACHE_DIR_ENV, "").strip()
+        return cls(directory or None)
+
+    # --- lookups ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is answerable without a fresh search (no counting)."""
+        if key in self._mem:
+            return True
+        self._ensure_loaded(self._digest_of(key))
+        return key in self._disk
+
+    def get(
+        self,
+        key: str,
+        rebuild: Callable[[dict[str, Any]], Any] | None = None,
+    ) -> Any | None:
+        """Fetch the result stored under ``key``, counting hit or miss.
+
+        Args:
+            key: A :func:`cache_key` string.
+            rebuild: Turns a disk record (``{"mapping": ..., "evaluated": n,
+                "invalid": n}``) back into a result object; disk lookups are
+                skipped when omitted.  A rebuild that returns ``None`` (the
+                record no longer evaluates) falls through to a miss.
+        """
+        cached = self._mem.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        if rebuild is not None and self.directory is not None:
+            self._ensure_loaded(self._digest_of(key))
+            record = self._disk.get(key)
+            if record is not None:
+                result = rebuild(record)
+                if result is not None:
+                    self._mem[key] = result
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        key: str,
+        result: Any,
+        record: dict[str, Any] | None = None,
+    ) -> None:
+        """Store a fresh search result (and its disk record, when enabled)."""
+        self._mem[key] = result
+        if self.directory is not None and record is not None:
+            self._disk[key] = record
+            self._dirty_digests.add(self._digest_of(key))
+
+    # --- disk tier -------------------------------------------------------------
+
+    @staticmethod
+    def _digest_of(key: str) -> str:
+        return key.split("|", 2)[1]
+
+    def _path_for(self, digest: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"mappings-{digest[:16]}.json"
+
+    def _ensure_loaded(self, digest: str) -> None:
+        """Lazily read the disk file of one hardware digest."""
+        if self.directory is None or digest in self._loaded_digests:
+            return
+        self._loaded_digests.add(digest)
+        path = self._path_for(digest)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return
+        for key, record in payload.get("entries", {}).items():
+            self._disk.setdefault(key, record)
+
+    def save(self) -> None:
+        """Flush dirty entries to disk (merge + atomic rename per digest).
+
+        Existing entries written by other processes since the last load are
+        merged back in, so concurrent sweeps extend -- never truncate -- the
+        store.
+        """
+        if self.directory is None or not self._dirty_digests:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for digest in sorted(self._dirty_digests):
+            path = self._path_for(digest)
+            entries: dict[str, Any] = {}
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("version") == CACHE_FORMAT_VERSION:
+                    entries.update(payload.get("entries", {}))
+            except (OSError, ValueError):
+                pass
+            entries.update(
+                {
+                    key: record
+                    for key, record in self._disk.items()
+                    if self._digest_of(key) == digest
+                }
+            )
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(
+                    {"version": CACHE_FORMAT_VERSION, "entries": entries},
+                    indent=None,
+                    sort_keys=True,
+                )
+            )
+            tmp.replace(path)
+        self._dirty_digests.clear()
+
+    # --- instrumentation -------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line counter summary for reports."""
+        tier = str(self.directory) if self.directory else "memory"
+        return (
+            f"{self.hits} hits ({self.disk_hits} from disk) / "
+            f"{self.misses} misses ({self.hit_rate:.0%} hit rate, {tier})"
+        )
+
+
+def rebuild_record(
+    record: dict[str, Any],
+    layer,
+    hw: HardwareConfig,
+):
+    """Re-evaluate a disk record's winning mapping on (``layer``, ``hw``).
+
+    Returns the :class:`~repro.core.cost.CostReport` of the stored mapping,
+    or ``None`` when the mapping no longer evaluates (a schema drift or a
+    corrupted record) -- callers then fall back to a fresh search.
+    """
+    from repro.core.cost import InvalidMappingError, evaluate_mapping
+
+    try:
+        mapping = mapping_from_dict(record["mapping"])
+        return evaluate_mapping(layer, hw, mapping)
+    except (InvalidMappingError, KeyError, TypeError, ValueError):
+        return None
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIRNAME",
+    "MappingCache",
+    "cache_key",
+    "hardware_digest",
+    "rebuild_record",
+]

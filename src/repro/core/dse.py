@@ -31,6 +31,13 @@ from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
 from repro.arch.validate import validation_errors
 from repro.core.cost import InvalidMappingError, model_cost
 from repro.core.mapper import Mapper
+from repro.core.parallel import (
+    SweepStats,
+    is_picklable,
+    resolve_jobs,
+    run_tasks,
+    worker_context,
+)
 from repro.core.space import SearchProfile
 from repro.workloads.layer import ConvLayer
 
@@ -141,17 +148,83 @@ def _evaluate_point(
     hw: HardwareConfig,
     models: dict[str, list[ConvLayer]],
     profile: SearchProfile,
-) -> tuple[dict[str, float], dict[str, int]]:
-    """Optimal-mapping energy and cycles of every model on ``hw``."""
+) -> tuple[dict[str, float], dict[str, int], tuple[int, int]]:
+    """Optimal-mapping energy and cycles of every model on ``hw``.
+
+    Returns the per-model energy and cycle dicts plus the mapping-cache
+    (hits, misses) counters of the point's search.  The layer search runs
+    serially (``jobs=1``): sweep-level parallelism fans out across design
+    points, and nesting pools inside pool workers is never a win.
+    """
     energy: dict[str, float] = {}
     cycles: dict[str, int] = {}
     mapper = Mapper(hw=hw, profile=profile)
     for name, layers in models.items():
-        results = mapper.search_model(layers)
+        results = mapper.search_model(layers, jobs=1)
         breakdown, total_cycles, _ = model_cost([r.best for r in results], hw)
         energy[name] = breakdown.total_pj
         cycles[name] = total_cycles
-    return energy, cycles
+    return energy, cycles, (mapper.cache.hits, mapper.cache.misses)
+
+
+def _make_point(
+    hw: HardwareConfig,
+    models: dict[str, list[ConvLayer]],
+    profile: SearchProfile,
+    required_macs: int | None = None,
+    max_chiplet_mm2: float | None = None,
+) -> tuple[DesignPoint, bool, int, int]:
+    """Validate and (when structurally valid) evaluate one design point.
+
+    Returns ``(point, structurally_valid, cache_hits, cache_misses)``; the
+    flag lets :func:`explore` re-apply ``max_valid_points`` in deterministic
+    sweep order after a parallel fan-out.
+    """
+    errors = validation_errors(
+        hw,
+        required_macs=required_macs,
+        max_chiplet_area_mm2=max_chiplet_mm2,
+    )
+    area = AreaModel(hw).chiplet_area_mm2()
+    point = DesignPoint(
+        hw=hw,
+        chiplet_area_mm2=area,
+        valid=not errors,
+        errors=tuple(errors),
+    )
+    hits = misses = 0
+    structural = point.valid
+    if point.valid:
+        try:
+            point.energy_pj, point.cycles, (hits, misses) = _evaluate_point(
+                hw, models, profile
+            )
+        except InvalidMappingError as exc:
+            point.valid = False
+            point.errors = (str(exc),)
+    return point, structural, hits, misses
+
+
+def _granularity_task(config: tuple[int, int, int, int]):
+    """Worker: one Figure 14 factorization (context: models, profile, tech)."""
+    models, profile, tech = worker_context()
+    n_p, n_c, lane, vec = config
+    hw = build_hardware(n_p, n_c, lane, vec, tech=tech)
+    return _make_point(hw, models, profile)
+
+
+def _explore_task(task: tuple[int, int, int, int, MemoryConfig]):
+    """Worker: one Figure 15 (computation, memory) sweep point."""
+    models, profile, tech, required_macs, max_chiplet_mm2 = worker_context()
+    n_p, n_c, lane, vec, memory = task
+    hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+    return _make_point(
+        hw,
+        models,
+        profile,
+        required_macs=required_macs,
+        max_chiplet_mm2=max_chiplet_mm2,
+    )
 
 
 def granularity_study(
@@ -160,6 +233,8 @@ def granularity_study(
     space: DesignSpace | None = None,
     profile: SearchProfile = SearchProfile.FAST,
     tech: TechnologyParams = DEFAULT_TECHNOLOGY,
+    jobs: int | None = None,
+    stats: SweepStats | None = None,
 ) -> list[DesignPoint]:
     """The Figure 14 study: every factorization of ``total_macs``.
 
@@ -167,25 +242,41 @@ def granularity_study(
     point is evaluated on every model with the optimal mapping strategy.
     Invalid points (structural rule violations) are returned unevaluated so
     callers can report the pruning.
+
+    Args:
+        models: Benchmarks to evaluate (name -> layers).
+        total_macs: Exact MAC budget of every factorization.
+        space: Exploration space (defaults to Table II).
+        profile: Mapping-search profile per point.
+        tech: Technology point.
+        jobs: Worker processes fanning factorizations out (``None`` defers
+            to ``REPRO_JOBS``, then serial); results are bit-identical at
+            every worker count.
+        stats: Optional instrumentation record filled in place.
     """
     space = space or DesignSpace()
+    jobs = resolve_jobs(jobs)
+    context = (models, profile, tech)
+    if jobs > 1 and not is_picklable(context):
+        jobs = 1
+    tasks = space.computation_configs(total_macs)
+    if stats is not None:
+        stats.jobs = max(stats.jobs, jobs)
+        stats.points_total += len(tasks)
+    timer = stats.stage("granularity") if stats else None
+    if timer:
+        timer.__enter__()
+    try:
+        outcomes = run_tasks(_granularity_task, tasks, jobs=jobs, context=context)
+    finally:
+        if timer:
+            timer.__exit__(None, None, None)
     points: list[DesignPoint] = []
-    for n_p, n_c, lane, vec in space.computation_configs(total_macs):
-        hw = build_hardware(n_p, n_c, lane, vec, tech=tech)
-        errors = validation_errors(hw)
-        area = AreaModel(hw).chiplet_area_mm2()
-        point = DesignPoint(
-            hw=hw,
-            chiplet_area_mm2=area,
-            valid=not errors,
-            errors=tuple(errors),
-        )
-        if point.valid:
-            try:
-                point.energy_pj, point.cycles = _evaluate_point(hw, models, profile)
-            except InvalidMappingError as exc:
-                point.valid = False
-                point.errors = (str(exc),)
+    for point, _structural, hits, misses in outcomes:
+        if stats is not None:
+            stats.add_cache(hits, misses)
+            if point.valid:
+                stats.points_evaluated += 1
         points.append(point)
     return points
 
@@ -228,6 +319,19 @@ def best_point(
     return min(eligible, key=scorers[objective])
 
 
+def _sweep_tasks(
+    space: DesignSpace, required_macs: int, memory_stride: int
+) -> list[tuple[int, int, int, int, MemoryConfig]]:
+    """The stride-filtered (computation, memory) task list, in sweep order."""
+    tasks = []
+    for n_p, n_c, lane, vec in space.computation_configs(required_macs):
+        for index, memory in enumerate(space.memory_configs(lane)):
+            if index % memory_stride:
+                continue
+            tasks.append((n_p, n_c, lane, vec, memory))
+    return tasks
+
+
 def explore(
     models: dict[str, list[ConvLayer]],
     required_macs: int,
@@ -237,6 +341,8 @@ def explore(
     tech: TechnologyParams = DEFAULT_TECHNOLOGY,
     max_valid_points: int | None = None,
     memory_stride: int = 1,
+    jobs: int | None = None,
+    stats: SweepStats | None = None,
 ) -> list[DesignPoint]:
     """The Figure 15 full design-space exploration.
 
@@ -255,44 +361,106 @@ def explore(
             counts the rest as valid-but-unevaluated=False for reporting).
         memory_stride: Evaluate every ``memory_stride``-th memory combo --
             a documented subsampling knob for quick runs.
+        jobs: Worker processes fanning sweep points out (``None`` defers to
+            ``REPRO_JOBS``, then serial).  Returned points are bit-identical
+            at every worker count: the cap is re-applied in sweep order, so
+            parallel runs with ``max_valid_points`` trade wasted evaluations
+            beyond the cap for wall-clock speed.
+        stats: Optional instrumentation record filled in place.
     """
     if memory_stride < 1:
         raise ValueError(f"memory_stride must be >= 1, got {memory_stride}")
     space = space or DesignSpace()
+    jobs = resolve_jobs(jobs)
+    context = (models, profile, tech, required_macs, max_chiplet_mm2)
+    if jobs > 1 and not is_picklable(context):
+        jobs = 1
+    tasks = _sweep_tasks(space, required_macs, memory_stride)
+    if stats is not None:
+        stats.jobs = max(stats.jobs, jobs)
+        stats.points_total += len(tasks)
+    timer = stats.stage("explore") if stats else None
+    if timer:
+        timer.__enter__()
+    try:
+        if jobs == 1 and max_valid_points is not None:
+            outcomes = _explore_serial_capped(tasks, context, max_valid_points)
+        else:
+            outcomes = run_tasks(_explore_task, tasks, jobs=jobs, context=context)
+    finally:
+        if timer:
+            timer.__exit__(None, None, None)
+
+    # Re-apply the evaluation cap in deterministic sweep order.  A parallel
+    # run evaluates every structurally valid point, then demotes successes
+    # beyond the cap to the exact "skipped" records the serial walk emits.
     points: list[DesignPoint] = []
     evaluated = 0
-    for n_p, n_c, lane, vec in space.computation_configs(required_macs):
-        for index, memory in enumerate(space.memory_configs(lane)):
-            if index % memory_stride:
-                continue
-            hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
-            errors = validation_errors(
-                hw,
-                required_macs=required_macs,
-                max_chiplet_area_mm2=max_chiplet_mm2,
-            )
-            area = AreaModel(hw).chiplet_area_mm2()
-            point = DesignPoint(
-                hw=hw,
-                chiplet_area_mm2=area,
-                valid=not errors,
-                errors=tuple(errors),
-            )
-            if point.valid:
-                if max_valid_points is not None and evaluated >= max_valid_points:
-                    point.valid = False
-                    point.errors = ("skipped: max_valid_points reached",)
-                else:
-                    try:
-                        point.energy_pj, point.cycles = _evaluate_point(
-                            hw, models, profile
-                        )
-                        evaluated += 1
-                    except InvalidMappingError as exc:
-                        point.valid = False
-                        point.errors = (str(exc),)
-            points.append(point)
+    for point, structural, hits, misses in outcomes:
+        if stats is not None:
+            stats.add_cache(hits, misses)
+        if structural:
+            if max_valid_points is not None and evaluated >= max_valid_points:
+                # Once the cap is reached the serial walk never evaluates, so
+                # even points whose parallel evaluation failed become the
+                # same "skipped" record here.
+                point.valid = False
+                point.errors = ("skipped: max_valid_points reached",)
+                point.energy_pj = {}
+                point.cycles = {}
+            elif point.valid:
+                evaluated += 1
+        points.append(point)
+    if stats is not None:
+        stats.points_evaluated += evaluated
     return points
+
+
+def _explore_serial_capped(
+    tasks: Sequence[tuple[int, int, int, int, MemoryConfig]],
+    context: tuple,
+    max_valid_points: int,
+) -> list[tuple[DesignPoint, bool, int, int]]:
+    """Serial sweep that stops evaluating once the cap is reached.
+
+    Matches the parallel path's output exactly while never paying for
+    evaluations beyond ``max_valid_points`` -- the cheap-skip behaviour the
+    pre-parallel implementation had.
+    """
+    models, profile, tech, required_macs, max_chiplet_mm2 = context
+    outcomes: list[tuple[DesignPoint, bool, int, int]] = []
+    evaluated = 0
+    for n_p, n_c, lane, vec, memory in tasks:
+        hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+        errors = validation_errors(
+            hw,
+            required_macs=required_macs,
+            max_chiplet_area_mm2=max_chiplet_mm2,
+        )
+        area = AreaModel(hw).chiplet_area_mm2()
+        point = DesignPoint(
+            hw=hw,
+            chiplet_area_mm2=area,
+            valid=not errors,
+            errors=tuple(errors),
+        )
+        hits = misses = 0
+        structural = point.valid
+        if point.valid and evaluated < max_valid_points:
+            try:
+                point.energy_pj, point.cycles, (hits, misses) = _evaluate_point(
+                    hw, models, profile
+                )
+                evaluated += 1
+            except InvalidMappingError as exc:
+                point.valid = False
+                point.errors = (str(exc),)
+        elif point.valid:
+            # Beyond the cap: the shared post-walk in explore() stamps the
+            # canonical "skipped" record; leave the point unevaluated.
+            pass
+        outcomes.append((point, structural, hits, misses))
+    return outcomes
 
 
 def refine_with_simulator(

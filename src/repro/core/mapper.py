@@ -7,7 +7,11 @@ provides a distinct mapping strategy layer-wise to minimize the overall
 energy cost" (Section VI-A1).
 
 Layers with identical shape share a mapping, so models with repeated blocks
-(ResNet-50's bottlenecks) search each unique shape once.
+(ResNet-50's bottlenecks) search each unique shape once.  The sharing is
+backed by :class:`repro.core.cache.MappingCache`, which callers can inject
+to reuse results across ``Mapper`` instances and (with a disk store) across
+runs; unique shapes can also fan out over worker processes
+(:mod:`repro.core.parallel`) via ``search_model(jobs=N)``.
 """
 
 from __future__ import annotations
@@ -16,8 +20,17 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.arch.config import HardwareConfig
+from repro.core.cache import MappingCache, cache_key, rebuild_record
 from repro.core.cost import CostReport, InvalidMappingError, evaluate_mapping
 from repro.core.mapping import Mapping
+from repro.core.parallel import (
+    SweepStats,
+    is_picklable,
+    resolve_jobs,
+    run_tasks,
+    worker_context,
+)
+from repro.core.serialize import hardware_digest, mapping_to_dict
 from repro.core.space import MappingSpace, SearchProfile
 from repro.workloads.layer import ConvLayer
 
@@ -65,6 +78,17 @@ def _shape_key(layer: ConvLayer) -> tuple:
     )
 
 
+def _search_layer_task(layer: ConvLayer) -> LayerMappingResult:
+    """Worker: search one layer with the context's (hw, profile, objective).
+
+    Runs in a pool process with a private in-memory cache; the parent
+    harvests the result into its shared cache.
+    """
+    hw, profile, objective = worker_context()
+    mapper = Mapper(hw=hw, profile=profile, objective=objective, cache=MappingCache())
+    return mapper.search_layer(layer)
+
+
 @dataclass
 class Mapper:
     """Exhaustive per-layer mapping search on one hardware instance.
@@ -73,15 +97,58 @@ class Mapper:
         hw: The fixed hardware configuration.
         profile: Mapping-space pruning profile.
         objective: Scalar objective to minimize (default: energy).
+        cache: Mapping cache; injected instances are shared across mappers,
+            the default honours ``REPRO_CACHE_DIR`` for an on-disk store.
+        jobs: Default worker count for :meth:`search_model` (``None`` defers
+            to ``REPRO_JOBS``, then serial).
     """
 
     hw: HardwareConfig
     profile: SearchProfile = SearchProfile.EXHAUSTIVE
     objective: Objective = field(default=energy_objective)
+    cache: MappingCache | None = None
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         self._space = MappingSpace(hw=self.hw, profile=self.profile)
-        self._cache: dict[tuple, LayerMappingResult] = {}
+        if self.cache is None:
+            self.cache = MappingCache.from_env()
+        self._hw_digest = hardware_digest(self.hw)
+        self._objective_name = getattr(
+            self.objective, "__name__", type(self.objective).__name__
+        )
+
+    def _key(self, layer: ConvLayer) -> str:
+        """The cache key of one layer on this (hw, profile, objective)."""
+        return cache_key(
+            _shape_key(layer),
+            self._hw_digest,
+            self.profile.value,
+            self._objective_name,
+        )
+
+    def _relabel(self, cached: LayerMappingResult, layer: ConvLayer) -> LayerMappingResult:
+        """A cached result presented under the asking layer's name."""
+        if cached.layer.name == layer.name:
+            return cached
+        return LayerMappingResult(
+            layer=layer,
+            best=cached.best,
+            candidates_evaluated=cached.candidates_evaluated,
+            candidates_invalid=cached.candidates_invalid,
+        )
+
+    def _rebuild(self, record: dict, layer: ConvLayer) -> LayerMappingResult | None:
+        """Turn a disk record back into a result (one cost-model call)."""
+        best = rebuild_record(record, layer, self.hw)
+        if best is None:
+            return None
+        return LayerMappingResult(
+            layer=layer,
+            best=best,
+            candidates_evaluated=int(record.get("evaluated", 0)),
+            candidates_invalid=int(record.get("invalid", 0)),
+        )
 
     def search_layer(self, layer: ConvLayer) -> LayerMappingResult:
         """Find the optimal mapping of one layer.
@@ -90,18 +157,25 @@ class Mapper:
             InvalidMappingError: If no candidate is legal (a structurally
                 impossible layer/hardware pair).
         """
-        key = _shape_key(layer)
-        cached = self._cache.get(key)
+        key = self._key(layer)
+        cached = self.cache.get(key, rebuild=lambda rec: self._rebuild(rec, layer))
         if cached is not None:
-            if cached.layer.name == layer.name:
-                return cached
-            return LayerMappingResult(
-                layer=layer,
-                best=cached.best,
-                candidates_evaluated=cached.candidates_evaluated,
-                candidates_invalid=cached.candidates_invalid,
-            )
+            return self._relabel(cached, layer)
 
+        result = self._search_fresh(layer)
+        self.cache.put(
+            key,
+            result,
+            record={
+                "mapping": mapping_to_dict(result.mapping),
+                "evaluated": result.candidates_evaluated,
+                "invalid": result.candidates_invalid,
+            },
+        )
+        return result
+
+    def _search_fresh(self, layer: ConvLayer) -> LayerMappingResult:
+        """The exhaustive candidate scan (cache-oblivious)."""
         best: CostReport | None = None
         best_score = float("inf")
         evaluated = 0
@@ -121,20 +195,84 @@ class Mapper:
             raise InvalidMappingError(
                 f"no legal mapping for layer {layer.name!r} on {self.hw.label()}"
             )
-        result = LayerMappingResult(
+        return LayerMappingResult(
             layer=layer,
             best=best,
             candidates_evaluated=evaluated,
             candidates_invalid=invalid,
         )
-        self._cache[key] = result
-        return result
 
-    def search_model(self, layers: list[ConvLayer]) -> list[LayerMappingResult]:
-        """Optimal mapping for every layer of a model."""
+    def _prefetch(self, layers: list[ConvLayer], jobs: int) -> None:
+        """Search uncached unique shapes in parallel and fill the cache.
+
+        Falls back to doing nothing (the serial per-layer path takes over)
+        when fewer than two shapes are pending or the search context cannot
+        cross a process boundary (e.g. a closure objective).
+        """
+        pending: dict[str, ConvLayer] = {}
+        for layer in layers:
+            key = self._key(layer)
+            if key not in pending and not self.cache.contains(key):
+                pending[key] = layer
+        if len(pending) < 2:
+            return
+        context = (self.hw, self.profile, self.objective)
+        if not is_picklable(context) or not is_picklable(list(pending.values())):
+            return
+        for key in pending:
+            self.cache.misses += 1
+        results = run_tasks(
+            _search_layer_task, list(pending.values()), jobs=jobs, context=context
+        )
+        for key, result in zip(pending, results):
+            self.cache.put(
+                key,
+                result,
+                record={
+                    "mapping": mapping_to_dict(result.mapping),
+                    "evaluated": result.candidates_evaluated,
+                    "invalid": result.candidates_invalid,
+                },
+            )
+
+    def search_model(
+        self,
+        layers: list[ConvLayer],
+        jobs: int | None = None,
+        stats: SweepStats | None = None,
+    ) -> list[LayerMappingResult]:
+        """Optimal mapping for every layer of a model.
+
+        Args:
+            layers: The model's layers (non-empty).
+            jobs: Worker count for the unique-shape fan-out; ``None`` defers
+                to the mapper default, then ``REPRO_JOBS``, then serial.
+                Results are bit-identical at every worker count.
+            stats: Optional instrumentation record to fill in place.
+        """
         if not layers:
             raise ValueError("layers must be non-empty")
-        return [self.search_layer(layer) for layer in layers]
+        effective = resolve_jobs(jobs if jobs is not None else self.jobs)
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        timer = stats.stage("search_model") if stats else None
+        if timer:
+            timer.__enter__()
+        try:
+            if effective > 1:
+                self._prefetch(layers, effective)
+            results = [self.search_layer(layer) for layer in layers]
+        finally:
+            if timer:
+                timer.__exit__(None, None, None)
+        self.cache.save()
+        if stats is not None:
+            stats.jobs = max(stats.jobs, effective)
+            stats.points_total += len(layers)
+            stats.points_evaluated += len(layers)
+            stats.add_cache(
+                self.cache.hits - hits0, self.cache.misses - misses0
+            )
+        return results
 
 
 def map_model(
@@ -142,7 +280,8 @@ def map_model(
     hw: HardwareConfig,
     profile: SearchProfile = SearchProfile.EXHAUSTIVE,
     objective: Objective = energy_objective,
+    jobs: int | None = None,
 ) -> list[LayerMappingResult]:
     """Convenience wrapper: search every layer of ``layers`` on ``hw``."""
     mapper = Mapper(hw=hw, profile=profile, objective=objective)
-    return mapper.search_model(layers)
+    return mapper.search_model(layers, jobs=jobs)

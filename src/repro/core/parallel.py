@@ -1,0 +1,202 @@
+"""Parallel execution layer for the sweep-scale search paths.
+
+The DSE sweeps are embarrassingly parallel across design points, and a
+model's mapping search is embarrassingly parallel across unique layer
+shapes.  This module provides the one fan-out primitive both reuse:
+
+* :func:`resolve_jobs` -- worker-count policy (explicit argument, then the
+  ``REPRO_JOBS`` environment variable, then serial).
+* :func:`run_tasks` -- order-preserving map over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with a **serial
+  fallback at ``jobs=1``** that runs in-process so results stay
+  bit-identical and debuggable (breakpoints, exact tracebacks, no pickling).
+  Shared read-only state travels once per worker through an initializer
+  rather than once per task.
+* :class:`SweepStats` -- the per-run instrumentation record (stage timings,
+  cache counters, points/sec) surfaced by the CLI and
+  :func:`repro.analysis.reporting.format_search_stats`.
+
+Workers receive their shared context via :func:`worker_context`; worker
+functions must be module-level (picklable) callables of one task argument.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+# Per-process shared state for worker tasks (set by the pool initializer in
+# child processes, and by run_tasks itself on the serial path).
+_WORKER_CONTEXT: Any = None
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Args:
+        jobs: Explicit request; ``None`` defers to ``REPRO_JOBS`` (with a
+            serial default), ``0`` means "all cores".
+
+    Raises:
+        ValueError: On a negative request (here or in the environment).
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"{JOBS_ENV} must be an integer, got {raw!r}") from exc
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def is_picklable(obj: Any) -> bool:
+    """Whether ``obj`` can cross a process boundary.
+
+    Callers use this to fall back to the serial path when the shared context
+    contains e.g. a closure objective.
+    """
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def worker_context() -> Any:
+    """The shared context of the current task (see :func:`run_tasks`)."""
+    return _WORKER_CONTEXT
+
+
+def _init_worker(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def run_tasks(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: int | None = None,
+    context: Any = None,
+) -> list[Any]:
+    """Apply ``worker`` to every task, preserving task order.
+
+    At an effective worker count of 1 (or a single task) this is a plain
+    in-process loop -- bit-identical results, ordinary tracebacks.  Above
+    that, tasks fan out over a process pool; ``context`` is shipped once per
+    worker and read back with :func:`worker_context`.
+
+    Args:
+        worker: Module-level callable of one task.
+        tasks: Task payloads (each must be picklable when ``jobs > 1``).
+        jobs: Worker count (``None`` -> ``REPRO_JOBS`` -> serial).
+        context: Shared read-only state for the workers.
+    """
+    global _WORKER_CONTEXT
+    jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        previous = _WORKER_CONTEXT
+        _WORKER_CONTEXT = context
+        try:
+            return [worker(task) for task in tasks]
+        finally:
+            _WORKER_CONTEXT = previous
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        initializer=_init_worker,
+        initargs=(context,),
+    ) as pool:
+        return list(pool.map(worker, tasks, chunksize=chunksize))
+
+
+@dataclass
+class SweepStats:
+    """Instrumentation for one search/sweep run.
+
+    Attributes:
+        jobs: Effective worker count.
+        points_total: Design points (or layers) handed to the run.
+        points_evaluated: Points that completed a full evaluation.
+        cache_hits: Mapping-cache hits accumulated across the run.
+        cache_misses: Mapping-cache misses (fresh searches).
+        stage_s: Wall-clock seconds per named stage.
+    """
+
+    jobs: int = 1
+    points_total: int = 0
+    points_evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stage_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall-clock seconds across the recorded stages."""
+        return sum(self.stage_s.values())
+
+    @property
+    def points_per_sec(self) -> float:
+        """Evaluated-point throughput over the whole run."""
+        wall = self.wall_s
+        return self.points_evaluated / wall if wall > 0 else 0.0
+
+    def stage(self, name: str) -> "_StageTimer":
+        """Context manager accumulating a stage's wall-clock time."""
+        return _StageTimer(self, name)
+
+    def add_cache(self, hits: int, misses: int) -> None:
+        """Accumulate cache counters from one evaluation."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+
+class _StageTimer:
+    """Accumulates elapsed wall time into ``stats.stage_s[name]``."""
+
+    def __init__(self, stats: SweepStats, name: str) -> None:
+        self._stats = stats
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._stats.stage_s[self._name] = (
+            self._stats.stage_s.get(self._name, 0.0) + elapsed
+        )
+
+
+def chunked(items: Sequence[Any], size: int) -> Iterator[list[Any]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    for start in range(0, len(items), size):
+        yield list(items[start : start + size])
+
+
+__all__ = [
+    "JOBS_ENV",
+    "SweepStats",
+    "chunked",
+    "is_picklable",
+    "resolve_jobs",
+    "run_tasks",
+    "worker_context",
+]

@@ -9,6 +9,9 @@ importing its internals.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from typing import Any
 
 from repro.arch.config import HardwareConfig
@@ -84,6 +87,32 @@ def mapping_from_dict(data: dict[str, Any]) -> Mapping:
         chiplet_temporal=temporal_from_dict(data["chiplet_temporal"]),
         rotation=RotationKind(data["rotation"]),
     )
+
+
+def hardware_to_dict(hw: HardwareConfig) -> dict[str, Any]:
+    """Serialize everything about a machine that affects search results.
+
+    The ``name`` label is deliberately excluded: two machines that differ
+    only in their human-readable name evaluate every mapping identically,
+    so they must share cache entries (:mod:`repro.core.cache`).
+    """
+    return {
+        "config": list(hw.config_tuple()),
+        "topology": hw.topology.value,
+        "memory": dataclasses.asdict(hw.memory),
+        "tech": dataclasses.asdict(hw.tech),
+    }
+
+
+def hardware_digest(hw: HardwareConfig) -> str:
+    """A stable hex digest of a machine's search-relevant state.
+
+    Used as the hardware component of mapping-cache keys: any change to the
+    structural hierarchy, buffer capacities or technology point yields a new
+    digest and therefore invalidates previously cached mappings.
+    """
+    canonical = json.dumps(hardware_to_dict(hw), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def layer_to_dict(layer: ConvLayer) -> dict[str, Any]:

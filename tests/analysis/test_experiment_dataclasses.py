@@ -4,8 +4,6 @@ import pytest
 
 from repro.analysis.experiments import (
     Fig13Point,
-    Fig14Data,
-    Fig15Data,
     fig14_data,
     fig15_data,
     fig15_models,

@@ -6,7 +6,6 @@ from repro.arch.config import (
     KB,
     ChipletConfig,
     CoreConfig,
-    HardwareConfig,
     MemoryConfig,
     PackageConfig,
     build_hardware,

@@ -1,0 +1,227 @@
+"""The mapping cache: keying, counters, and the on-disk store.
+
+The headline guarantee: a second ``search_model`` over a repeated-shape
+model performs **zero fresh evaluations** -- every lookup is answered from
+the cache, in memory within a run and from the JSON store across runs.
+"""
+
+import json
+
+from repro.arch.config import build_hardware, case_study_hardware, simba_like_hardware
+from repro.core.cache import (
+    CACHE_FORMAT_VERSION,
+    MappingCache,
+    cache_key,
+    hardware_digest,
+)
+from repro.core.mapper import Mapper, _shape_key, edp_objective
+from repro.core.space import SearchProfile
+from repro.workloads.models import alexnet, resnet50
+
+
+def small_layers():
+    return alexnet(resolution=224)[:4]
+
+
+class TestHardwareDigest:
+    def test_stable(self):
+        assert hardware_digest(case_study_hardware()) == hardware_digest(
+            case_study_hardware()
+        )
+
+    def test_differs_across_machines(self):
+        assert hardware_digest(case_study_hardware()) != hardware_digest(
+            build_hardware(2, 4, 8, 8)
+        )
+
+    def test_name_only_twins_share_digest(self):
+        # simba_like is the case-study machine under another name; both
+        # evaluate every mapping identically, so they share cache entries.
+        assert hardware_digest(case_study_hardware()) == hardware_digest(
+            simba_like_hardware()
+        )
+
+    def test_name_does_not_matter(self):
+        from dataclasses import replace
+
+        hw = case_study_hardware()
+        assert hardware_digest(hw) == hardware_digest(replace(hw, name="other"))
+
+    def test_memory_matters(self):
+        hw = case_study_hardware()
+        resized = hw.with_memory(
+            type(hw.memory)(
+                a_l1_bytes=hw.memory.a_l1_bytes * 2,
+                w_l1_bytes=hw.memory.w_l1_bytes,
+                o_l1_bytes=hw.memory.o_l1_bytes,
+                a_l2_bytes=hw.memory.a_l2_bytes,
+            )
+        )
+        assert hardware_digest(hw) != hardware_digest(resized)
+
+
+class TestCacheKey:
+    def test_components_separated(self):
+        layer = small_layers()[0]
+        key = cache_key(_shape_key(layer), "abc123", "fast", "energy_objective")
+        assert "abc123" in key and "fast" in key and "energy_objective" in key
+
+    def test_profile_and_objective_distinguish(self):
+        layer = small_layers()[0]
+        shape = _shape_key(layer)
+        assert cache_key(shape, "d", "fast", "energy_objective") != cache_key(
+            shape, "d", "minimal", "energy_objective"
+        )
+        assert cache_key(shape, "d", "fast", "energy_objective") != cache_key(
+            shape, "d", "fast", "edp_objective"
+        )
+
+
+class TestInMemoryCache:
+    def test_second_model_search_is_all_hits(self):
+        """The satellite acceptance: zero fresh evaluations on re-search."""
+        cache = MappingCache()
+        hw = case_study_hardware()
+        layers = small_layers()
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(layers)
+        misses_after_first = cache.misses
+        assert misses_after_first > 0
+
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(layers)
+        assert cache.misses == misses_after_first
+        assert cache.hits >= len(layers)
+
+    def test_repeated_shapes_hit_within_one_search(self):
+        cache = MappingCache()
+        hw = case_study_hardware()
+        layers = resnet50(resolution=224)
+        unique_shapes = len({_shape_key(l) for l in layers})
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            layers, jobs=1
+        )
+        assert cache.misses == unique_shapes
+        assert cache.hits == len(layers) - unique_shapes
+
+    def test_objectives_do_not_collide(self):
+        cache = MappingCache()
+        hw = case_study_hardware()
+        layer = small_layers()[0]
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_layer(layer)
+        misses = cache.misses
+        Mapper(
+            hw=hw,
+            profile=SearchProfile.MINIMAL,
+            objective=edp_objective,
+            cache=cache,
+        ).search_layer(layer)
+        assert cache.misses == misses + 1
+
+    def test_hit_rate_and_describe(self):
+        cache = MappingCache()
+        assert cache.hit_rate == 0.0
+        cache.put("a|b|c|d", object())
+        cache.get("a|b|c|d")
+        cache.get("missing|b|c|d")
+        assert cache.hits == 1 and cache.misses == 1
+        assert "50%" in cache.describe()
+
+
+class TestDiskCache:
+    def test_round_trip_identical_results(self, tmp_path):
+        hw = case_study_hardware()
+        layers = small_layers()
+        first_cache = MappingCache(tmp_path / "store")
+        first = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=first_cache
+        ).search_model(layers)
+
+        second_cache = MappingCache(tmp_path / "store")
+        second = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=second_cache
+        ).search_model(layers)
+
+        assert second_cache.misses == 0
+        assert second_cache.disk_hits > 0
+        assert [r.best.energy_pj for r in first] == [
+            r.best.energy_pj for r in second
+        ]
+        assert [r.mapping for r in first] == [r.mapping for r in second]
+        assert [r.candidates_evaluated for r in first] == [
+            r.candidates_evaluated for r in second
+        ]
+
+    def test_store_is_versioned_json(self, tmp_path):
+        hw = case_study_hardware()
+        cache = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        files = list(tmp_path.glob("mappings-*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["version"] == CACHE_FORMAT_VERSION
+        assert payload["entries"]
+
+    def test_version_mismatch_ignored(self, tmp_path):
+        hw = case_study_hardware()
+        cache = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        path = next(tmp_path.glob("mappings-*.json"))
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+
+        stale = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=stale).search_model(
+            small_layers()
+        )
+        assert stale.disk_hits == 0
+        assert stale.misses > 0
+
+    def test_corrupt_store_ignored(self, tmp_path):
+        hw = case_study_hardware()
+        cache = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        path = next(tmp_path.glob("mappings-*.json"))
+        path.write_text("{not json")
+        broken = MappingCache(tmp_path)
+        results = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=broken
+        ).search_model(small_layers())
+        assert len(results) == len(small_layers())
+        assert broken.disk_hits == 0
+
+    def test_save_merges_other_writers(self, tmp_path):
+        hw = case_study_hardware()
+        a = MappingCache(tmp_path)
+        b = MappingCache(tmp_path)
+        layers = small_layers()
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=a).search_layer(layers[0])
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=b).search_layer(layers[1])
+        a.save()
+        b.save()
+        merged = MappingCache(tmp_path)
+        m = Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=merged)
+        m.search_layer(layers[0])
+        m.search_layer(layers[1])
+        assert merged.disk_hits == 2
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert MappingCache.from_env().directory == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert MappingCache.from_env().directory is None
+
+    def test_memory_only_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = MappingCache()
+        hw = case_study_hardware()
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        cache.save()
+        assert not list(tmp_path.iterdir())

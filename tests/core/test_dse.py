@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch.config import KB, build_hardware
 from repro.core.dse import (
     DesignSpace,
     best_point,

@@ -1,7 +1,5 @@
 """Tests for mapping-space enumeration."""
 
-import pytest
-
 from repro.arch.config import build_hardware, case_study_hardware
 from repro.core.loopnest import LoopNest
 from repro.core.primitives import PartitionDim, RotationKind

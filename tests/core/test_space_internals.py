@@ -1,7 +1,5 @@
 """Unit tests for mapping-space internals (tile candidates, Cc0 logic)."""
 
-import pytest
-
 from repro.arch.config import KB, MemoryConfig, build_hardware, case_study_hardware
 from repro.core.space import MappingSpace, SearchProfile, _dedupe, _divisors
 from repro.workloads.layer import ConvLayer

@@ -5,13 +5,28 @@ by the benchmark harness); each is executed as a real subprocess so import
 paths and ``__main__`` blocks are covered.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def example_env() -> dict:
+    """The subprocess environment, with ``src`` importable.
+
+    The examples run as real subprocesses, so the ``repro`` package must be
+    reachable even when it is not pip-installed: prepend the in-repo ``src``
+    directory to ``PYTHONPATH``.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 
 def run_example(name: str, *args: str) -> str:
@@ -20,6 +35,7 @@ def run_example(name: str, *args: str) -> str:
         capture_output=True,
         text=True,
         timeout=300,
+        env=example_env(),
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -50,6 +66,7 @@ class TestExamples:
             text=True,
             timeout=300,
             cwd=tmp_path,
+            env=example_env(),
         )
         assert out.returncode == 0, out.stderr
         assert "Compiler report written" in out.stdout
@@ -68,6 +85,7 @@ class TestExamples:
             text=True,
             timeout=300,
             cwd=tmp_path,
+            env=example_env(),
         )
         assert out.returncode == 0, out.stderr
         assert "Pareto front" in out.stdout

@@ -1,7 +1,5 @@
 """Property-based tests for cost-model and simulator invariants."""
 
-import dataclasses
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

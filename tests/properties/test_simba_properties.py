@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import build_hardware
-from repro.simba.config import SimbaGrid, grid_options
+from repro.simba.config import grid_options
 from repro.simba.dataflow import evaluate_grid, evaluate_simba
 
 

@@ -6,17 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import build_hardware
-from repro.core.cost import InvalidMappingError
 from repro.core.loopnest import LoopNest
-from repro.core.mapping import Mapping
-from repro.core.partition import PlanarGrid
-from repro.core.primitives import (
-    LoopOrder,
-    PartitionDim,
-    RotationKind,
-    SpatialPrimitive,
-    TemporalPrimitive,
-)
+from repro.core.primitives import RotationKind
 from repro.core.serialize import mapping_from_dict, mapping_to_dict
 from repro.core.space import MappingSpace, SearchProfile
 from repro.core.traffic import compute_traffic

@@ -1,7 +1,5 @@
 """Tests for representative-layer extraction and classification."""
 
-import pytest
-
 from repro.workloads.extraction import LayerKind, classify_layer, representative_layers
 from repro.workloads.layer import ConvLayer, fc_as_pointwise
 
