@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test bench bench-full bench-smoke ci lint examples clean
+.PHONY: install test audit bench bench-full bench-smoke ci lint examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,10 +24,20 @@ lint:
 		python -m compileall -q src tests benchmarks examples; \
 	fi
 
+# Cost-model <-> simulator consistency audit: every registered model,
+# evenly spaced layer sample, JSON report archived with the benchmark
+# artifacts.  Non-zero exit on any invariant violation or out-of-envelope
+# uncontended divergence.
+audit:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro audit \
+		--max-layers 4 --json benchmarks/results/audit.json
+
 # Mirrors .github/workflows/ci.yml so CI and local runs stay in lockstep:
-# lint, the tier-1 suite, then the fast benchmark smoke subset.
+# lint, the tier-1 suite, the consistency audit, then the fast benchmark
+# smoke subset.
 ci: lint
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
+	$(MAKE) audit
 	$(MAKE) bench-smoke
 
 bench:

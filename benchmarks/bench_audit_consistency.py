@@ -1,0 +1,28 @@
+"""Consistency audit: the cost model and the simulator must agree.
+
+Runs the ``repro audit`` cross-validation sweep over a representative model
+sample and archives the JSON report with the benchmark artifacts, so every
+recorded figure reproduction documents that the analytical C3P model and
+the tile-pipeline DES still describe the same machine.
+"""
+
+from repro.arch.config import case_study_hardware
+from repro.audit import run_audit
+from repro.workloads.registry import get_model
+
+AUDIT_MODELS = ("alexnet", "resnet50")
+
+
+def test_audit_consistency(benchmark, record, record_json):
+    hw = case_study_hardware()
+    models = {name: get_model(name) for name in AUDIT_MODELS}
+    report = benchmark.pedantic(
+        lambda: run_audit(models, hw, max_layers=3), rounds=1, iterations=1
+    )
+    record("audit_consistency", report.summary())
+    record_json("audit", report.to_dict())
+
+    assert report.ok, report.summary()
+    # Every uncontended pair sits inside the documented envelope.
+    for audit in report.models:
+        assert audit.worst_ratio <= 1.0 + report.envelope

@@ -54,3 +54,17 @@ def record(request):
         print(f"\n{text}\n")
 
     return _record
+
+
+@pytest.fixture
+def record_json(request):
+    """Persist a JSON artifact under results/ (e.g. the audit report)."""
+    import json
+
+    def _record(name: str, payload) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        target = RESULTS_DIR / f"{name}.json"
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        return target
+
+    return _record

@@ -19,10 +19,16 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+
+#: Relative x-spread below which a fit is refused: with the spread this close
+#: to the float ulp of the x magnitude, the slope is dominated by rounding
+#: noise in the inputs themselves and any returned line would be garbage.
+_DEGENERATE_RELATIVE_SPREAD = 1e-9
 
 
 @dataclass(frozen=True)
@@ -41,28 +47,48 @@ class LinearFit:
     def fit(xs: Sequence[float], ys: Sequence[float]) -> "LinearFit":
         """Fit a line to ``(xs, ys)`` by ordinary least squares.
 
+        The moments are accumulated with :func:`math.fsum` on mean-shifted
+        values: the naive ``sum((x - mean_x) ** 2)`` loses every significant
+        digit when the x-spread is small against the x magnitude
+        (catastrophic cancellation), which silently corrupted the Figure 10
+        energy/area laws for near-duplicate sample points.
+
         Raises:
-            ValueError: On fewer than two points or zero x-variance.
+            ValueError: On fewer than two points, mismatched lengths, or a
+                relatively degenerate x-spread (all x within
+                ``1e-9 * max|x|`` of each other), where no meaningful slope
+                exists.
         """
         if len(xs) != len(ys):
             raise ValueError("xs and ys must have equal length")
         n = len(xs)
         if n < 2:
             raise ValueError("need at least two points to fit a line")
-        mean_x = sum(xs) / n
-        mean_y = sum(ys) / n
-        sxx = sum((x - mean_x) ** 2 for x in xs)
-        if sxx == 0:
-            raise ValueError("zero variance in x; cannot fit a line")
-        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        mean_x = math.fsum(xs) / n
+        mean_y = math.fsum(ys) / n
+        dxs = [x - mean_x for x in xs]
+        dys = [y - mean_y for y in ys]
+        x_scale = max(abs(x) for x in xs)
+        spread = max(xs) - min(xs)
+        if spread <= _DEGENERATE_RELATIVE_SPREAD * max(x_scale, 1e-300):
+            raise ValueError(
+                "relatively degenerate x-spread "
+                f"({spread:g} over magnitude {x_scale:g}); cannot fit a line"
+            )
+        sxx = math.fsum(dx * dx for dx in dxs)
+        sxy = math.fsum(dx * dy for dx, dy in zip(dxs, dys))
         slope = sxy / sxx
         intercept = mean_y - slope * mean_x
-        ss_tot = sum((y - mean_y) ** 2 for y in ys)
-        ss_res = sum(
-            (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+        ss_tot = math.fsum(dy * dy for dy in dys)
+        ss_res = math.fsum(
+            (dy - slope * dx) ** 2 for dx, dy in zip(dxs, dys)
         )
         r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
-        return LinearFit(intercept=intercept, slope=slope, r_squared=r_squared)
+        return LinearFit(
+            intercept=intercept,
+            slope=slope,
+            r_squared=min(max(r_squared, 0.0), 1.0),
+        )
 
 
 @dataclass(frozen=True)

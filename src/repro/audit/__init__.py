@@ -1,0 +1,31 @@
+"""Consistency audit: cost-model vs. simulator cross-validation.
+
+The analytical C3P cost model and the tile-pipeline DES describe the same
+execution independently; this package reconciles them (cross-validation
+harness), enforces runtime invariants over every simulated run (causality,
+exclusive service, bits conservation), and drives the ``repro audit`` CLI
+sweep whose JSON report gates CI.
+"""
+
+from repro.audit.crosscheck import (
+    DEFAULT_ENVELOPE,
+    CrossCheckResult,
+    PhaseDelta,
+    cross_validate,
+)
+from repro.audit.invariants import check_run
+from repro.audit.report import AuditReport, ModelAudit
+from repro.audit.runner import audit_model, run_audit, sample_mappings
+
+__all__ = [
+    "DEFAULT_ENVELOPE",
+    "AuditReport",
+    "CrossCheckResult",
+    "ModelAudit",
+    "PhaseDelta",
+    "audit_model",
+    "check_run",
+    "cross_validate",
+    "run_audit",
+    "sample_mappings",
+]

@@ -1,0 +1,275 @@
+"""Cross-validation of the analytical cost model against the DES.
+
+The analytical C3P cost model (:mod:`repro.core.cost`) and the tile-pipeline
+simulator (:mod:`repro.sim.engine`) compute the same layer execution from
+the same mapping, independently.  CHIPSIM and DNN-Chip Predictor both show
+that an analytical predictor is only trustworthy while it is continuously
+reconciled against an execution-level reference -- this module is that
+reconciliation for any (layer, hardware, mapping) triple:
+
+* the simulated cycles must dominate the **roofline bound** (every MAC unit
+  busy every cycle) and the analytical compute estimate, always;
+* in **uncontended** configurations (no rotating transfer, no halo
+  conflict) the simulated cycles must also stay within a configurable
+  envelope of the analytical estimate -- the estimate is
+  ``max(compute cycles, busiest-channel DRAM cycles)`` plus the pipeline
+  fill/drain slack the analytical model deliberately omits;
+* when the two diverge, the report carries per-phase deltas
+  (load / ring / compute / writeback) so the disagreeing term is visible
+  immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+from repro.audit.invariants import check_run
+from repro.core.cost import InvalidMappingError, evaluate_mapping
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.primitives import RotationKind
+from repro.sim.engine import TilePipelineModel
+from repro.sim.trace import Phase, Trace
+from repro.workloads.layer import ConvLayer
+
+#: Default agreement envelope: simulated cycles may exceed the analytical
+#: estimate (plus fill/drain slack) by at most this fraction in uncontended
+#: configurations.  See docs/modeling.md ("Consistency audit").
+DEFAULT_ENVELOPE = 0.05
+
+#: Absolute cycle tolerance for lower-bound comparisons.
+_CYCLE_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's simulated vs. analytically expected busy cycles."""
+
+    phase: str
+    simulated: float
+    expected: float
+
+    @property
+    def delta(self) -> float:
+        """Signed divergence (positive: the simulator spent more)."""
+        return self.simulated - self.expected
+
+    @property
+    def relative(self) -> float:
+        """Divergence as a fraction of the expected cycles."""
+        if self.expected == 0:
+            return 0.0 if abs(self.simulated) < _CYCLE_EPS else float("inf")
+        return self.delta / self.expected
+
+    def describe(self) -> str:
+        """One-line report entry, e.g. ``load: sim 120.0 vs 118.0 (+1.7%)``."""
+        return (
+            f"{self.phase}: sim {self.simulated:.1f} vs expected "
+            f"{self.expected:.1f} ({self.relative:+.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class CrossCheckResult:
+    """Outcome of one analytical-vs-simulated reconciliation.
+
+    Attributes:
+        layer_name: The audited layer.
+        mapping: Compact mapping description.
+        analytical_cycles: The cost model's compute-only cycle estimate.
+        roofline_cycles: Ideal cycles with every MAC busy (hard lower bound).
+        estimate_cycles: The bandwidth-aware analytical estimate the
+            envelope is measured against (compute vs. DRAM roof, plus
+            pipeline fill/drain slack).
+        simulated_cycles: What the DES reported.
+        uncontended: No rotation and no halo conflict -- the configurations
+            where the analytical model claims cycle-accuracy.
+        envelope: The agreement envelope used.
+        phase_deltas: Per-phase simulated vs. expected busy cycles.
+        violations: Invariant and bound violations (empty means the pair is
+            consistent).
+        flagged: Whether this pair diverged out of envelope (uncontended
+            pairs only) or violated an invariant.
+    """
+
+    layer_name: str
+    mapping: str
+    analytical_cycles: float
+    roofline_cycles: float
+    estimate_cycles: float
+    simulated_cycles: float
+    uncontended: bool
+    envelope: float
+    phase_deltas: tuple[PhaseDelta, ...] = ()
+    violations: tuple[str, ...] = ()
+
+    @property
+    def flagged(self) -> bool:
+        """Whether this pair needs human attention."""
+        return bool(self.violations)
+
+    @property
+    def ratio(self) -> float:
+        """Simulated over estimated cycles (1.0 means exact agreement)."""
+        if self.estimate_cycles <= 0:
+            return float("inf")
+        return self.simulated_cycles / self.estimate_cycles
+
+    def describe(self) -> str:
+        """Multi-line divergence report for flagged pairs."""
+        lines = [
+            f"{self.layer_name} [{self.mapping}]: "
+            f"sim {self.simulated_cycles:.0f} vs est {self.estimate_cycles:.0f} "
+            f"cycles (ratio {self.ratio:.3f}, "
+            f"{'uncontended' if self.uncontended else 'contended'})"
+        ]
+        lines.extend(f"  {d.describe()}" for d in self.phase_deltas)
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the audit report."""
+        return {
+            "layer": self.layer_name,
+            "mapping": self.mapping,
+            "analytical_cycles": self.analytical_cycles,
+            "roofline_cycles": self.roofline_cycles,
+            "estimate_cycles": self.estimate_cycles,
+            "simulated_cycles": self.simulated_cycles,
+            "ratio": self.ratio,
+            "uncontended": self.uncontended,
+            "envelope": self.envelope,
+            "flagged": self.flagged,
+            "phase_deltas": {
+                d.phase: {"simulated": d.simulated, "expected": d.expected}
+                for d in self.phase_deltas
+            },
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class _ExpectedPhases:
+    """Analytically expected busy cycles per pipeline phase."""
+
+    load: float = 0.0
+    ring: float = 0.0
+    compute: float = 0.0
+    writeback: float = 0.0
+
+
+def _expected_phases(model: TilePipelineModel, hw: HardwareConfig) -> _ExpectedPhases:
+    """Expected per-phase busy cycles, summed over chiplets and iterations."""
+    tech = hw.tech
+    n = model.n_chiplets
+    iters = model.iterations
+    dram_bw = tech.dram_bandwidth_bits_per_cycle
+    ring_bw = tech.ring_bandwidth_bits_per_cycle
+    return _ExpectedPhases(
+        load=(model.dram_load_bits / dram_bw) * n * iters,
+        ring=(model.ring_bits / ring_bw) * n * iters if model.ring_bits else 0.0,
+        compute=model.compute_cycles * n * iters,
+        writeback=(model.writeback_bits / dram_bw) * n * iters,
+    )
+
+
+def _phase_deltas(trace: Trace, expected: _ExpectedPhases) -> tuple[PhaseDelta, ...]:
+    """Per-phase simulated vs. expected busy cycles."""
+    pairs = (
+        ("load", Phase.DRAM_LOAD, expected.load),
+        ("ring", Phase.RING_ROTATE, expected.ring),
+        ("compute", Phase.COMPUTE, expected.compute),
+        ("writeback", Phase.WRITEBACK, expected.writeback),
+    )
+    return tuple(
+        PhaseDelta(phase=name, simulated=trace.busy_cycles(phase), expected=exp)
+        for name, phase, exp in pairs
+    )
+
+
+def cross_validate(
+    layer: ConvLayer,
+    hw: HardwareConfig,
+    mapping: Mapping,
+    envelope: float = DEFAULT_ENVELOPE,
+) -> CrossCheckResult:
+    """Run the cost model and the DES side by side; reconcile the cycles.
+
+    Args:
+        layer: The workload layer.
+        hw: The hardware instance.
+        mapping: A legal mapping for (layer, hw).
+        envelope: Allowed fractional excess of simulated over estimated
+            cycles for uncontended configurations.
+
+    Raises:
+        InvalidMappingError: When the mapping is illegal (callers filter
+            candidates through the mapper/space first).
+    """
+    report = evaluate_mapping(layer, hw, mapping)  # raises InvalidMappingError
+    nest = LoopNest(layer=layer, hw=hw, mapping=mapping)
+    trace = Trace()
+    model = TilePipelineModel(nest, trace=trace)
+    simulated = model.run()
+
+    violations = list(check_run(model, simulated, trace))
+
+    analytical = float(report.cycles)
+    roofline = layer.macs / hw.total_macs
+    uncontended = (
+        mapping.rotation is RotationKind.NONE and model.conflict_bits == 0.0
+    )
+
+    # The bandwidth-aware estimate: whichever roof binds, plus the pipeline
+    # fill (first load) and drain (last writeback) the analytical model
+    # deliberately leaves out.
+    dram_bw = hw.tech.dram_bandwidth_bits_per_cycle
+    channel_cycles = (
+        (model.dram_load_bits + model.writeback_bits + model.conflict_bits)
+        * model.iterations
+        / dram_bw
+    )
+    fill = model.dram_load_bits / dram_bw
+    drain = model.writeback_bits / dram_bw
+    estimate = max(analytical, channel_cycles) + fill + drain
+
+    if simulated < roofline - _CYCLE_EPS:
+        violations.append(
+            f"simulated cycles {simulated:.1f} below the roofline bound "
+            f"{roofline:.1f} (impossible: more throughput than the hardware has)"
+        )
+    if simulated < analytical - _CYCLE_EPS:
+        violations.append(
+            f"simulated cycles {simulated:.1f} below the analytical compute "
+            f"estimate {analytical:.1f} (the DES must include all compute)"
+        )
+    if uncontended and simulated > estimate * (1.0 + envelope) + _CYCLE_EPS:
+        violations.append(
+            f"uncontended divergence: simulated {simulated:.1f} cycles "
+            f"exceeds the analytical estimate {estimate:.1f} by more than "
+            f"the {envelope:.0%} envelope"
+        )
+
+    expected = _expected_phases(model, hw)
+    return CrossCheckResult(
+        layer_name=layer.name,
+        mapping=mapping.describe(),
+        analytical_cycles=analytical,
+        roofline_cycles=roofline,
+        estimate_cycles=estimate,
+        simulated_cycles=simulated,
+        uncontended=uncontended,
+        envelope=envelope,
+        phase_deltas=_phase_deltas(trace, expected),
+        violations=tuple(violations),
+    )
+
+
+__all__ = [
+    "DEFAULT_ENVELOPE",
+    "CrossCheckResult",
+    "PhaseDelta",
+    "cross_validate",
+    "InvalidMappingError",
+]

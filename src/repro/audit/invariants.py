@@ -1,0 +1,84 @@
+"""Runtime invariant checks over a completed tile-pipeline run.
+
+Three families of invariants, all of which must hold for *every* simulated
+execution regardless of mapping or hardware:
+
+* **causality** -- no pipeline phase starts before its dependencies end
+  (:meth:`repro.sim.trace.Trace.validate`);
+* **exclusive service** -- no two transfers overlap on one bandwidth
+  server, and no server is busier than wall-clock
+  (:meth:`repro.sim.resources.BandwidthResource.invariant_violations`);
+* **bits conservation** -- the bits actually pushed through the DRAM
+  channels and ring links equal what the engine derived from the analytical
+  traffic assembly: nothing dropped, nothing double-served.
+
+A violation in any family means the simulator and the cost model are no
+longer describing the same execution, which is exactly the silent failure
+mode this audit layer exists to catch.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import TilePipelineModel
+from repro.sim.resources import ResourceInvariantError
+from repro.sim.trace import Trace
+
+#: Relative tolerance for conserved-bits comparisons.
+_BITS_RTOL = 1e-9
+
+
+def _expected_dram_bits(model: TilePipelineModel) -> float:
+    """DRAM bits the engine should push, derived from its per-iteration plan."""
+    per_chiplet = (
+        model.dram_load_bits + model.writeback_bits + model.conflict_bits
+    )
+    return per_chiplet * model.iterations * model.n_chiplets
+
+
+def _expected_ring_bits(model: TilePipelineModel) -> float:
+    """Ring bits the engine should push across all links."""
+    if model.ring_bits <= 0 or model.n_chiplets <= 1:
+        return 0.0
+    return model.ring_bits * model.iterations * model.n_chiplets
+
+
+def check_run(
+    model: TilePipelineModel, cycles: float, trace: Trace | None = None
+) -> list[str]:
+    """Audit one completed run; return every invariant violation found.
+
+    Args:
+        model: The pipeline model, after :meth:`~TilePipelineModel.run`.
+        cycles: The completion time the run reported.
+        trace: The execution trace, when one was collected.
+    """
+    violations: list[str] = []
+    if trace is not None:
+        violations.extend(trace.validate())
+
+    for resource in [*model.dram_channels, *model.ring_links]:
+        violations.extend(resource.invariant_violations())
+        try:
+            resource.utilization(cycles)
+        except ResourceInvariantError as exc:
+            violations.append(str(exc))
+
+    dram_served = sum(c.bits_served for c in model.dram_channels)
+    dram_expected = _expected_dram_bits(model)
+    tol = _BITS_RTOL * max(dram_expected, 1.0)
+    if abs(dram_served - dram_expected) > tol:
+        violations.append(
+            f"DRAM bits conservation broken: channels served "
+            f"{dram_served:.3f} bits, the traffic model accounts for "
+            f"{dram_expected:.3f}"
+        )
+
+    ring_served = sum(l.bits_served for l in model.ring_links)
+    ring_expected = _expected_ring_bits(model)
+    tol = _BITS_RTOL * max(ring_expected, 1.0)
+    if abs(ring_served - ring_expected) > tol:
+        violations.append(
+            f"ring bits conservation broken: links served {ring_served:.3f} "
+            f"bit-hops, the traffic model accounts for {ring_expected:.3f}"
+        )
+    return violations

@@ -1,0 +1,126 @@
+"""The audit report: aggregate cross-check results, serialize, summarize.
+
+``repro audit`` sweeps registered models against a mapping sample and emits
+one :class:`AuditReport` as JSON; the CI audit job fails the build when the
+report carries any violation, and benchmarks archive the JSON next to the
+reproduced figures so every run documents that the cost model and the
+simulator still agree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.audit.crosscheck import CrossCheckResult
+
+
+@dataclass
+class ModelAudit:
+    """All cross-check results of one model."""
+
+    model: str
+    results: list[CrossCheckResult] = field(default_factory=list)
+
+    @property
+    def checked(self) -> int:
+        """Audited (layer, mapping) pairs."""
+        return len(self.results)
+
+    @property
+    def flagged(self) -> list[CrossCheckResult]:
+        """Pairs with invariant violations or out-of-envelope divergence."""
+        return [r for r in self.results if r.flagged]
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations across this model's pairs."""
+        return sum(len(r.violations) for r in self.results)
+
+    @property
+    def worst_ratio(self) -> float:
+        """Largest simulated/estimated ratio among uncontended pairs."""
+        ratios = [r.ratio for r in self.results if r.uncontended]
+        return max(ratios, default=0.0)
+
+
+@dataclass
+class AuditReport:
+    """One full audit sweep: models x layers x sampled mappings."""
+
+    hw_label: str
+    profile: str
+    envelope: float
+    models: list[ModelAudit] = field(default_factory=list)
+
+    @property
+    def checked(self) -> int:
+        """Total audited pairs."""
+        return sum(m.checked for m in self.models)
+
+    @property
+    def flagged(self) -> list[CrossCheckResult]:
+        """Every flagged pair across all models."""
+        return [r for m in self.models for r in m.flagged]
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations across the sweep."""
+        return sum(m.violation_count for m in self.models)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole sweep is clean."""
+        return self.violation_count == 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "hardware": self.hw_label,
+            "profile": self.profile,
+            "envelope": self.envelope,
+            "checked": self.checked,
+            "violations": self.violation_count,
+            "ok": self.ok,
+            "models": {
+                m.model: {
+                    "checked": m.checked,
+                    "flagged": len(m.flagged),
+                    "worst_uncontended_ratio": m.worst_ratio,
+                    "results": [r.to_dict() for r in m.results],
+                }
+                for m in self.models
+            },
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the report to ``path`` (parent directories created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target
+
+    def summary(self) -> str:
+        """Human-readable sweep summary with divergence details."""
+        lines = [
+            f"Consistency audit on {self.hw_label} "
+            f"(profile {self.profile}, envelope {self.envelope:.0%}):"
+        ]
+        for model in self.models:
+            status = "ok" if not model.flagged else f"{len(model.flagged)} FLAGGED"
+            lines.append(
+                f"  {model.model}: {model.checked} pairs checked, "
+                f"worst uncontended ratio {model.worst_ratio:.3f} -- {status}"
+            )
+        if self.flagged:
+            lines.append("")
+            lines.append("Flagged pairs:")
+            for result in self.flagged:
+                lines.append(result.describe())
+        else:
+            lines.append(
+                f"All {self.checked} pairs consistent: zero invariant "
+                "violations, all uncontended pairs within envelope."
+            )
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The audit sweep: registered models x a deterministic mapping sample.
+
+For every audited layer the runner cross-checks a small, deterministic
+sample of legal mappings -- always including the mapper's chosen best
+mapping, plus evenly spaced candidates from the enumeration so both
+uncontended and contended (rotating / halo-conflicted) configurations are
+exercised.  Determinism matters: the audit runs in CI, so two runs over the
+same tree must flag the same pairs.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import HardwareConfig
+from repro.audit.crosscheck import DEFAULT_ENVELOPE, cross_validate
+from repro.audit.report import AuditReport, ModelAudit
+from repro.core.cost import InvalidMappingError
+from repro.core.loopnest import LoopNest
+from repro.core.mapper import Mapper
+from repro.core.mapping import Mapping
+from repro.core.primitives import RotationKind
+from repro.core.space import MappingSpace, SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def sample_mappings(
+    layer: ConvLayer,
+    hw: HardwareConfig,
+    profile: SearchProfile,
+    sample: int,
+) -> list[Mapping]:
+    """A deterministic sample of legal mappings for one layer.
+
+    The mapper's best mapping always leads; the remainder are evenly spaced
+    over the legal candidate enumeration (first and last included), so the
+    sample covers the spread of the space without rerunning the full search.
+    """
+    if sample < 1:
+        raise ValueError(f"sample must be >= 1, got {sample}")
+    space = MappingSpace(hw, profile)
+    legal = [
+        m
+        for m in space.unique_candidates(layer)
+        if LoopNest(layer=layer, hw=hw, mapping=m).is_valid()
+    ]
+    chosen: list[Mapping] = []
+    try:
+        chosen.append(Mapper(hw=hw, profile=profile).search_layer(layer).mapping)
+    except InvalidMappingError:
+        pass
+    extra = max(sample - len(chosen), 0)
+    if legal and extra:
+        if len(legal) <= extra:
+            picks = legal
+        else:
+            step = (len(legal) - 1) / max(extra - 1, 1)
+            picks = [legal[round(i * step)] for i in range(extra)]
+        chosen.extend(p for p in picks if p not in chosen)
+    # The pruned profiles always prefer rotation (it is strictly cheaper in
+    # energy), but the envelope claim is made for *uncontended* runs -- so
+    # audit each sampled mapping's no-rotation variant as well.
+    for mapping in list(chosen):
+        plain = mapping.with_rotation(RotationKind.NONE)
+        if plain not in chosen:
+            chosen.append(plain)
+    return chosen
+
+
+def audit_model(
+    name: str,
+    layers: list[ConvLayer],
+    hw: HardwareConfig,
+    profile: SearchProfile = SearchProfile.MINIMAL,
+    sample: int = 3,
+    envelope: float = DEFAULT_ENVELOPE,
+    max_layers: int | None = None,
+) -> ModelAudit:
+    """Cross-check one model's layers against the mapping sample."""
+    audited = ModelAudit(model=name)
+    picked = layers
+    if max_layers is not None and 0 < max_layers < len(layers):
+        step = (len(layers) - 1) / max(max_layers - 1, 1)
+        picked = [layers[round(i * step)] for i in range(max_layers)]
+    for layer in picked:
+        for mapping in sample_mappings(layer, hw, profile, sample):
+            audited.results.append(
+                cross_validate(layer, hw, mapping, envelope=envelope)
+            )
+    return audited
+
+
+def run_audit(
+    models: dict[str, list[ConvLayer]],
+    hw: HardwareConfig,
+    profile: SearchProfile = SearchProfile.MINIMAL,
+    sample: int = 3,
+    envelope: float = DEFAULT_ENVELOPE,
+    max_layers: int | None = None,
+) -> AuditReport:
+    """Audit every model in ``models``; return the aggregated report."""
+    report = AuditReport(
+        hw_label=hw.label(), profile=profile.value, envelope=envelope
+    )
+    for name in sorted(models):
+        report.models.append(
+            audit_model(
+                name,
+                models[name],
+                hw,
+                profile=profile,
+                sample=sample,
+                envelope=envelope,
+                max_layers=max_layers,
+            )
+        )
+    return report

@@ -15,6 +15,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import NoReturn
 
 from repro.analysis.reporting import format_search_stats, format_table
 from repro.arch.config import build_hardware, case_study_hardware
@@ -102,13 +103,37 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail(message: str) -> "NoReturn":
+    """Print a one-line error and exit with the argparse usage-error code."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _get_model(name: str, resolution: int):
+    """Resolve a registry model name, exiting cleanly when unknown."""
+    try:
+        return get_model(name, resolution)
+    except KeyError:
+        _fail(
+            f"unknown model {name!r}; registered models: "
+            f"{', '.join(list_models())} (use --model-file for a JSON file)"
+        )
+
+
 def _resolve_model(args: argparse.Namespace):
-    """Resolve the workload: --model-file wins over the registry name."""
+    """Resolve the workload: --model-file wins over the registry name.
+
+    A registry name that is not registered exits with code 2 and a one-line
+    error; only ``--model-file`` arguments are treated as files.
+    """
     if getattr(args, "model_file", None):
         from repro.workloads.io import load_model_file
 
-        return load_model_file(args.model_file), Path(args.model_file).stem
-    return get_model(args.model, args.resolution), args.model
+        path = Path(args.model_file)
+        if not path.is_file():
+            _fail(f"model file not found: {args.model_file}")
+        return load_model_file(args.model_file), path.stem
+    return _get_model(args.model, args.resolution), args.model
 
 
 def _resolve_hw(args: argparse.Namespace):
@@ -193,7 +218,7 @@ def cmd_map(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Compare NN-Baton against the Simba baseline on one model."""
     hw = _resolve_hw(args)
-    layers = get_model(args.model, args.resolution)
+    layers = _get_model(args.model, args.resolution)
     baton = NNBaton(profile=SearchProfile(args.profile))
     result = baton.post_design(layers, hw)
     simba_energy, simba_cycles, _ = evaluate_simba_model(layers, hw)
@@ -215,7 +240,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the pre-design flow under MAC and area budgets."""
     models = {
-        name: get_model(name, args.resolution)
+        name: _get_model(name, args.resolution)
         for name in args.models.split(",")
     }
     baton = NNBaton()
@@ -270,25 +295,56 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Cross-validate the cost model against the simulator; emit the report."""
+    from repro.audit import DEFAULT_ENVELOPE, run_audit
+
+    hw = _resolve_hw(args)
+    names = args.models.split(",") if args.models else list_models()
+    models = {name: _get_model(name, args.resolution) for name in names}
+    report = run_audit(
+        models,
+        hw,
+        profile=SearchProfile(args.profile),
+        sample=args.sample,
+        envelope=args.envelope if args.envelope is not None else DEFAULT_ENVELOPE,
+        max_layers=args.max_layers,
+    )
+    print(report.summary())
+    if args.json:
+        target = report.write_json(args.json)
+        print(f"Wrote audit report to {target}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NN-Baton: DNN workload orchestration and chiplet granularity exploration",
+        # No prefix abbreviation: `--model nope` must not silently resolve
+        # to --model-file and then fail as a file read.
+        allow_abbrev=False,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    models = sub.add_parser("models", help="list registered workloads")
+    models = sub.add_parser(
+        "models", help="list registered workloads", allow_abbrev=False
+    )
     models.add_argument("--resolution", type=int, default=224)
     models.add_argument(
         "--detail", action="store_true", help="print per-model category histograms"
     )
     models.set_defaults(func=cmd_models)
 
-    table1 = sub.add_parser("table1", help="print the Table I energies")
+    table1 = sub.add_parser(
+        "table1", help="print the Table I energies", allow_abbrev=False
+    )
     table1.set_defaults(func=cmd_table1)
 
-    map_cmd = sub.add_parser("map", help="post-design flow: map a model")
+    map_cmd = sub.add_parser(
+        "map", help="post-design flow: map a model", allow_abbrev=False
+    )
     map_cmd.add_argument("model", nargs="?", default="resnet50")
     map_cmd.add_argument("--hw", type=_parse_hw, default="case-study")
     map_cmd.add_argument("--hw-file", help="load the machine from a JSON file")
@@ -316,7 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_cmd.set_defaults(func=cmd_map)
 
-    compare = sub.add_parser("compare", help="compare against the Simba baseline")
+    compare = sub.add_parser(
+        "compare", help="compare against the Simba baseline", allow_abbrev=False
+    )
     compare.add_argument("model")
     compare.add_argument("--hw", type=_parse_hw, default="case-study")
     compare.add_argument("--hw-file", help="load the machine from a JSON file")
@@ -326,7 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.set_defaults(func=cmd_compare)
 
-    explore = sub.add_parser("explore", help="pre-design flow: explore the design space")
+    explore = sub.add_parser(
+        "explore", help="pre-design flow: explore the design space", allow_abbrev=False
+    )
     explore.add_argument("--macs", type=int, required=True)
     explore.add_argument("--area", type=float, default=None)
     explore.add_argument("--models", default="resnet50")
@@ -342,6 +402,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS, then serial; 0 = all cores)",
     )
     explore.set_defaults(func=cmd_explore)
+
+    audit = sub.add_parser(
+        "audit",
+        help="cross-validate the cost model against the simulator",
+        allow_abbrev=False,
+    )
+    audit.add_argument(
+        "--models", default=None,
+        help="comma-separated registry names (default: every registered model)",
+    )
+    audit.add_argument("--hw", type=_parse_hw, default="case-study")
+    audit.add_argument("--hw-file", help="load the machine from a JSON file")
+    audit.add_argument("--resolution", type=int, default=224)
+    audit.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="minimal"
+    )
+    audit.add_argument(
+        "--sample", type=int, default=3,
+        help="mappings sampled per layer (plus their no-rotation variants)",
+    )
+    audit.add_argument(
+        "--envelope", type=float, default=None,
+        help="allowed fractional excess of simulated over estimated cycles "
+        "for uncontended pairs (default: 0.05)",
+    )
+    audit.add_argument(
+        "--max-layers", type=int, default=None,
+        help="audit at most this many evenly spaced layers per model",
+    )
+    audit.add_argument("--json", help="write the audit report to this path")
+    audit.set_defaults(func=cmd_audit)
 
     return parser
 

@@ -47,6 +47,8 @@ class _ChipletState:
     index: int
     load_done: list[float] = field(default_factory=list)
     compute_done: list[float] = field(default_factory=list)
+    loads_issued: int = 0
+    computes_issued: int = 0
 
 
 @dataclass
@@ -136,21 +138,44 @@ class TilePipelineModel:
         finished = 0
         end_time = 0.0
 
+        def try_start_load(state: _ChipletState) -> None:
+            # Issue the next load as soon as its true dependencies are met:
+            # load i needs load i-1 complete (single DMA engine) and compute
+            # i-2 complete (double buffering -- load i reuses buffer i-2).
+            # Issuing from here, rather than from the end of compute i-1,
+            # is what lets load i actually overlap compute i-1.
+            iteration = state.loads_issued
+            if iteration >= self.iterations:
+                return
+            if iteration >= 1 and len(state.load_done) < iteration:
+                return
+            if iteration >= 2 and len(state.compute_done) < iteration - 1:
+                return
+            state.loads_issued += 1
+            start_load(state, iteration)
+
         def start_load(state: _ChipletState, iteration: int) -> None:
             def action(sim: Simulator) -> None:
                 begin, done = self.dram_channels[state.index].request_span(
                     sim.now, self.dram_load_bits
                 )
                 if self.conflict_bits > 0:
-                    # Halo shared with the neighbouring chiplet is served by
-                    # its channel too (Figure 8's DRAM access conflict).
-                    neighbour = (state.index + 1) % self.n_chiplets
-                    done = max(
-                        done,
-                        self.dram_channels[neighbour].request(
-                            sim.now, self.conflict_bits
-                        ),
-                    )
+                    # Halo shared with neighbouring chiplets is served by
+                    # their channels too (Figure 8's DRAM access conflict).
+                    # A degree-d conflict region has d - 1 extra consumers,
+                    # each hitting a *different* neighbouring channel: a 2x2
+                    # square split spreads its central halo over three
+                    # neighbours, not one over-serialized channel.
+                    extra = self.conflict_degree - 1
+                    share = self.conflict_bits / extra
+                    for offset in range(1, extra + 1):
+                        neighbour = (state.index + offset) % self.n_chiplets
+                        done = max(
+                            done,
+                            self.dram_channels[neighbour].request(
+                                sim.now, share
+                            ),
+                        )
                 if self.trace is not None:
                     self.trace.add(
                         state.index, iteration, Phase.DRAM_LOAD, begin, done
@@ -196,7 +221,18 @@ class TilePipelineModel:
         def load_done(state: _ChipletState, iteration: int, time: float) -> None:
             state.load_done.append(time)
             assert len(state.load_done) == iteration + 1
-            start = time
+            try_start_load(state)
+            try_start_compute(state)
+
+        def try_start_compute(state: _ChipletState) -> None:
+            # Compute i needs load i complete and compute i-1 complete.
+            iteration = state.computes_issued
+            if iteration >= len(state.load_done):
+                return
+            if iteration >= 1 and len(state.compute_done) < iteration:
+                return
+            state.computes_issued += 1
+            start = state.load_done[iteration]
             if iteration >= 1:
                 start = max(start, state.compute_done[iteration - 1])
             if self.trace is not None:
@@ -224,12 +260,12 @@ class TilePipelineModel:
                     state.index, iteration, Phase.WRITEBACK, wb_start, wb_done
                 )
             end_time = max(end_time, wb_done)
-            if iteration + 1 < self.iterations:
-                start_load(state, iteration + 1)
-            else:
+            try_start_load(state)
+            try_start_compute(state)
+            if iteration + 1 >= self.iterations:
                 finished += 1
 
         for state in states:
-            start_load(state, 0)
+            try_start_load(state)
         sim.run()
         return max(end_time, sim.now)

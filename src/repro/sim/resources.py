@@ -6,11 +6,41 @@ requests.  That is exactly the contention model the runtime simulator needs
 -- the crossbar gives each chiplet its own DRAM channel, but rotation
 traffic, weight fetches and activation fetches of one chiplet still share
 that channel, and ring hops share each directional link.
+
+Every server keeps conservation accounting (bits requested vs. bits served
+and the per-request service spans) so the audit layer can prove, after a
+run, that no bit was dropped or double-served and that no two service spans
+overlap.  ``utilization`` treats a busy fraction above 1.0 as a hard error
+-- a server cannot be busy longer than the elapsed time, so exceeding it
+means the caller's clock or the server's bookkeeping is corrupted, and
+silently clamping it used to hide exactly that class of bug.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+#: Absolute tolerance for floating-point comparisons of cycle counts.
+TIME_EPS = 1e-6
+
+
+class ResourceInvariantError(RuntimeError):
+    """A bandwidth server violated one of its accounting invariants."""
+
+
+@dataclass(frozen=True)
+class ServiceSpan:
+    """One granted transfer: ``bits`` served over ``[start, end)``."""
+
+    arrival: float
+    start: float
+    end: float
+    bits: float
+
+    @property
+    def duration(self) -> float:
+        """Service time of this transfer."""
+        return self.end - self.start
 
 
 @dataclass
@@ -22,12 +52,18 @@ class BandwidthResource:
         bits_per_cycle: Service bandwidth.
         busy_until: Time the server frees up.
         busy_cycles: Total service time granted (utilization accounting).
+        bits_requested: Total bits callers asked to transfer.
+        bits_served: Total bits granted service (conservation accounting).
+        spans: Every granted transfer, in grant order.
     """
 
     name: str
     bits_per_cycle: float
     busy_until: float = 0.0
     busy_cycles: float = 0.0
+    bits_requested: float = 0.0
+    bits_served: float = 0.0
+    spans: list[ServiceSpan] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.bits_per_cycle <= 0:
@@ -47,14 +83,82 @@ class BandwidthResource:
 
     def request_span(self, arrival: float, bits: float) -> tuple[float, float]:
         """Queue a transfer; return its ``(service_start, completion)`` span."""
+        self.bits_requested += bits
         start = max(arrival, self.busy_until)
         duration = self.service_time(bits)
         self.busy_until = start + duration
         self.busy_cycles += duration
+        self.bits_served += bits
+        self.spans.append(
+            ServiceSpan(arrival=arrival, start=start, end=self.busy_until, bits=bits)
+        )
         return start, self.busy_until
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` the server spent busy."""
+        """Fraction of ``elapsed`` the server spent busy.
+
+        Raises:
+            ResourceInvariantError: When the busy time exceeds ``elapsed`` --
+                a server cannot be busier than wall-clock, so this always
+                indicates corrupted bookkeeping and is never clamped away.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(self.busy_cycles / elapsed, 1.0)
+        utilization = self.busy_cycles / elapsed
+        if utilization > 1.0 + TIME_EPS:
+            raise ResourceInvariantError(
+                f"{self.name}: busy {self.busy_cycles:.3f} cycles over an "
+                f"elapsed window of {elapsed:.3f} (utilization "
+                f"{utilization:.4f} > 1); server bookkeeping corrupted"
+            )
+        return min(utilization, 1.0)
+
+    def invariant_violations(self) -> list[str]:
+        """Check this server's accounting invariants; return violations.
+
+        * **bits conservation** -- every requested bit was served exactly
+          once (``bits_served == bits_requested == sum of span bits``);
+        * **non-overlap** -- service spans are disjoint and FIFO-ordered;
+        * **causality** -- no span starts before its request arrived, and
+          busy time equals the sum of span durations.
+        """
+        errors: list[str] = []
+        bits_tol = max(TIME_EPS, 1e-9 * max(self.bits_requested, 1.0))
+        if abs(self.bits_served - self.bits_requested) > bits_tol:
+            errors.append(
+                f"{self.name}: served {self.bits_served:.3f} bits of "
+                f"{self.bits_requested:.3f} requested (conservation broken)"
+            )
+        span_bits = sum(span.bits for span in self.spans)
+        if abs(span_bits - self.bits_served) > bits_tol:
+            errors.append(
+                f"{self.name}: span log accounts for {span_bits:.3f} bits, "
+                f"server says {self.bits_served:.3f} served"
+            )
+        span_busy = sum(span.duration for span in self.spans)
+        if abs(span_busy - self.busy_cycles) > TIME_EPS * max(len(self.spans), 1):
+            errors.append(
+                f"{self.name}: span durations sum to {span_busy:.3f} cycles, "
+                f"busy counter says {self.busy_cycles:.3f}"
+            )
+        for i, span in enumerate(self.spans):
+            if span.start < span.arrival - TIME_EPS:
+                errors.append(
+                    f"{self.name}: span {i} served at {span.start:.3f} before "
+                    f"its request arrived at {span.arrival:.3f}"
+                )
+            expected = span.start + self.service_time(span.bits)
+            if abs(span.end - expected) > TIME_EPS:
+                errors.append(
+                    f"{self.name}: span {i} of {span.bits:.1f} bits runs "
+                    f"[{span.start:.3f}, {span.end:.3f}), expected end "
+                    f"{expected:.3f} at {self.bits_per_cycle:g} bits/cycle"
+                )
+        for i, (earlier, later) in enumerate(zip(self.spans, self.spans[1:])):
+            if later.start < earlier.end - TIME_EPS:
+                errors.append(
+                    f"{self.name}: span {i + 1} starts at {later.start:.3f} "
+                    f"before span {i} ends at {earlier.end:.3f} (overlapping "
+                    "service on an exclusive server)"
+                )
+        return errors

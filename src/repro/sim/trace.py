@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+#: Absolute tolerance for floating-point cycle comparisons.
+_EPS = 1e-6
+
 
 class Phase(Enum):
     """Pipeline stages of one chiplet-workload iteration."""
@@ -91,16 +94,87 @@ class Trace:
             )
             for compute in computes:
                 load = loads.get(compute.iteration)
-                if load is not None and compute.start < load.end - 1e-9:
+                if load is not None and compute.start < load.end - _EPS:
                     errors.append(
                         f"chiplet {chiplet} iteration {compute.iteration}: "
                         f"compute starts at {compute.start} before load ends "
                         f"at {load.end}"
                     )
             for earlier, later in zip(computes, computes[1:]):
-                if later.start < earlier.end - 1e-9:
+                if later.start < earlier.end - _EPS:
                     errors.append(
                         f"chiplet {chiplet}: compute {later.iteration} overlaps "
                         f"compute {earlier.iteration}"
+                    )
+        return errors
+
+    def validate(self) -> list[str]:
+        """Check the full causality contract; return every violation.
+
+        Beyond :meth:`validate_ordering`, this enforces the dependence edges
+        the tile pipeline promises:
+
+        * **writeback causality** -- writeback ``i`` starts no earlier than
+          compute ``i`` ends on the same chiplet;
+        * **load causality** -- the load phase of iteration ``i`` (DRAM, plus
+          the ring round when the mapping rotates) ends before compute ``i``
+          starts, loads are serialized per chiplet, and the double buffer
+          never runs more than one load ahead of compute (load ``i`` waits
+          for compute ``i - 2``);
+        * **rotation synchronization** -- a ring round for iteration ``i``
+          starts only after *every* chiplet's DRAM slice of that iteration
+          has arrived (the rotating transfer is a synchronized round).
+        """
+        errors = self.validate_ordering()
+        by_phase: dict[Phase, dict[tuple[int, int], TraceRecord]] = {
+            phase: {} for phase in Phase
+        }
+        for record in self.records:
+            by_phase[record.phase][(record.chiplet, record.iteration)] = record
+
+        for key, writeback in by_phase[Phase.WRITEBACK].items():
+            compute = by_phase[Phase.COMPUTE].get(key)
+            if compute is not None and writeback.start < compute.end - _EPS:
+                errors.append(
+                    f"chiplet {key[0]} iteration {key[1]}: writeback starts "
+                    f"at {writeback.start} before compute ends at {compute.end}"
+                )
+
+        for chiplet in sorted({r.chiplet for r in self.records}):
+            loads = sorted(
+                (r for r in self.for_chiplet(chiplet) if r.phase is Phase.DRAM_LOAD),
+                key=lambda r: r.iteration,
+            )
+            for earlier, later in zip(loads, loads[1:]):
+                if later.start < earlier.start - _EPS:
+                    errors.append(
+                        f"chiplet {chiplet}: load {later.iteration} starts at "
+                        f"{later.start} before load {earlier.iteration} at "
+                        f"{earlier.start} (loads must be serialized)"
+                    )
+            for load in loads:
+                prior = by_phase[Phase.COMPUTE].get((chiplet, load.iteration - 2))
+                if prior is not None and load.start < prior.end - _EPS:
+                    errors.append(
+                        f"chiplet {chiplet}: load {load.iteration} starts at "
+                        f"{load.start} before compute {load.iteration - 2} "
+                        f"ends at {prior.end} (double buffer overrun)"
+                    )
+
+        ring_records = self.for_phase(Phase.RING_ROTATE)
+        if ring_records:
+            slice_done: dict[int, float] = {}
+            for record in self.for_phase(Phase.DRAM_LOAD):
+                slice_done[record.iteration] = max(
+                    slice_done.get(record.iteration, 0.0), record.end
+                )
+            for record in ring_records:
+                barrier = slice_done.get(record.iteration)
+                if barrier is not None and record.start < barrier - _EPS:
+                    errors.append(
+                        f"chiplet {record.chiplet} iteration {record.iteration}: "
+                        f"ring round starts at {record.start} before the "
+                        f"slowest DRAM slice arrives at {barrier} "
+                        "(rotation must be a synchronized round)"
                     )
         return errors

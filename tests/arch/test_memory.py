@@ -41,6 +41,32 @@ class TestLinearFit:
         with pytest.raises(ValueError):
             LinearFit.fit([2.0, 2.0], [1.0, 5.0])
 
+    def test_near_duplicate_xs_raise_instead_of_garbage(self):
+        # The seed bug: xs one ulp apart returned slope=4.0 for y=3x.
+        xs = [0.1, 0.1 + 2e-17]
+        ys = [3.0 * x for x in xs]
+        with pytest.raises(ValueError, match="degenerate"):
+            LinearFit.fit(xs, ys)
+
+    def test_tiny_relative_spread_raises(self):
+        xs = [500.0, 500.0 + 1e-8, 500.0 + 2e-8]  # spread 4e-11 of magnitude
+        with pytest.raises(ValueError, match="degenerate"):
+            LinearFit.fit(xs, [1.0, 2.0, 3.0])
+
+    def test_small_but_resolvable_spread_recovers_line(self):
+        # Spread of 1e-3 relative: mean-shifted fsum keeps full precision
+        # where the naive accumulation lost every significant digit.
+        xs = [100.0, 100.0 + 0.05, 100.0 + 0.1]
+        ys = [3.0 * x - 7.0 for x in xs]
+        fit = LinearFit.fit(xs, ys)
+        assert fit.slope == pytest.approx(3.0, rel=1e-9)
+        assert fit.intercept == pytest.approx(-7.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_r_squared_clamped_to_unit_interval(self):
+        fit = LinearFit.fit([1.0, 2.0, 3.0, 4.0], [0.0, 5.0, -5.0, 0.0])
+        assert 0.0 <= fit.r_squared <= 1.0
+
 
 class TestSramModel:
     def test_case_study_sizes(self):

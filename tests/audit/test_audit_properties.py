@@ -1,0 +1,69 @@
+"""Property tests: runtime invariants hold across hypothesis-sampled mappings.
+
+Every legal (layer, hardware, mapping) triple must simulate to a trace that
+passes :meth:`Trace.validate` and to resources whose exclusive-service and
+bits-conservation invariants hold -- regardless of partition type, rotation,
+or halo conflicts.  These properties are exactly what ``check_run`` enforces
+inside the audit sweep; here hypothesis hunts for a counterexample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import build_hardware
+from repro.audit.invariants import check_run
+from repro.core.loopnest import LoopNest
+from repro.core.space import MappingSpace, SearchProfile
+from repro.sim.engine import TilePipelineModel
+from repro.sim.trace import Trace
+from repro.workloads.layer import ConvLayer
+
+
+@st.composite
+def layer_and_hw(draw):
+    layer = ConvLayer(
+        name="prop",
+        h=draw(st.sampled_from([14, 28, 56])),
+        w=draw(st.sampled_from([14, 28])),
+        ci=draw(st.sampled_from([16, 64])),
+        co=draw(st.sampled_from([16, 64, 128])),
+        kh=draw(st.sampled_from([1, 3])),
+        kw=draw(st.sampled_from([1, 3])),
+        stride=draw(st.sampled_from([1, 2])),
+        padding=1,
+    )
+    hw = build_hardware(
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([2, 4])),
+        draw(st.sampled_from([4, 8])),
+        draw(st.sampled_from([4, 8])),
+    )
+    return layer, hw
+
+
+class TestRuntimeInvariantProperties:
+    @given(layer_and_hw(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_simulated_runs_satisfy_all_invariants(self, pair, pick):
+        layer, hw = pair
+        space = MappingSpace(hw, SearchProfile.MINIMAL)
+        legal = [
+            m
+            for m in space.unique_candidates(layer)
+            if LoopNest(layer=layer, hw=hw, mapping=m).is_valid()
+        ]
+        if not legal:
+            return
+        mapping = legal[pick % len(legal)]
+        nest = LoopNest(layer=layer, hw=hw, mapping=mapping)
+        trace = Trace()
+        model = TilePipelineModel(nest, trace=trace)
+        cycles = model.run()
+
+        assert trace.validate() == []
+        assert check_run(model, cycles, trace) == [], (
+            f"invariant violation for {mapping.describe()}"
+        )
+        # Utilization is a fraction on every resource.
+        for resource in [*model.dram_channels, *model.ring_links]:
+            assert 0.0 <= resource.utilization(cycles) <= 1.0 + 1e-6

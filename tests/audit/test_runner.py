@@ -1,0 +1,65 @@
+"""Tests for the audit sweep runner and report aggregation."""
+
+import json
+
+import pytest
+
+from repro.arch.config import build_hardware
+from repro.audit import audit_model, run_audit, sample_mappings
+from repro.core.primitives import RotationKind
+from repro.core.space import SearchProfile
+from repro.workloads.layer import ConvLayer
+
+
+def layers():
+    return [
+        ConvLayer("a", h=28, w=28, ci=64, co=128, kh=3, kw=3, stride=1, padding=1),
+        ConvLayer("b", h=14, w=14, ci=128, co=128, kh=1, kw=1, stride=1, padding=0),
+        ConvLayer("c", h=28, w=28, ci=32, co=64, kh=3, kw=3, stride=2, padding=1),
+    ]
+
+
+def small_hw():
+    return build_hardware(2, 4, 8, 8)
+
+
+class TestSampleMappings:
+    def test_deterministic(self):
+        layer, hw = layers()[0], small_hw()
+        first = sample_mappings(layer, hw, SearchProfile.MINIMAL, sample=3)
+        second = sample_mappings(layer, hw, SearchProfile.MINIMAL, sample=3)
+        assert first == second
+
+    def test_includes_uncontended_variant(self):
+        layer, hw = layers()[0], small_hw()
+        sampled = sample_mappings(layer, hw, SearchProfile.MINIMAL, sample=3)
+        assert sampled
+        assert any(m.rotation is RotationKind.NONE for m in sampled)
+
+    def test_sample_must_be_positive(self):
+        with pytest.raises(ValueError, match="sample"):
+            sample_mappings(layers()[0], small_hw(), SearchProfile.MINIMAL, sample=0)
+
+
+class TestAuditSweep:
+    def test_max_layers_subsamples(self):
+        audit = audit_model(
+            "tiny", layers(), small_hw(), sample=1, max_layers=2
+        )
+        audited_layers = {r.layer_name for r in audit.results}
+        assert audited_layers == {"a", "c"}
+
+    def test_report_aggregates_and_serializes(self, tmp_path):
+        report = run_audit({"tiny": layers()[:2]}, small_hw(), sample=1)
+        assert report.checked == sum(m.checked for m in report.models)
+        assert report.ok, report.summary()
+        assert "consistent" in report.summary()
+
+        target = report.write_json(tmp_path / "nested" / "audit.json")
+        payload = json.loads(target.read_text())
+        assert payload["ok"] is True
+        assert payload["violations"] == 0
+        assert set(payload["models"]) == {"tiny"}
+        assert payload["models"]["tiny"]["checked"] == report.checked
+        for result in payload["models"]["tiny"]["results"]:
+            assert result["simulated_cycles"] >= result["roofline_cycles"]

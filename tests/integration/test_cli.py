@@ -1,10 +1,30 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _run_cli(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro`` in a subprocess with src on PYTHONPATH."""
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=repo_root,
+    )
 
 
 class TestParser:
@@ -88,6 +108,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Recommended:" in out
 
+    def test_unknown_model_exits_2_in_process(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["map", "nope", "--profile", "minimal"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1 and "unknown model 'nope'" in err
+
+    def test_audit_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "audit.json"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--models",
+                    "alexnet",
+                    "--hw",
+                    "2-4-8-8",
+                    "--max-layers",
+                    "1",
+                    "--sample",
+                    "1",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Consistency audit" in out and "alexnet" in out
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["violations"] == 0
+        assert "alexnet" in data["models"]
+
+    def test_audit_unknown_model_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["audit", "--models", "nope"])
+        assert exc.value.code == 2
+        assert "unknown model 'nope'" in capsys.readouterr().err
+
     def test_explore_impossible_budget(self, capsys):
         assert (
             main(
@@ -107,3 +167,40 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "No design satisfies" in out
+
+
+class TestUnknownModelSubprocess:
+    """The three fixed failure modes, end to end through ``python -m repro``."""
+
+    def test_unknown_model_exit_code_and_message(self):
+        from repro.workloads.registry import list_models
+
+        proc = _run_cli("map", "nope")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        # One line, naming every registered model.
+        assert proc.stderr.strip().count("\n") == 0
+        for name in list_models():
+            assert name in proc.stderr
+
+    def test_model_flag_not_abbreviated_to_model_file(self):
+        proc = _run_cli("map", "--model", "nope")
+        assert proc.returncode == 2
+        assert "FileNotFoundError" not in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_model_file_clean_error(self):
+        proc = _run_cli("map", "--model-file", "/no/such/model.json")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "model file not found" in proc.stderr
+
+    def test_compare_unknown_model(self):
+        proc = _run_cli("compare", "nope")
+        assert proc.returncode == 2
+        assert "unknown model" in proc.stderr
+
+    def test_explore_unknown_model(self):
+        proc = _run_cli("explore", "--macs", "512", "--models", "nope")
+        assert proc.returncode == 2
+        assert "unknown model" in proc.stderr

@@ -1,6 +1,8 @@
 """Property-based tests for cost-model and simulator invariants."""
 
-from hypothesis import given, settings
+import math
+
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import build_hardware
@@ -111,11 +113,33 @@ class TestLinearFitProperties:
         st.floats(-10, 10),
         st.lists(st.floats(0.1, 500), min_size=2, max_size=30, unique=True),
     )
+    @settings(max_examples=500, deadline=None)
     def test_exact_line_recovered(self, intercept, slope, xs):
+        # A well-conditioned fit needs an x-spread comfortably above the
+        # float noise floor; below that LinearFit.fit raises (covered by
+        # tests/arch/test_memory.py) rather than returning a garbage slope.
+        assume(max(xs) - min(xs) >= 1e-3 * max(abs(x) for x in xs))
         ys = [intercept + slope * x for x in xs]
         fit = LinearFit.fit(xs, ys)
         assert abs(fit.intercept - intercept) < 1e-6 + 1e-6 * abs(intercept)
         assert abs(fit.slope - slope) < 1e-6 + 1e-6 * abs(slope)
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(-10, 10),
+        st.lists(st.floats(0.1, 500), min_size=2, max_size=30, unique=True),
+    )
+    @settings(max_examples=500, deadline=None)
+    def test_degenerate_or_finite_never_garbage(self, intercept, slope, xs):
+        # Any unique-x input either fits (finite coefficients, r^2 in [0, 1])
+        # or raises ValueError -- never NaN/inf, never an unclamped r^2.
+        ys = [intercept + slope * x for x in xs]
+        try:
+            fit = LinearFit.fit(xs, ys)
+        except ValueError:
+            return
+        assert math.isfinite(fit.slope) and math.isfinite(fit.intercept)
+        assert 0.0 <= fit.r_squared <= 1.0
 
     @given(
         st.lists(
@@ -124,8 +148,8 @@ class TestLinearFitProperties:
             max_size=30,
         )
     )
-    def test_r_squared_at_most_one(self, points):
+    def test_r_squared_clamped(self, points):
         xs = [p[0] + i for i, p in enumerate(points)]  # ensure x-variance
         ys = [p[1] for p in points]
         fit = LinearFit.fit(xs, ys)
-        assert fit.r_squared <= 1.0 + 1e-9
+        assert 0.0 <= fit.r_squared <= 1.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.resources import BandwidthResource
+from repro.sim.resources import BandwidthResource, ResourceInvariantError
 
 
 class TestBandwidthResource:
@@ -33,8 +33,51 @@ class TestBandwidthResource:
         resource.request(0.0, 500)
         assert resource.busy_cycles == pytest.approx(10.0)
         assert resource.utilization(20.0) == pytest.approx(0.5)
-        assert resource.utilization(5.0) == 1.0   # clamped
+        assert resource.utilization(10.0) == pytest.approx(1.0)
         assert resource.utilization(0.0) == 0.0
+
+    def test_utilization_above_one_is_an_error_not_a_clamp(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 1000)           # busy 10 cycles
+        with pytest.raises(ResourceInvariantError):
+            resource.utilization(5.0)         # elapsed < busy: impossible
+
+    def test_bits_conservation_accounting(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 300)
+        resource.request(1.0, 700)
+        assert resource.bits_requested == pytest.approx(1000.0)
+        assert resource.bits_served == pytest.approx(1000.0)
+        assert sum(s.bits for s in resource.spans) == pytest.approx(1000.0)
+        assert resource.invariant_violations() == []
+
+    def test_span_log_is_fifo_and_non_overlapping(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 500)
+        resource.request(2.0, 500)            # queued behind the first
+        resource.request(20.0, 100)           # idle gap, then service
+        first, second, third = resource.spans
+        assert first.end == pytest.approx(5.0)
+        assert second.start == pytest.approx(5.0)
+        assert third.start == pytest.approx(20.0)
+        assert resource.invariant_violations() == []
+
+    def test_corrupted_busy_counter_detected(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 500)
+        resource.busy_cycles += 3.0           # simulate a bookkeeping bug
+        assert any(
+            "busy counter" in v for v in resource.invariant_violations()
+        )
+
+    def test_corrupted_bits_counter_detected(self):
+        resource = BandwidthResource("dram", 100.0)
+        resource.request(0.0, 500)
+        resource.bits_served += 100.0         # simulate a double-serve bug
+        assert any(
+            "conservation" in v or "span log" in v
+            for v in resource.invariant_violations()
+        )
 
     def test_zero_bits_is_free(self):
         resource = BandwidthResource("link", 64.0)
