@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke ci lint examples clean
+.PHONY: install test audit bench bench-full bench-smoke ci lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -44,10 +44,31 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # The fast benchmark subset CI runs on every push to catch perf-path
-# regressions without paying for the full sweep.
+# regressions without paying for the full sweep, plus the observability
+# overhead guard (disabled-mode hook cost must stay < 2% of a sweep).
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
 		benchmarks/bench_fig10_memory_model.py --benchmark-only -q
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
+		benchmarks/bench_obs_overhead.py -q
+
+# The tier-1 suite under the CI coverage gate.  Needs pytest-cov
+# (``pip install -e .[cov]``); degrades to a plain run when it's absent so
+# the target works on minimal installs.
+coverage:
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q \
+			--cov=repro --cov-report=term --cov-fail-under=75; \
+	else \
+		echo "pytest-cov not installed (pip install -e .[cov]); plain run"; \
+		PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q; \
+	fi
+
+# Span/counter profile of one model's mapping search (docs/observability.md).
+profile:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro profile \
+		mobilenet_v2 --trace-out benchmarks/results/profile-trace.json \
+		--metrics-out benchmarks/results/profile-metrics.json
 
 # The paper-fidelity run: exhaustive mapping search and the full Figure 15
 # memory sweep (tens of minutes on one core).

@@ -82,6 +82,48 @@ def format_search_stats(stats) -> str:
     return "\n".join(lines)
 
 
+def format_profile(recorder, top: int = 15) -> str:
+    """Render a :class:`repro.obs.Recorder`'s profile as plain text.
+
+    A span table (call path, count, total/mean milliseconds) hottest-first,
+    followed by every counter and gauge.  ``top`` caps the span rows shown;
+    the cut is reported so a truncated profile never reads as complete.
+    """
+    lines: list[str] = []
+    aggregated = recorder.aggregate_spans()
+    if aggregated:
+        shown = list(aggregated.items())[:top]
+        rows = [
+            [
+                path,
+                count,
+                f"{total_ns / 1e6:.2f}",
+                f"{total_ns / count / 1e6:.3f}",
+            ]
+            for path, (count, total_ns) in shown
+        ]
+        lines.append(
+            format_table(
+                ["Span path", "Calls", "Total ms", "Mean ms"],
+                rows,
+                title="Spans (hottest first)",
+            )
+        )
+        hidden = len(aggregated) - len(shown)
+        if hidden > 0:
+            lines.append(f"... {hidden} more span paths (raise --top to see them)")
+    else:
+        lines.append("No spans recorded.")
+    counters = recorder.metrics.counters()
+    gauges = recorder.metrics.gauges()
+    if counters or gauges:
+        rows = [[name, f"{value:g}"] for name, value in counters.items()]
+        rows += [[name, f"{value:g}"] for name, value in gauges.items()]
+        lines.append("")
+        lines.append(format_table(["Counter", "Value"], rows, title="Counters"))
+    return "\n".join(lines)
+
+
 def format_scatter(
     points: Sequence[tuple[float, float, str]],
     width: int = 70,

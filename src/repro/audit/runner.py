@@ -10,6 +10,7 @@ same tree must flag the same pairs.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.arch.config import HardwareConfig
 from repro.audit.crosscheck import DEFAULT_ENVELOPE, cross_validate
 from repro.audit.report import AuditReport, ModelAudit
@@ -80,11 +81,14 @@ def audit_model(
     if max_layers is not None and 0 < max_layers < len(layers):
         step = (len(layers) - 1) / max(max_layers - 1, 1)
         picked = [layers[round(i * step)] for i in range(max_layers)]
-    for layer in picked:
-        for mapping in sample_mappings(layer, hw, profile, sample):
-            audited.results.append(
-                cross_validate(layer, hw, mapping, envelope=envelope)
-            )
+    with obs.span("audit.model", model=name, layers=len(picked)):
+        for layer in picked:
+            for mapping in sample_mappings(layer, hw, profile, sample):
+                audited.results.append(
+                    cross_validate(layer, hw, mapping, envelope=envelope)
+                )
+    obs.count("audit.layers", len(picked))
+    obs.count("audit.pairs", len(audited.results))
     return audited
 
 
@@ -100,16 +104,18 @@ def run_audit(
     report = AuditReport(
         hw_label=hw.label(), profile=profile.value, envelope=envelope
     )
-    for name in sorted(models):
-        report.models.append(
-            audit_model(
-                name,
-                models[name],
-                hw,
-                profile=profile,
-                sample=sample,
-                envelope=envelope,
-                max_layers=max_layers,
+    with obs.span("audit.run", models=len(models)):
+        for name in sorted(models):
+            report.models.append(
+                audit_model(
+                    name,
+                    models[name],
+                    hw,
+                    profile=profile,
+                    sample=sample,
+                    envelope=envelope,
+                    max_layers=max_layers,
+                )
             )
-        )
+    obs.count("audit.models", len(models))
     return report

@@ -7,6 +7,12 @@ Subcommands mirror the paper's two flows plus inspection helpers::
     python -m repro map resnet50 --hw 4-8-8-8      # post-design flow
     python -m repro compare vgg16 --resolution 512 # vs the Simba baseline
     python -m repro explore --macs 2048 --area 2.0 # pre-design flow
+    python -m repro profile mobilenetv2            # spans + counters
+
+``explore`` is also reachable as ``dse``.  ``map``, ``explore``/``dse``,
+``audit`` and ``profile`` accept ``--trace-out`` (Chrome trace-event JSON,
+opens in Perfetto) and ``--metrics-out`` (counters/gauges JSON); either flag
+installs a live :mod:`repro.obs` recorder for the run.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ import sys
 from pathlib import Path
 from typing import NoReturn
 
-from repro.analysis.reporting import format_search_stats, format_table
+from repro import obs
+from repro.analysis.reporting import format_profile, format_search_stats, format_table
 from repro.arch.config import build_hardware, case_study_hardware
 from repro.arch.technology import TABLE_I
 from repro.core.baton import NNBaton
@@ -259,6 +266,38 @@ def cmd_explore(args: argparse.Namespace) -> int:
         f"{len(result.valid_points)} valid evaluated."
     )
     print(format_search_stats(stats))
+    if args.json:
+        payload = {
+            "macs": args.macs,
+            "max_chiplet_mm2": args.area,
+            "memory_stride": args.stride,
+            "models": sorted(models),
+            "resolution": args.resolution,
+            "swept": result.swept,
+            "recommended": (
+                result.recommended.label if result.recommended else None
+            ),
+            "valid_points": [
+                {
+                    "config": point.label,
+                    "chiplets": point.hw.n_chiplets,
+                    "chiplet_area_mm2": point.chiplet_area_mm2,
+                    "memory": {
+                        "a_l1_bytes": point.hw.memory.a_l1_bytes,
+                        "w_l1_bytes": point.hw.memory.w_l1_bytes,
+                        "o_l1_bytes": point.hw.memory.o_l1_bytes,
+                        "a_l2_bytes": point.hw.memory.a_l2_bytes,
+                    },
+                    "energy_pj": {m: point.energy_pj[m] for m in sorted(models)},
+                    "cycles": {m: point.cycles[m] for m in sorted(models)},
+                }
+                for point in result.valid_points
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Wrote sweep results to {args.json}")
     if result.recommended is None:
         print("No design satisfies the budgets.")
         return 1
@@ -317,6 +356,47 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one model's post-design flow (always under a live recorder)."""
+    from repro.core.cost import model_cost
+    from repro.core.mapper import Mapper
+
+    hw = _resolve_hw(args)
+    layers, model_name = _resolve_model(args)
+    recorder = obs.get_recorder()
+    cache = (
+        MappingCache(args.cache_dir) if args.cache_dir else MappingCache()
+    )
+    mapper = Mapper(hw=hw, profile=SearchProfile(args.profile), cache=cache)
+    results = mapper.search_model(layers, jobs=args.jobs)
+    energy, cycles, _ = model_cost([r.best for r in results], hw)
+    if args.simulate:
+        from repro.sim.runtime import simulate_runtime
+
+        for r in results:
+            simulate_runtime(r.layer, hw, r.mapping)
+    print(
+        f"Profiled {model_name}@{args.resolution} on {hw.label()}: "
+        f"{energy.total_pj / 1e9:.2f} mJ, {int(cycles):,} cycles"
+    )
+    print()
+    print(format_profile(recorder, top=args.top))
+    return 0
+
+
+def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+    """The observability export flags shared by the flow subcommands."""
+    cmd.add_argument(
+        "--trace-out",
+        help="write a Chrome trace-event JSON of this run "
+        "(open in https://ui.perfetto.dev)",
+    )
+    cmd.add_argument(
+        "--metrics-out",
+        help="write the run's counters and gauges as JSON",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -370,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the mapping cache under this directory "
         "(default: $REPRO_CACHE_DIR, else memory-only)",
     )
+    _add_obs_flags(map_cmd)
     map_cmd.set_defaults(func=cmd_map)
 
     compare = sub.add_parser(
@@ -385,7 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.set_defaults(func=cmd_compare)
 
     explore = sub.add_parser(
-        "explore", help="pre-design flow: explore the design space", allow_abbrev=False
+        "explore",
+        aliases=["dse"],
+        help="pre-design flow: explore the design space (alias: dse)",
+        allow_abbrev=False,
     )
     explore.add_argument("--macs", type=int, required=True)
     explore.add_argument("--area", type=float, default=None)
@@ -397,10 +481,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--csv", help="export valid design points to this CSV")
     explore.add_argument(
+        "--json",
+        help="export the sweep result (valid points + recommendation) to "
+        "this JSON file, byte-identical at every --jobs count",
+    )
+    explore.add_argument(
         "--jobs", type=_parse_jobs, default=None,
         help="worker processes fanning sweep points out "
         "(default: $REPRO_JOBS, then serial; 0 = all cores)",
     )
+    _add_obs_flags(explore)
     explore.set_defaults(func=cmd_explore)
 
     audit = sub.add_parser(
@@ -432,16 +522,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit at most this many evenly spaced layers per model",
     )
     audit.add_argument("--json", help="write the audit report to this path")
+    _add_obs_flags(audit)
     audit.set_defaults(func=cmd_audit)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="profile a model's mapping flow: spans, counters, Chrome trace",
+        allow_abbrev=False,
+    )
+    profile_cmd.add_argument("model", nargs="?", default="resnet50")
+    profile_cmd.add_argument("--hw", type=_parse_hw, default="case-study")
+    profile_cmd.add_argument("--hw-file", help="load the machine from a JSON file")
+    profile_cmd.add_argument(
+        "--model-file", help="load the workload from a JSON layer list"
+    )
+    profile_cmd.add_argument("--resolution", type=int, default=224)
+    profile_cmd.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="fast"
+    )
+    profile_cmd.add_argument(
+        "--jobs", type=_parse_jobs, default=None,
+        help="worker processes for the layer search "
+        "(default: $REPRO_JOBS, then serial; 0 = all cores)",
+    )
+    profile_cmd.add_argument(
+        "--simulate", action="store_true",
+        help="also run the tile-pipeline simulator on every layer's "
+        "winning mapping",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=15,
+        help="span paths shown in the profile table",
+    )
+    profile_cmd.add_argument(
+        "--cache-dir",
+        help="persist the mapping cache under this directory (default: a "
+        "fresh in-memory cache, so the profile shows real search cost)",
+    )
+    _add_obs_flags(profile_cmd)
+    profile_cmd.set_defaults(func=cmd_profile)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Installs a live :mod:`repro.obs` recorder around the subcommand when
+    observability output was requested (``--trace-out`` / ``--metrics-out``,
+    or the always-recording ``profile`` command) and writes the exports
+    after the command returns -- even a failing run keeps its trace.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace_out or metrics_out) and args.func is not cmd_profile:
+        return args.func(args)
+    recorder = obs.Recorder()
+    try:
+        with obs.use(recorder):
+            code = args.func(args)
+    finally:
+        if trace_out:
+            target = recorder.write_chrome_trace(trace_out)
+            print(
+                f"Wrote Chrome trace to {target} "
+                "(open in https://ui.perfetto.dev)"
+            )
+        if metrics_out:
+            target = recorder.write_metrics(metrics_out)
+            print(f"Wrote metrics to {target}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

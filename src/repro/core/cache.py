@@ -30,6 +30,7 @@ import os
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.arch.config import HardwareConfig
 from repro.core.serialize import hardware_digest, mapping_from_dict
 
@@ -122,6 +123,7 @@ class MappingCache:
         cached = self._mem.get(key)
         if cached is not None:
             self.hits += 1
+            obs.count("cache.hits")
             return cached
         if rebuild is not None and self.directory is not None:
             self._ensure_loaded(self._digest_of(key))
@@ -132,8 +134,11 @@ class MappingCache:
                     self._mem[key] = result
                     self.hits += 1
                     self.disk_hits += 1
+                    obs.count("cache.hits")
+                    obs.count("cache.disk_hits")
                     return result
         self.misses += 1
+        obs.count("cache.misses")
         return None
 
     def put(
@@ -144,6 +149,7 @@ class MappingCache:
     ) -> None:
         """Store a fresh search result (and its disk record, when enabled)."""
         self._mem[key] = result
+        obs.count("cache.puts")
         if self.directory is not None and record is not None:
             self._disk[key] = record
             self._dirty_digests.add(self._digest_of(key))
@@ -182,6 +188,8 @@ class MappingCache:
         """
         if self.directory is None or not self._dirty_digests:
             return
+        obs.count("cache.saves")
+        obs.count("cache.digests_flushed", len(self._dirty_digests))
         self.directory.mkdir(parents=True, exist_ok=True)
         for digest in sorted(self._dirty_digests):
             path = self._path_for(digest)

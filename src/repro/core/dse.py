@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig, MemoryConfig, build_hardware
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
@@ -278,6 +279,9 @@ def granularity_study(
             if point.valid:
                 stats.points_evaluated += 1
         points.append(point)
+    obs.count("dse.points.total", len(points))
+    obs.count("dse.points.evaluated", sum(1 for p in points if p.valid))
+    obs.count("dse.points.invalid", sum(1 for p in points if not p.valid))
     return points
 
 
@@ -413,6 +417,9 @@ def explore(
         points.append(point)
     if stats is not None:
         stats.points_evaluated += evaluated
+    obs.count("dse.points.total", len(points))
+    obs.count("dse.points.evaluated", evaluated)
+    obs.count("dse.points.invalid", sum(1 for p in points if not p.valid))
     return points
 
 

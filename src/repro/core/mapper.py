@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.arch.config import HardwareConfig
 from repro.core.cache import MappingCache, cache_key, rebuild_record
 from repro.core.cost import CostReport, InvalidMappingError, evaluate_mapping
@@ -175,22 +176,31 @@ class Mapper:
         return result
 
     def _search_fresh(self, layer: ConvLayer) -> LayerMappingResult:
-        """The exhaustive candidate scan (cache-oblivious)."""
+        """The exhaustive candidate scan (cache-oblivious).
+
+        Candidate counters are batched into one pair of ``obs.count`` calls
+        after the scan, so the per-candidate hot loop carries no
+        instrumentation at all.
+        """
         best: CostReport | None = None
         best_score = float("inf")
         evaluated = 0
         invalid = 0
-        for mapping in self._space.unique_candidates(layer):
-            try:
-                report = evaluate_mapping(layer, self.hw, mapping)
-            except InvalidMappingError:
-                invalid += 1
-                continue
-            evaluated += 1
-            score = self.objective(report, self.hw)
-            if score < best_score:
-                best_score = score
-                best = report
+        with obs.span("mapper.search_fresh", layer=layer.name):
+            for mapping in self._space.unique_candidates(layer):
+                try:
+                    report = evaluate_mapping(layer, self.hw, mapping)
+                except InvalidMappingError:
+                    invalid += 1
+                    continue
+                evaluated += 1
+                score = self.objective(report, self.hw)
+                if score < best_score:
+                    best_score = score
+                    best = report
+        obs.count("mapper.candidates.evaluated", evaluated)
+        obs.count("mapper.candidates.invalid", invalid)
+        obs.count("mapper.searches.fresh")
         if best is None:
             raise InvalidMappingError(
                 f"no legal mapping for layer {layer.name!r} on {self.hw.label()}"
@@ -221,6 +231,9 @@ class Mapper:
             return
         for key in pending:
             self.cache.misses += 1
+        # Mirror the manual miss accounting above (the workers' own cache
+        # counters stay private to their throwaway caches).
+        obs.count("cache.misses", len(pending))
         results = run_tasks(
             _search_layer_task, list(pending.values()), jobs=jobs, context=context
         )
@@ -258,12 +271,14 @@ class Mapper:
         if timer:
             timer.__enter__()
         try:
-            if effective > 1:
-                self._prefetch(layers, effective)
-            results = [self.search_layer(layer) for layer in layers]
+            with obs.span("mapper.search_model", layers=len(layers), jobs=effective):
+                if effective > 1:
+                    self._prefetch(layers, effective)
+                results = [self.search_layer(layer) for layer in layers]
         finally:
             if timer:
                 timer.__exit__(None, None, None)
+        obs.count("mapper.layers.searched", len(layers))
         self.cache.save()
         if stats is not None:
             stats.jobs = max(stats.jobs, effective)

@@ -14,10 +14,18 @@ shapes.  This module provides the one fan-out primitive both reuse:
   rather than once per task.
 * :class:`SweepStats` -- the per-run instrumentation record (stage timings,
   cache counters, points/sec) surfaced by the CLI and
-  :func:`repro.analysis.reporting.format_search_stats`.
+  :func:`repro.analysis.reporting.format_search_stats`.  Stage timers also
+  open :mod:`repro.obs` spans, so a sweep profiled with a live recorder
+  shows the same stages in its Chrome trace.
 
 Workers receive their shared context via :func:`worker_context`; worker
 functions must be module-level (picklable) callables of one task argument.
+
+When a live :mod:`repro.obs` recorder is installed in the parent, every
+worker process runs its tasks under a private recorder and ships the
+captured spans and counters back alongside each result; the parent merges
+them, so a ``--jobs N`` sweep reports identically-shaped metrics to the
+serial run (counters are order-independent sums).
 """
 
 from __future__ import annotations
@@ -29,12 +37,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import obs
+
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
 
 # Per-process shared state for worker tasks (set by the pool initializer in
 # child processes, and by run_tasks itself on the serial path).
 _WORKER_CONTEXT: Any = None
+
+# The task callable of the current pool (set by the pool initializer in
+# child processes; lets the obs-capturing wrapper stay module-level).
+_WORKER_FN: Callable[[Any], Any] | None = None
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -80,9 +94,32 @@ def worker_context() -> Any:
     return _WORKER_CONTEXT
 
 
-def _init_worker(context: Any) -> None:
-    global _WORKER_CONTEXT
+def _init_worker(
+    context: Any,
+    worker: Callable[[Any], Any] | None = None,
+    capture_obs: bool = False,
+) -> None:
+    global _WORKER_CONTEXT, _WORKER_FN
     _WORKER_CONTEXT = context
+    _WORKER_FN = worker
+    if capture_obs:
+        # Each task gets a fresh recorder (see _run_captured); installing a
+        # live one here just marks the process as capturing.
+        obs.set_recorder(obs.Recorder())
+
+
+def _run_captured(task: Any) -> tuple[Any, dict[str, Any]]:
+    """Pool target when the parent has a live recorder.
+
+    Runs the task under a fresh per-task recorder and returns the result
+    plus the recorder's picklable snapshot (spans keep this worker's pid,
+    counters merge as order-independent sums in the parent).
+    """
+    assert _WORKER_FN is not None
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        result = _WORKER_FN(task)
+    return result, recorder.snapshot()
 
 
 def run_tasks(
@@ -111,16 +148,27 @@ def run_tasks(
         previous = _WORKER_CONTEXT
         _WORKER_CONTEXT = context
         try:
+            # The in-process path records straight into the parent's
+            # recorder -- no capture round-trip needed.
             return [worker(task) for task in tasks]
         finally:
             _WORKER_CONTEXT = previous
+    recorder = obs.get_recorder()
+    capture = recorder.enabled
     chunksize = max(1, len(tasks) // (jobs * 4))
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(tasks)),
         initializer=_init_worker,
-        initargs=(context,),
+        initargs=(context, worker, capture),
     ) as pool:
-        return list(pool.map(worker, tasks, chunksize=chunksize))
+        if not capture:
+            return list(pool.map(worker, tasks, chunksize=chunksize))
+        outcomes = list(pool.map(_run_captured, tasks, chunksize=chunksize))
+    results = []
+    for result, snapshot in outcomes:
+        recorder.merge_snapshot(snapshot)
+        results.append(result)
+    return results
 
 
 @dataclass
@@ -165,14 +213,22 @@ class SweepStats:
 
 
 class _StageTimer:
-    """Accumulates elapsed wall time into ``stats.stage_s[name]``."""
+    """Accumulates elapsed wall time into ``stats.stage_s[name]``.
+
+    Each stage also opens a ``stage.<name>`` span on the current
+    :mod:`repro.obs` recorder, so profiled runs see the same stage
+    boundaries in their trace that the CLI prints from ``stage_s``.
+    """
 
     def __init__(self, stats: SweepStats, name: str) -> None:
         self._stats = stats
         self._name = name
         self._start = 0.0
+        self._span = None
 
     def __enter__(self) -> "_StageTimer":
+        self._span = obs.span(f"stage.{self._name}")
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
@@ -181,6 +237,9 @@ class _StageTimer:
         self._stats.stage_s[self._name] = (
             self._stats.stage_s.get(self._name, 0.0) + elapsed
         )
+        if self._span is not None:
+            self._span.__exit__(None, None, None)
+            self._span = None
 
 
 def chunked(items: Sequence[Any], size: int) -> Iterator[list[Any]]:

@@ -1,0 +1,106 @@
+"""Counters and gauges: the numeric half of the observability layer.
+
+A :class:`MetricsRegistry` is a thread-safe bag of named **counters**
+(monotonic sums: cache hits, mapping candidates evaluated, DES events,
+resource busy cycles) and **gauges** (last-written values: worker counts,
+configuration knobs).  Registries merge, so per-worker registries captured
+by :func:`repro.core.parallel.run_tasks` fold into the parent and a
+``--jobs 4`` sweep reports the same counter totals as the serial run.
+
+Naming scheme (see ``docs/observability.md``): dotted lowercase paths,
+``<subsystem>.<object>.<quantity>`` -- e.g. ``mapper.candidates.evaluated``,
+``cache.hits``, ``sim.dram.bits_served``.  Counters are order-independent
+(summing worker deltas in any order gives the same total); gauges are
+whatever was written last, so cross-worker gauge merges keep task order.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Mapping
+
+
+class MetricsRegistry:
+    """A thread-safe registry of named counters and gauges."""
+
+    __slots__ = ("_counters", "_gauges", "_lock")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # --- writes ---------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def merge(
+        self,
+        counters: Mapping[str, float] | None = None,
+        gauges: Mapping[str, float] | None = None,
+    ) -> None:
+        """Fold another registry's snapshot in: counters sum, gauges overwrite."""
+        with self._lock:
+            for name, value in (counters or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in (gauges or {}).items():
+                self._gauges[name] = value
+
+    def clear(self) -> None:
+        """Drop every counter and gauge."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+    # --- reads ----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never counted)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, float]:
+        """Name-sorted snapshot of every counter."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, float]:
+        """Name-sorted snapshot of every gauge."""
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges)
+
+    # --- export ---------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """The JSON-export payload: ``{"counters": {...}, "gauges": {...}}``."""
+        return {"counters": self.counters(), "gauges": self.gauges()}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic (sorted-key) JSON rendering."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        """Flat ``name value`` lines (counters then gauges), name-sorted."""
+        lines = [
+            f"{name} {value:g}" for name, value in self.counters().items()
+        ]
+        lines += [
+            f"{name} {value:g}" for name, value in self.gauges().items()
+        ]
+        return "\n".join(lines)
+
+
+__all__ = ["MetricsRegistry"]

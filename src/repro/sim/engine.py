@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.loopnest import LoopNest
 from repro.core.partition import conflict_elements, unique_input_elements
 from repro.core.primitives import PartitionDim, RotationKind
@@ -128,6 +129,34 @@ class TilePipelineModel:
 
     def run(self) -> float:
         """Simulate the pipeline; return the completion time in cycles."""
+        with obs.span(
+            "sim.run",
+            layer=self.nest.layer.name,
+            chiplets=self.n_chiplets,
+            iterations=self.iterations,
+        ):
+            cycles, events = self._run()
+        obs.count("sim.runs")
+        obs.count("sim.events", events)
+        obs.count(
+            "sim.dram.bits_served",
+            sum(ch.bits_served for ch in self.dram_channels),
+        )
+        obs.count(
+            "sim.dram.busy_cycles",
+            sum(ch.busy_cycles for ch in self.dram_channels),
+        )
+        obs.count(
+            "sim.ring.bits_served",
+            sum(link.bits_served for link in self.ring_links),
+        )
+        obs.count(
+            "sim.ring.busy_cycles",
+            sum(link.busy_cycles for link in self.ring_links),
+        )
+        return cycles
+
+    def _run(self) -> tuple[float, int]:
         sim = Simulator()
         states = [_ChipletState(i) for i in range(self.n_chiplets)]
         needs_ring = self.ring_bits > 0 and self.n_chiplets > 1
@@ -268,4 +297,4 @@ class TilePipelineModel:
         for state in states:
             try_start_load(state)
         sim.run()
-        return max(end_time, sim.now)
+        return max(end_time, sim.now), sim.events_processed

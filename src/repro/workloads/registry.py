@@ -36,6 +36,8 @@ def get_model(
     Args:
         name: Registered name, optionally with an ``@resolution`` suffix
             (e.g. ``"vgg16@512"``), which overrides ``resolution``.
+            Separator characters are ignored, so ``"mobilenet_v2"`` and
+            ``"MobileNet-V2"`` both resolve to ``"mobilenetv2"``.
         resolution: Network input resolution (224 or 512 in the paper).
         include_fc: Whether to append the FC layers folded into pointwise
             convolutions.
@@ -47,6 +49,7 @@ def get_model(
     if "@" in canonical:
         canonical, _, suffix = canonical.partition("@")
         resolution = int(suffix)
+    canonical = canonical.replace("_", "").replace("-", "")
     if canonical not in MODEL_BUILDERS:
         raise KeyError(
             f"unknown model {name!r}; registered models: {', '.join(list_models())}"

@@ -204,3 +204,125 @@ class TestUnknownModelSubprocess:
         proc = _run_cli("explore", "--macs", "512", "--models", "nope")
         assert proc.returncode == 2
         assert "unknown model" in proc.stderr
+
+
+class TestObservabilityFlags:
+    """The --trace-out / --metrics-out exports and the profile subcommand."""
+
+    def _assert_valid_chrome_trace(self, path):
+        trace = json.loads(path.read_text())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert complete, "trace has no complete-duration events"
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        return trace
+
+    def test_profile_emits_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "mobilenet_v2",
+                    "--profile",
+                    "minimal",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Profiled mobilenet_v2" in out
+        assert "Span path" in out and "mapper.search_model" in out
+        assert "mapper.candidates.evaluated" in out
+        trace = self._assert_valid_chrome_trace(trace_path)
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "mapper.search_fresh" in names
+
+    def test_profile_simulate_adds_sim_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "alexnet",
+                    "--profile",
+                    "minimal",
+                    "--simulate",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sim.runs" in out
+        trace = self._assert_valid_chrome_trace(trace_path)
+        assert "sim.run" in {e["name"] for e in trace["traceEvents"]}
+
+    def test_map_metrics_out(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "map",
+                    "alexnet",
+                    "--profile",
+                    "minimal",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        metrics = json.loads(metrics_path.read_text())
+        assert set(metrics) == {"counters", "gauges"}
+        assert metrics["counters"]["mapper.layers.searched"] == 8
+        assert metrics["counters"]["mapper.searches.fresh"] > 0
+
+    def test_audit_trace_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--models",
+                    "alexnet",
+                    "--hw",
+                    "2-4-8-8",
+                    "--max-layers",
+                    "1",
+                    "--sample",
+                    "1",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        trace = self._assert_valid_chrome_trace(trace_path)
+        assert "audit.model" in {e["name"] for e in trace["traceEvents"]}
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["audit.models"] == 1
+        assert metrics["counters"]["audit.pairs"] > 0
+
+    def test_dse_alias_parses_like_explore(self):
+        parser = build_parser()
+        args = parser.parse_args(["dse", "--macs", "512"])
+        assert args.func.__name__ == "cmd_explore"
+
+    def test_no_flags_means_null_recorder(self, capsys):
+        # Without observability flags the run stays on the null recorder.
+        from repro import obs
+
+        assert main(["map", "alexnet", "--profile", "minimal"]) == 0
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        capsys.readouterr()

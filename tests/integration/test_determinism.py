@@ -1,0 +1,74 @@
+"""Worker-count invariance: same results, same metrics at any ``--jobs``.
+
+The DSE sweep promises bit-identical design points at every worker count,
+and the observability layer promises identically-shaped metrics: counters
+are order-independent sums shipped home from each worker, so a ``--jobs 4``
+run must report exactly the totals of the serial run.  Both promises are
+checked end to end through the real CLI (the ``dse`` alias of ``explore``),
+comparing the exported JSON byte for byte.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SWEEP_ARGS = [
+    "dse",
+    "--macs", "512",
+    "--models", "alexnet",
+    "--stride", "997",
+    "--profile", "minimal",
+]
+
+
+def run_sweep(tmp_path: Path, jobs: int, tag: str) -> tuple[bytes, dict]:
+    result_path = tmp_path / f"result-{tag}.json"
+    metrics_path = tmp_path / f"metrics-{tag}.json"
+    code = main(
+        SWEEP_ARGS
+        + [
+            "--jobs", str(jobs),
+            "--json", str(result_path),
+            "--metrics-out", str(metrics_path),
+        ]
+    )
+    assert code == 0
+    return result_path.read_bytes(), json.loads(metrics_path.read_text())
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("determinism")
+    return {
+        "serial": run_sweep(tmp_path, jobs=1, tag="serial"),
+        "parallel": run_sweep(tmp_path, jobs=4, tag="parallel"),
+    }
+
+
+class TestResultDeterminism:
+    def test_result_json_byte_identical(self, sweeps):
+        serial_bytes, _ = sweeps["serial"]
+        parallel_bytes, _ = sweeps["parallel"]
+        assert serial_bytes == parallel_bytes
+
+    def test_result_is_non_trivial(self, sweeps):
+        payload = json.loads(sweeps["serial"][0])
+        assert payload["swept"] > 0
+        assert payload["valid_points"]
+        assert payload["recommended"]
+
+
+class TestMetricsInvariance:
+    def test_counters_identical(self, sweeps):
+        _, serial_metrics = sweeps["serial"]
+        _, parallel_metrics = sweeps["parallel"]
+        assert serial_metrics["counters"] == parallel_metrics["counters"]
+
+    def test_metrics_cover_the_instrumented_subsystems(self, sweeps):
+        counters = sweeps["serial"][1]["counters"]
+        assert counters["dse.points.total"] > 0
+        assert counters["mapper.searches.fresh"] > 0
+        assert counters["cache.misses"] > 0

@@ -1,0 +1,127 @@
+"""Tests for the counters/gauges registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_default_increment(self):
+        reg = MetricsRegistry()
+        reg.count("a.b")
+        reg.count("a.b")
+        assert reg.counter("a.b") == 2
+
+    def test_explicit_value(self):
+        reg = MetricsRegistry()
+        reg.count("bits", 64)
+        reg.count("bits", 0.5)
+        assert reg.counter("bits") == pytest.approx(64.5)
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0
+
+    def test_snapshot_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.count("z")
+        reg.count("a")
+        reg.count("m")
+        assert list(reg.counters()) == ["a", "m", "z"]
+
+    def test_len_counts_both_kinds(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.gauge("b", 1.0)
+        assert len(reg) == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("util", 0.5)
+        reg.gauge("util", 0.9)
+        assert reg.gauges()["util"] == 0.9
+
+
+class TestMerge:
+    def test_counters_sum_gauges_overwrite(self):
+        a = MetricsRegistry()
+        a.count("hits", 3)
+        a.gauge("util", 0.1)
+        b = MetricsRegistry()
+        b.count("hits", 4)
+        b.count("misses", 1)
+        b.gauge("util", 0.9)
+        a.merge(b.counters(), b.gauges())
+        assert a.counter("hits") == 7
+        assert a.counter("misses") == 1
+        assert a.gauges()["util"] == 0.9
+
+    def test_merge_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.merge(None, None)
+        assert reg.counter("a") == 1
+
+    def test_merge_is_order_independent(self):
+        # The property the per-worker capture relies on: folding worker
+        # snapshots in any order yields the same totals.
+        parts = []
+        for value in (1, 10, 100):
+            part = MetricsRegistry()
+            part.count("n", value)
+            parts.append(part)
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for part in parts:
+            forward.merge(part.counters(), part.gauges())
+        for part in reversed(parts):
+            backward.merge(part.counters(), part.gauges())
+        assert forward.counters() == backward.counters()
+
+
+class TestExport:
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.count("a", 2)
+        reg.gauge("g", 1.5)
+        assert reg.as_dict() == {"counters": {"a": 2}, "gauges": {"g": 1.5}}
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.count("a.b.c", 7)
+        assert json.loads(reg.to_json()) == reg.as_dict()
+
+    def test_to_text_flat_lines(self):
+        reg = MetricsRegistry()
+        reg.count("b", 2)
+        reg.count("a", 1)
+        lines = reg.to_text().splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("b ")
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_do_not_lose_increments(self):
+        reg = MetricsRegistry()
+        n, per_thread = 8, 2000
+
+        def bump():
+            for _ in range(per_thread):
+                reg.count("shared")
+
+        threads = [threading.Thread(target=bump) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("shared") == n * per_thread

@@ -1,0 +1,72 @@
+"""Per-worker observability capture through ``run_tasks``.
+
+The contract: with a live recorder installed in the parent, a parallel run
+reports the same counter totals as the serial run (counters are
+order-independent sums), and worker spans come home tagged with the worker
+process's pid.
+"""
+
+import os
+
+from repro import obs
+from repro.core.parallel import run_tasks
+
+
+def traced_square(task: int) -> int:
+    """Module-level worker: one span + counters per task."""
+    with obs.span("task.square", n=task):
+        obs.count("tasks.run")
+        obs.count("tasks.value_sum", task)
+    return task * task
+
+
+def plain_square(task: int) -> int:
+    return task * task
+
+
+TASKS = list(range(8))
+
+
+def _run(jobs: int) -> tuple[list, dict]:
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        results = run_tasks(traced_square, TASKS, jobs=jobs)
+    return results, recorder
+
+
+class TestCapture:
+    def test_serial_records_into_parent(self):
+        results, rec = _run(jobs=1)
+        assert results == [t * t for t in TASKS]
+        assert rec.metrics.counter("tasks.run") == len(TASKS)
+        assert rec.metrics.counter("tasks.value_sum") == sum(TASKS)
+        assert len(rec.events()) == len(TASKS)
+
+    def test_parallel_counters_match_serial(self):
+        serial_results, serial_rec = _run(jobs=1)
+        parallel_results, parallel_rec = _run(jobs=2)
+        assert parallel_results == serial_results
+        assert parallel_rec.metrics.counters() == serial_rec.metrics.counters()
+
+    def test_parallel_events_all_captured(self):
+        _, rec = _run(jobs=2)
+        events = [e for e in rec.events() if e.name == "task.square"]
+        assert len(events) == len(TASKS)
+        # Every task's span argument made it home, regardless of which
+        # worker ran it.
+        assert sorted(dict(e.args)["n"] for e in events) == TASKS
+
+    def test_worker_spans_keep_worker_pid(self):
+        _, rec = _run(jobs=2)
+        pids = {e.pid for e in rec.events()}
+        # The pool forks at least one child; its spans keep its pid.
+        assert pids and os.getpid() not in pids
+
+    def test_null_recorder_skips_capture(self):
+        assert obs.get_recorder() is obs.NULL_RECORDER
+        results = run_tasks(plain_square, TASKS, jobs=2)
+        assert results == [t * t for t in TASKS]
+
+    def test_results_preserve_task_order(self):
+        results, _ = _run(jobs=3)
+        assert results == [t * t for t in TASKS]

@@ -1,0 +1,245 @@
+"""Differential validation of the C3P analytics against brute force.
+
+The C3P methodology (Section IV-B) *predicts* buffer traffic from critical
+capacities and reload penalties: ``A_tot = A_0 * prod(P_k unsatisfied)``.
+These tests check that prediction against an oracle that knows nothing of
+critical points: it enumerates the loop nest iteration by iteration, plays
+every buffer access through an LRU cache of the actual capacity, and
+literally counts the fetched bits.
+
+Construction notes, so the equivalence is exact rather than approximate:
+
+* Loop extents are built by multiplication (layer dimensions are products
+  of the drawn tile/loop factors), so every ceil-split divides evenly and
+  the nest contains no remainder slack.
+* The activation walks are restricted to 1x1-kernel, stride-1, non-grouped
+  layers: without a halo, consecutive tiles read disjoint input windows and
+  an LRU cache reproduces the analytical reuse regions exactly.  (With a
+  halo, C3P deliberately counts the overlap once per consuming tile --
+  a modeling choice, not a cache behaviour, so the oracle would diverge
+  by design.)
+* The weight walk has no such restriction: filter slices of distinct
+  output-channel blocks are always disjoint, so 3x3 kernels are drawn too.
+
+Every case probes the boundary buffer sizes (each critical capacity and
+one byte below it) plus the empty and effectively-infinite buffers, which
+is exactly where an off-by-one in either implementation would hide.
+"""
+
+import itertools
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import build_hardware
+from repro.core.c3p import (
+    analyze_activation_l1,
+    analyze_activation_l2,
+    analyze_weight_buffer,
+)
+from repro.core.loopnest import LoopNest
+from repro.core.mapping import Mapping
+from repro.core.primitives import LoopOrder, SpatialPrimitive, TemporalPrimitive
+from repro.workloads.layer import ConvLayer
+
+MAX_EXAMPLES = 200
+
+ORDERS = st.sampled_from([LoopOrder.CHANNEL_PRIORITY, LoopOrder.PLANE_PRIORITY])
+
+
+@st.composite
+def nests(draw, kernels=(1,), channels=(1, 2), lanes_options=(1, 2)):
+    """A (layer, hw, mapping) nest with exactly-dividing loop extents.
+
+    Single chiplet, single core: the temporal nest is fully determined by
+    the two temporal primitives, and the drawn factors are exactly the
+    c1/w1/h1/c2/w2/h2 loop counts the analysis will see.
+    """
+    lanes = draw(st.sampled_from(lanes_options))
+    core_h = draw(st.sampled_from([1, 2]))
+    core_w = draw(st.sampled_from([1, 2]))
+    c1 = draw(st.sampled_from([1, 2, 3]))
+    w1 = draw(st.sampled_from([1, 2]))
+    h1 = draw(st.sampled_from([1, 2]))
+    c2 = draw(st.sampled_from([1, 2]))
+    w2 = draw(st.sampled_from([1, 2]))
+    h2 = draw(st.sampled_from([1, 2]))
+    ci = draw(st.sampled_from(channels))
+    k = draw(st.sampled_from(kernels))
+
+    ho = core_h * h1 * h2
+    wo = core_w * w1 * w2
+    co = lanes * c1 * c2
+    layer = ConvLayer(
+        "gen",
+        h=ho,
+        w=wo,
+        ci=ci,
+        co=co,
+        kh=k,
+        kw=k,
+        stride=1,
+        padding=k // 2,
+    )
+    hw = build_hardware(1, 1, lanes, 4)
+    mapping = Mapping(
+        package_spatial=SpatialPrimitive.channel(1),
+        package_temporal=TemporalPrimitive(
+            draw(ORDERS), core_h * h1, core_w * w1, lanes * c1
+        ),
+        chiplet_spatial=SpatialPrimitive.channel(1),
+        chiplet_temporal=TemporalPrimitive(draw(ORDERS), core_h, core_w, lanes),
+    )
+    nest = LoopNest(layer, hw, mapping)
+    assert (nest.c1, nest.w1, nest.h1) == (c1, w1, h1)
+    assert (nest.c2, nest.w2, nest.h2) == (c2, w2, h2)
+    return nest
+
+
+def block_positions(nest, level=None):
+    """Every loop-index combination, innermost varying fastest.
+
+    Yields ``{(kind, level): index}`` dicts -- the oracle derives each
+    block's data footprint from these.  ``level=2`` restricts to the
+    package-temporal loops (the A-L2 walk's granularity).
+    """
+    loops = [
+        loop
+        for loop in nest.loops()
+        if level is None or loop.level == level
+    ]
+    # Outermost loop varies slowest: reverse for itertools.product.
+    for combo in itertools.product(*[range(l.count) for l in reversed(loops)]):
+        yield {
+            (loop.kind, loop.level): index
+            for loop, index in zip(reversed(loops), combo)
+        }
+
+
+def lru_fetched_bits(access_groups, capacity_elements, element_bits):
+    """Play element accesses through an LRU cache; return fetched bits.
+
+    Args:
+        access_groups: Iterable of iterables of hashable element keys --
+            one group per block, elements in deterministic order.
+        capacity_elements: How many elements the buffer holds.
+        element_bits: Bits fetched per missing element.
+    """
+    cache: OrderedDict = OrderedDict()
+    misses = 0
+    for group in access_groups:
+        for key in group:
+            if capacity_elements > 0 and key in cache:
+                cache.move_to_end(key)
+                continue
+            misses += 1
+            if capacity_elements > 0:
+                cache[key] = None
+                if len(cache) > capacity_elements:
+                    cache.popitem(last=False)
+    return misses * element_bits
+
+
+def boundary_sizes(analysis):
+    """Buffer sizes worth probing: 0, each Cc_k - 1 / Cc_k, and infinity."""
+    sizes = {0, 10**9}
+    for cp in analysis.critical_points:
+        capacity = int(cp.capacity_bytes)
+        sizes.add(capacity)
+        if capacity > 0:
+            sizes.add(capacity - 1)
+    return sorted(sizes)
+
+
+def element_bytes(nest) -> int:
+    data_bytes = nest.hw.tech.data_bits // 8
+    assert data_bytes * 8 == nest.hw.tech.data_bits
+    return data_bytes
+
+
+class TestWeightBufferDifferential:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(nests(kernels=(1, 3), channels=(1, 2), lanes_options=(1, 2)))
+    def test_matches_lru_oracle(self, nest):
+        data_bytes = element_bytes(nest)
+        block_elems = int(nest.layer.weights_for(nest.core_co))
+
+        def accesses():
+            # A core block touches its (c1, c2) filter slice once per
+            # element; W/H loops revisit the same slice.
+            for pos in block_positions(nest):
+                slice_key = (pos[("C", 1)], pos[("C", 2)])
+                yield ((slice_key, e) for e in range(block_elems))
+
+        for buffer_bytes in boundary_sizes(analyze_weight_buffer(nest, 0)):
+            analysis = analyze_weight_buffer(nest, buffer_bytes)
+            oracle_bits = lru_fetched_bits(
+                accesses(),
+                buffer_bytes // data_bytes,
+                nest.hw.tech.data_bits,
+            )
+            assert analysis.fill_bits == pytest.approx(oracle_bits), (
+                f"weight walk diverged at buffer={buffer_bytes} B "
+                f"on {nest.describe()}"
+            )
+
+
+class TestActivationL1Differential:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)))
+    def test_matches_lru_oracle(self, nest):
+        data_bytes = element_bytes(nest)
+        window_elems = nest.core_ho * nest.core_wo * nest.layer.ci
+
+        def accesses():
+            # With a 1x1 kernel each planar position reads a disjoint
+            # input window of every input channel; C loops revisit it.
+            for pos in block_positions(nest):
+                planar_key = (
+                    pos[("W", 1)],
+                    pos[("H", 1)],
+                    pos[("W", 2)],
+                    pos[("H", 2)],
+                )
+                yield ((planar_key, e) for e in range(window_elems))
+
+        for buffer_bytes in boundary_sizes(analyze_activation_l1(nest, 0)):
+            analysis = analyze_activation_l1(nest, buffer_bytes)
+            oracle_bits = lru_fetched_bits(
+                accesses(),
+                buffer_bytes // data_bytes,
+                nest.hw.tech.data_bits,
+            )
+            assert analysis.fill_bits == pytest.approx(oracle_bits), (
+                f"A-L1 walk diverged at buffer={buffer_bytes} B "
+                f"on {nest.describe()}"
+            )
+
+
+class TestActivationL2Differential:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)))
+    def test_matches_lru_oracle(self, nest):
+        data_bytes = element_bytes(nest)
+        window_elems = nest.tile_ho * nest.tile_wo * nest.layer.ci
+
+        def accesses():
+            # A-L2 operates at chiplet-workload granularity: only the
+            # package-temporal loops exist, C2 revisits the tile window.
+            for pos in block_positions(nest, level=2):
+                planar_key = (pos[("W", 2)], pos[("H", 2)])
+                yield ((planar_key, e) for e in range(window_elems))
+
+        for buffer_bytes in boundary_sizes(analyze_activation_l2(nest, 0)):
+            analysis = analyze_activation_l2(nest, buffer_bytes)
+            oracle_bits = lru_fetched_bits(
+                accesses(),
+                buffer_bytes // data_bytes,
+                nest.hw.tech.data_bits,
+            )
+            assert analysis.fill_bits == pytest.approx(oracle_bits), (
+                f"A-L2 walk diverged at buffer={buffer_bytes} B "
+                f"on {nest.describe()}"
+            )

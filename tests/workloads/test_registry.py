@@ -32,3 +32,11 @@ class TestRegistry:
         with pytest.raises(KeyError) as excinfo:
             get_model("mobilenet-v9")
         assert "vgg16" in str(excinfo.value)
+
+    def test_separator_characters_ignored(self):
+        assert len(get_model("mobilenet_v2")) == len(get_model("mobilenetv2"))
+        assert len(get_model("MobileNet-V2")) == len(get_model("mobilenetv2"))
+
+    def test_separator_and_resolution_suffix_compose(self):
+        layers = get_model("mobilenet_v2@512")
+        assert layers[0].h == 512
