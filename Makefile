@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke ci lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke ci faults lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,6 +39,27 @@ ci: lint
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -x -q
 	$(MAKE) audit
 	$(MAKE) bench-smoke
+
+# Fault-injection gate (mirrors the CI fault-injection job): every
+# recovery path of the resilient executor, checkpoint/resume, and cache
+# quarantine under the deterministic REPRO_FAULTS harness, then the
+# end-to-end check that a faulted parallel sweep stays byte-identical to
+# a clean serial run.  See docs/robustness.md.
+faults:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/testing/test_faults.py tests/core/test_parallel_faults.py \
+		tests/core/test_checkpoint.py tests/core/test_cache.py \
+		tests/integration/test_resilience.py
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--jobs 1 --json "$$tmp/clean.json" >/dev/null && \
+	REPRO_FAULTS='crash:0.1@seed=7' \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--jobs 4 --on-error skip --json "$$tmp/faulted.json" >/dev/null && \
+	cmp "$$tmp/clean.json" "$$tmp/faulted.json" && \
+	echo "faulted sweep byte-identical to clean serial run"
 
 bench:
 	pytest benchmarks/ --benchmark-only

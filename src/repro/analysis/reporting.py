@@ -79,7 +79,59 @@ def format_search_stats(stats) -> str:
             f"  mapping cache: {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
         )
+    resilience = []
+    if getattr(stats, "points_resumed", 0):
+        resilience.append(f"{stats.points_resumed} resumed from checkpoint")
+    if getattr(stats, "points_failed", 0):
+        resilience.append(f"{stats.points_failed} failed")
+    if getattr(stats, "retries", 0):
+        resilience.append(f"{stats.retries} retries")
+    if getattr(stats, "pool_restarts", 0):
+        resilience.append(f"{stats.pool_restarts} pool restarts")
+    if resilience:
+        lines.append(f"  resilience: {', '.join(resilience)}")
     return "\n".join(lines)
+
+
+def format_failures(failures, traceback_lines: int = 0) -> str:
+    """Render :class:`repro.core.parallel.TaskFailure` records as a table.
+
+    One row per failed task -- index, label (when the caller filled one
+    in), failure kind, exception class, attempts consumed and the error
+    text.  With ``traceback_lines > 0``, that many final traceback lines
+    follow each row for post-mortem context.
+    """
+    if not failures:
+        return "No task failures."
+    rows = [
+        [
+            failure.index,
+            failure.label or "-",
+            failure.kind,
+            failure.error_type,
+            failure.attempts,
+            failure.error,
+        ]
+        for failure in failures
+    ]
+    text = format_table(
+        ["Point", "Label", "Kind", "Error type", "Attempts", "Error"],
+        rows,
+        title=f"Failed points ({len(failures)})",
+    )
+    if traceback_lines > 0:
+        extras = []
+        for failure in failures:
+            if not failure.traceback:
+                continue
+            tail = failure.traceback.strip().splitlines()[-traceback_lines:]
+            extras.append(
+                f"-- point {failure.index} traceback tail --\n"
+                + "\n".join(tail)
+            )
+        if extras:
+            text = text + "\n" + "\n".join(extras)
+    return text
 
 
 def format_profile(recorder, top: int = 15) -> str:

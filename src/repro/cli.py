@@ -19,17 +19,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import NoReturn
 
 from repro import obs
-from repro.analysis.reporting import format_profile, format_search_stats, format_table
+from repro.analysis.reporting import (
+    format_failures,
+    format_profile,
+    format_search_stats,
+    format_table,
+)
 from repro.arch.config import build_hardware, case_study_hardware
 from repro.arch.technology import TABLE_I
 from repro.core.baton import NNBaton
 from repro.core.cache import MappingCache
-from repro.core.parallel import SweepStats
+from repro.core.checkpoint import CHECKPOINT_DIR_ENV, SweepCheckpoint
+from repro.core.parallel import SweepStats, TaskPolicy
 from repro.core.serialize import compiler_report
 from repro.core.space import SearchProfile
 from repro.simba import evaluate_simba_model
@@ -252,20 +259,57 @@ def cmd_explore(args: argparse.Namespace) -> int:
     }
     baton = NNBaton()
     stats = SweepStats()
-    result = baton.pre_design(
-        models,
-        required_macs=args.macs,
-        max_chiplet_mm2=args.area,
-        memory_stride=args.stride,
-        profile=SearchProfile(args.profile),
-        jobs=args.jobs,
-        stats=stats,
-    )
+    policy = None
+    if (
+        args.on_error != "abort"
+        or args.timeout is not None
+        or args.max_attempts != 3
+    ):
+        policy = TaskPolicy(
+            timeout_s=args.timeout,
+            max_attempts=args.max_attempts,
+            on_error=args.on_error,
+        )
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and (
+        args.checkpoint
+        or args.resume
+        or os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
+    ):
+        checkpoint_dir = SweepCheckpoint.resolve_dir(None)
+    try:
+        result = baton.pre_design(
+            models,
+            required_macs=args.macs,
+            max_chiplet_mm2=args.area,
+            memory_stride=args.stride,
+            profile=SearchProfile(args.profile),
+            jobs=args.jobs,
+            stats=stats,
+            policy=policy,
+            checkpoint_dir=checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except KeyboardInterrupt:
+        # explore() has already flushed the sweep checkpoint on its way
+        # out; report where the run can pick up and exit like SIGINT.
+        print()
+        print("Interrupted.", file=sys.stderr)
+        if checkpoint_dir is not None:
+            print(
+                f"Partial results checkpointed under {checkpoint_dir}; "
+                "re-run with --resume to continue.",
+                file=sys.stderr,
+            )
+        return 130
     print(
         f"Swept {result.swept} design points; "
         f"{len(result.valid_points)} valid evaluated."
     )
     print(format_search_stats(stats))
+    if stats.failures:
+        print(format_failures(stats.failures))
     if args.json:
         payload = {
             "macs": args.macs,
@@ -489,6 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_parse_jobs, default=None,
         help="worker processes fanning sweep points out "
         "(default: $REPRO_JOBS, then serial; 0 = all cores)",
+    )
+    explore.add_argument(
+        "--on-error", choices=["abort", "skip"], default="abort",
+        help="abort: first task failure stops the sweep (default); "
+        "skip: record the failure and keep sweeping",
+    )
+    explore.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task wall-clock budget in seconds (parallel runs only); "
+        "overdue workers are killed and the task retried",
+    )
+    explore.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="total tries per task for crash-only faults (default: 3)",
+    )
+    explore.add_argument(
+        "--checkpoint", action="store_true",
+        help="stream completed points to a sweep checkpoint under "
+        "$REPRO_CHECKPOINT_DIR (or .repro_checkpoints)",
+    )
+    explore.add_argument(
+        "--checkpoint-dir", default=None,
+        help="stream completed points to a sweep checkpoint under this "
+        "directory (implies --checkpoint)",
+    )
+    explore.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="completed points buffered per checkpoint flush (default: 16)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="skip points already answered by the sweep checkpoint "
+        "(implies --checkpoint)",
     )
     _add_obs_flags(explore)
     explore.set_defaults(func=cmd_explore)

@@ -21,8 +21,17 @@
 
 from repro.core.baton import NNBaton, PostDesignResult, PreDesignResult
 from repro.core.cache import MappingCache
+from repro.core.checkpoint import SweepCheckpoint, sweep_digest
 from repro.core.cost import CostReport, EnergyBreakdown, evaluate_mapping
-from repro.core.parallel import SweepStats, resolve_jobs, run_tasks
+from repro.core.parallel import (
+    SweepStats,
+    TaskError,
+    TaskFailure,
+    TaskPolicy,
+    TransientTaskError,
+    resolve_jobs,
+    run_tasks,
+)
 from repro.core.heuristics import heuristic_map_model, heuristic_mapping
 from repro.core.c3p import C3PAnalysis, CriticalPoint
 from repro.core.loopnest import Loop, LoopNest
@@ -62,7 +71,12 @@ __all__ = [
     "MappingCache",
     "MappingSpace",
     "NNBaton",
+    "SweepCheckpoint",
     "SweepStats",
+    "TaskError",
+    "TaskFailure",
+    "TaskPolicy",
+    "TransientTaskError",
     "PartitionDim",
     "PlanarGrid",
     "PostDesignResult",
@@ -80,6 +94,7 @@ __all__ = [
     "refine_with_simulator",
     "resolve_jobs",
     "run_tasks",
+    "sweep_digest",
     "halo_redundancy_ratio",
     "map_model",
 ]

@@ -13,13 +13,14 @@ the hardware DSE together behind the two entry points the paper describes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.arch.config import HardwareConfig
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
 from repro.core.cost import EnergyBreakdown, model_cost
 from repro.core.dse import DesignPoint, DesignSpace, best_point, explore
 from repro.core.mapper import LayerMappingResult, Mapper
-from repro.core.parallel import SweepStats
+from repro.core.parallel import SweepStats, TaskPolicy
 from repro.core.space import SearchProfile
 from repro.workloads.layer import ConvLayer
 
@@ -125,6 +126,10 @@ class NNBaton:
         max_runtime_s: float | None = None,
         jobs: int | None = None,
         stats: SweepStats | None = None,
+        policy: TaskPolicy | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        checkpoint_every: int = 16,
     ) -> PreDesignResult:
         """Explore the design space and recommend a configuration.
 
@@ -145,6 +150,11 @@ class NNBaton:
                 to ``REPRO_JOBS``, then serial); results are bit-identical
                 at every worker count.
             stats: Optional instrumentation record filled in place.
+            policy: Timeout/retry/on-error contract for the sweep fan-out.
+            checkpoint_dir: Stream completed points to a sweep checkpoint
+                under this directory (see :func:`repro.core.dse.explore`).
+            resume: Skip points already answered by the checkpoint.
+            checkpoint_every: Completed points buffered per checkpoint flush.
         """
         if not models:
             raise ValueError("models must be non-empty")
@@ -162,6 +172,10 @@ class NNBaton:
             max_valid_points=max_valid_points,
             jobs=jobs,
             stats=stats,
+            policy=policy,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
         )
         recommended = best_point(
             points,

@@ -21,18 +21,36 @@ Two tiers back the cache:
 
 Hit/miss counters feed the instrumentation surfaced by the CLI and
 :func:`repro.analysis.reporting.format_search_stats`.
+
+Robustness: concurrent :meth:`MappingCache.save` calls serialize through a
+per-digest ``fcntl`` lock file, so two sweeps flushing the same machine
+cannot lose each other's entries; corrupt or version-mismatched files are
+quarantined (renamed ``<file>.corrupt-<ts>``) rather than silently
+shadowing the store, and stale temp files left by crashed writers are swept
+on the next save.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro import obs
 from repro.arch.config import HardwareConfig
+from repro.core import parallel
 from repro.core.serialize import hardware_digest, mapping_from_dict
+
+logger = logging.getLogger("repro.cache")
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -42,6 +60,50 @@ DEFAULT_CACHE_DIRNAME = ".repro_cache"
 
 #: On-disk schema version; bump to invalidate every stored entry.
 CACHE_FORMAT_VERSION = 1
+
+
+# Monotonic flush counter consulted by the corrupt-cache fault injector
+# (process-local, so injected corruption is deterministic per run).
+_flush_index = 0
+
+
+@contextmanager
+def _digest_lock(path: Path) -> Iterator[None]:
+    """An exclusive advisory lock guarding one digest file's read-merge-write.
+
+    Serializes concurrent :meth:`MappingCache.save` calls against the same
+    digest so neither loses the other's entries.  Degrades to unlocked
+    operation where ``fcntl`` (or the lock file) is unavailable.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    try:
+        handle = open(lock_path, "a+")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - unlock on a dead descriptor
+            pass
+        handle.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (POSIX signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
 
 
 def cache_key(
@@ -76,6 +138,8 @@ class MappingCache:
         misses: Lookups that required a fresh search.
         disk_hits: Subset of ``hits`` answered by re-evaluating a stored
             mapping from disk.
+        corrupt_files: Disk files quarantined for corruption or a format
+            version mismatch during this process's loads.
     """
 
     def __init__(self, directory: str | Path | None = None) -> None:
@@ -83,6 +147,7 @@ class MappingCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt_files = 0
         self._mem: dict[str, Any] = {}
         self._disk: dict[str, dict[str, Any]] = {}
         self._loaded_digests: set[str] = set()
@@ -165,57 +230,124 @@ class MappingCache:
         return self.directory / f"mappings-{digest[:16]}.json"
 
     def _ensure_loaded(self, digest: str) -> None:
-        """Lazily read the disk file of one hardware digest."""
+        """Lazily read the disk file of one hardware digest.
+
+        A file that fails to decode, or that carries a different format
+        version, is quarantined (renamed ``<file>.corrupt-<ts>``) so it
+        cannot shadow the store; the load then proceeds as a clean miss.
+        """
         if self.directory is None or digest in self._loaded_digests:
             return
         self._loaded_digests.add(digest)
         path = self._path_for(digest)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             return
-        if payload.get("version") != CACHE_FORMAT_VERSION:
+        try:
+            payload = json.loads(text)
+            version = payload.get("version")
+            entries = payload.get("entries", {})
+            if not isinstance(entries, dict):
+                raise ValueError("entries is not an object")
+        except (ValueError, AttributeError):
+            self._quarantine(path, "undecodable JSON")
             return
-        for key, record in payload.get("entries", {}).items():
+        if version != CACHE_FORMAT_VERSION:
+            self._quarantine(path, f"format version {version!r}")
+            return
+        for key, record in entries.items():
             self._disk.setdefault(key, record)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set aside an unusable cache file instead of deleting it."""
+        target = path.with_name(
+            f"{path.name}.corrupt-{int(time.time() * 1000)}"
+        )
+        try:
+            path.replace(target)
+        except OSError:
+            return
+        self.corrupt_files += 1
+        obs.count("cache.corrupt_files")
+        logger.warning(
+            "set aside corrupt cache file %s (%s) -> %s",
+            path,
+            reason,
+            target.name,
+        )
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files abandoned by writers that no longer exist."""
+        assert self.directory is not None
+        for tmp in self.directory.glob("mappings-*.tmp.*"):
+            try:
+                pid = int(tmp.name.rsplit(".", 1)[-1])
+            except ValueError:
+                continue
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            try:
+                tmp.unlink()
+            except OSError:
+                continue
+            obs.count("cache.stale_tmp_removed")
+            logger.warning("removed stale cache temp file %s", tmp.name)
+
+    @staticmethod
+    def _maybe_corrupt(text: str) -> str:
+        """The fault-injection hook: corrupt this flush when a plan says so."""
+        global _flush_index
+        plan = parallel._fault_plan()
+        if plan is None:
+            return text
+        index = _flush_index
+        _flush_index += 1
+        corrupted = plan.corrupt_text(text, index)
+        return text if corrupted is None else corrupted
 
     def save(self) -> None:
         """Flush dirty entries to disk (merge + atomic rename per digest).
 
-        Existing entries written by other processes since the last load are
-        merged back in, so concurrent sweeps extend -- never truncate -- the
-        store.
+        Each digest's read-merge-write runs under an exclusive ``fcntl``
+        lock file, so entries written by other processes since the last
+        load are merged back in -- concurrent sweeps extend, never
+        truncate, the store.  Stale ``.tmp.<pid>`` files whose writers have
+        died are swept first.
         """
         if self.directory is None or not self._dirty_digests:
             return
         obs.count("cache.saves")
         obs.count("cache.digests_flushed", len(self._dirty_digests))
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
         for digest in sorted(self._dirty_digests):
             path = self._path_for(digest)
-            entries: dict[str, Any] = {}
-            try:
-                payload = json.loads(path.read_text())
-                if payload.get("version") == CACHE_FORMAT_VERSION:
-                    entries.update(payload.get("entries", {}))
-            except (OSError, ValueError):
-                pass
-            entries.update(
-                {
-                    key: record
-                    for key, record in self._disk.items()
-                    if self._digest_of(key) == digest
-                }
-            )
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(
-                json.dumps(
-                    {"version": CACHE_FORMAT_VERSION, "entries": entries},
-                    indent=None,
-                    sort_keys=True,
+            with _digest_lock(path):
+                entries: dict[str, Any] = {}
+                try:
+                    payload = json.loads(path.read_text())
+                    if payload.get("version") == CACHE_FORMAT_VERSION:
+                        entries.update(payload.get("entries", {}))
+                except (OSError, ValueError, AttributeError):
+                    pass
+                entries.update(
+                    {
+                        key: record
+                        for key, record in self._disk.items()
+                        if self._digest_of(key) == digest
+                    }
                 )
-            )
-            tmp.replace(path)
+                text = self._maybe_corrupt(
+                    json.dumps(
+                        {"version": CACHE_FORMAT_VERSION, "entries": entries},
+                        indent=None,
+                        sort_keys=True,
+                    )
+                )
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(text)
+                tmp.replace(path)
         self._dirty_digests.clear()
 
     # --- instrumentation -------------------------------------------------------

@@ -22,18 +22,22 @@ interpretation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig, MemoryConfig, build_hardware
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
 from repro.arch.validate import validation_errors
+from repro.core.checkpoint import SweepCheckpoint, sweep_digest, task_key
 from repro.core.cost import InvalidMappingError, model_cost
 from repro.core.mapper import Mapper
 from repro.core.parallel import (
     SweepStats,
+    TaskFailure,
+    TaskPolicy,
     is_picklable,
     resolve_jobs,
     run_tasks,
@@ -228,6 +232,39 @@ def _explore_task(task: tuple[int, int, int, int, MemoryConfig]):
     )
 
 
+def _failed_point(
+    hw: HardwareConfig, failure: TaskFailure
+) -> DesignPoint:
+    """The invalid design point recorded for a task that exhausted retries."""
+    return DesignPoint(
+        hw=hw,
+        chiplet_area_mm2=AreaModel(hw).chiplet_area_mm2(),
+        valid=False,
+        errors=(
+            f"evaluation failed ({failure.error_type}) after "
+            f"{failure.attempts} attempt(s): {failure.error}",
+        ),
+    )
+
+
+def _label_failures(
+    stats: SweepStats | None,
+    fail_start: int,
+    local_to_global: Sequence[int],
+    labels: Sequence[str],
+) -> None:
+    """Rewrite run-local failure indices/labels into sweep terms."""
+    if stats is None:
+        return
+    for pos in range(fail_start, len(stats.failures)):
+        failure = stats.failures[pos]
+        if failure.index < len(local_to_global):
+            index = local_to_global[failure.index]
+            stats.failures[pos] = replace(
+                failure, index=index, label=labels[index]
+            )
+
+
 def granularity_study(
     models: dict[str, list[ConvLayer]],
     total_macs: int = 2048,
@@ -236,6 +273,7 @@ def granularity_study(
     tech: TechnologyParams = DEFAULT_TECHNOLOGY,
     jobs: int | None = None,
     stats: SweepStats | None = None,
+    policy: TaskPolicy | None = None,
 ) -> list[DesignPoint]:
     """The Figure 14 study: every factorization of ``total_macs``.
 
@@ -254,6 +292,8 @@ def granularity_study(
             to ``REPRO_JOBS``, then serial); results are bit-identical at
             every worker count.
         stats: Optional instrumentation record filled in place.
+        policy: Timeout/retry/on-error contract for the fan-out (defaults
+            to abort-on-first-failure).
     """
     space = space or DesignSpace()
     jobs = resolve_jobs(jobs)
@@ -264,16 +304,31 @@ def granularity_study(
     if stats is not None:
         stats.jobs = max(stats.jobs, jobs)
         stats.points_total += len(tasks)
+    fail_start = len(stats.failures) if stats is not None else 0
     timer = stats.stage("granularity") if stats else None
     if timer:
         timer.__enter__()
     try:
-        outcomes = run_tasks(_granularity_task, tasks, jobs=jobs, context=context)
+        outcomes = run_tasks(
+            _granularity_task,
+            tasks,
+            jobs=jobs,
+            context=context,
+            policy=policy,
+            stats=stats,
+        )
     finally:
         if timer:
             timer.__exit__(None, None, None)
+    labels = ["-".join(str(v) for v in config) for config in tasks]
+    _label_failures(stats, fail_start, list(range(len(tasks))), labels)
     points: list[DesignPoint] = []
-    for point, _structural, hits, misses in outcomes:
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, TaskFailure):
+            hw = build_hardware(*tasks[index], tech=tech)
+            point, hits, misses = _failed_point(hw, outcome), 0, 0
+        else:
+            point, _structural, hits, misses = outcome
         if stats is not None:
             stats.add_cache(hits, misses)
             if point.valid:
@@ -336,6 +391,54 @@ def _sweep_tasks(
     return tasks
 
 
+def _record_from_outcome(
+    outcome: tuple[DesignPoint, bool, int, int]
+) -> dict:
+    """The JSON-safe checkpoint record of one completed sweep outcome."""
+    point, structural, hits, misses = outcome
+    return {
+        "structural": structural,
+        "hits": hits,
+        "misses": misses,
+        "valid": point.valid,
+        "errors": list(point.errors),
+        "area": point.chiplet_area_mm2,
+        "energy_pj": point.energy_pj,
+        "cycles": point.cycles,
+    }
+
+
+def _outcome_from_record(
+    task: tuple[int, int, int, int, MemoryConfig],
+    record: dict,
+    tech: TechnologyParams,
+) -> tuple[DesignPoint, bool, int, int] | None:
+    """Rebuild a sweep outcome from its checkpoint record.
+
+    Returns ``None`` on any malformed record, so the point is simply
+    re-evaluated rather than poisoning a resumed run.
+    """
+    try:
+        n_p, n_c, lane, vec, memory = task
+        hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+        point = DesignPoint(
+            hw=hw,
+            chiplet_area_mm2=float(record["area"]),
+            valid=bool(record["valid"]),
+            errors=tuple(str(e) for e in record["errors"]),
+            energy_pj={str(k): float(v) for k, v in record["energy_pj"].items()},
+            cycles={str(k): int(v) for k, v in record["cycles"].items()},
+        )
+        return (
+            point,
+            bool(record["structural"]),
+            int(record["hits"]),
+            int(record["misses"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError):
+        return None
+
+
 def explore(
     models: dict[str, list[ConvLayer]],
     required_macs: int,
@@ -347,6 +450,10 @@ def explore(
     memory_stride: int = 1,
     jobs: int | None = None,
     stats: SweepStats | None = None,
+    policy: TaskPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 16,
 ) -> list[DesignPoint]:
     """The Figure 15 full design-space exploration.
 
@@ -371,9 +478,21 @@ def explore(
             parallel runs with ``max_valid_points`` trade wasted evaluations
             beyond the cap for wall-clock speed.
         stats: Optional instrumentation record filled in place.
+        policy: Timeout/retry/on-error contract for the fan-out (defaults
+            to abort-on-first-failure, the pre-resilience semantics).
+        checkpoint_dir: When set, completed design points stream to a
+            :class:`~repro.core.checkpoint.SweepCheckpoint` under this
+            directory, keyed by the sweep digest; the checkpoint is also
+            flushed when the sweep is interrupted (``KeyboardInterrupt``).
+        resume: Skip every point already answered by the checkpoint (the
+            same ``checkpoint_dir`` must be supplied); resumed outputs are
+            byte-identical to an uninterrupted run.
+        checkpoint_every: Completed points buffered per checkpoint flush.
     """
     if memory_stride < 1:
         raise ValueError(f"memory_stride must be >= 1, got {memory_stride}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
     space = space or DesignSpace()
     jobs = resolve_jobs(jobs)
     context = (models, profile, tech, required_macs, max_chiplet_mm2)
@@ -383,24 +502,106 @@ def explore(
     if stats is not None:
         stats.jobs = max(stats.jobs, jobs)
         stats.points_total += len(tasks)
+    fail_start = len(stats.failures) if stats is not None else 0
+    keys = [task_key(task) for task in tasks]
+
+    checkpoint: SweepCheckpoint | None = None
+    resumed: dict[int, tuple[DesignPoint, bool, int, int]] = {}
+    if checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(
+            SweepCheckpoint.resolve_dir(checkpoint_dir),
+            sweep_digest(
+                models,
+                required_macs,
+                space,
+                max_chiplet_mm2,
+                profile,
+                tech,
+                memory_stride,
+            ),
+            flush_every=checkpoint_every,
+        )
+        if resume:
+            stored = checkpoint.load()
+            for index, key in enumerate(keys):
+                record = stored.get(key)
+                if record is None:
+                    continue
+                outcome = _outcome_from_record(tasks[index], record, tech)
+                if outcome is not None:
+                    resumed[index] = outcome
+            if resumed:
+                obs.count("dse.points.resumed", len(resumed))
+                if stats is not None:
+                    stats.points_resumed += len(resumed)
+        else:
+            checkpoint.reset()
+
+    pending = [index for index in range(len(tasks)) if index not in resumed]
+    pending_tasks = [tasks[index] for index in pending]
+
+    def _on_result(local_index: int, outcome) -> None:
+        if checkpoint is None or isinstance(outcome, TaskFailure):
+            return
+        checkpoint.record(
+            keys[pending[local_index]], _record_from_outcome(outcome)
+        )
+
     timer = stats.stage("explore") if stats else None
     if timer:
         timer.__enter__()
     try:
-        if jobs == 1 and max_valid_points is not None:
-            outcomes = _explore_serial_capped(tasks, context, max_valid_points)
+        if (
+            jobs == 1
+            and max_valid_points is not None
+            and policy is None
+            and checkpoint is None
+        ):
+            pending_outcomes = _explore_serial_capped(
+                pending_tasks, context, max_valid_points
+            )
         else:
-            outcomes = run_tasks(_explore_task, tasks, jobs=jobs, context=context)
+            pending_outcomes = run_tasks(
+                _explore_task,
+                pending_tasks,
+                jobs=jobs,
+                context=context,
+                policy=policy,
+                stats=stats,
+                on_result=_on_result,
+            )
     finally:
+        if checkpoint is not None:
+            # Flush whatever completed -- also on KeyboardInterrupt/SIGINT,
+            # so an interrupted sweep can resume from here.
+            checkpoint.flush()
         if timer:
             timer.__exit__(None, None, None)
+    _label_failures(stats, fail_start, pending, keys)
+
+    outcomes: list[Any] = [None] * len(tasks)
+    for index, outcome in resumed.items():
+        outcomes[index] = outcome
+    for local_index, outcome in enumerate(pending_outcomes):
+        outcomes[pending[local_index]] = outcome
 
     # Re-apply the evaluation cap in deterministic sweep order.  A parallel
     # run evaluates every structurally valid point, then demotes successes
     # beyond the cap to the exact "skipped" records the serial walk emits.
     points: list[DesignPoint] = []
     evaluated = 0
-    for point, structural, hits, misses in outcomes:
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, TaskFailure):
+            n_p, n_c, lane, vec, memory = tasks[index]
+            hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+            point, structural, hits, misses = (
+                _failed_point(hw, outcome),
+                False,
+                0,
+                0,
+            )
+        else:
+            point, structural, hits, misses = outcome
         if stats is not None:
             stats.add_cache(hits, misses)
         if structural:

@@ -26,6 +26,8 @@ from repro.core.cost import CostReport, InvalidMappingError, evaluate_mapping
 from repro.core.mapping import Mapping
 from repro.core.parallel import (
     SweepStats,
+    TaskFailure,
+    TaskPolicy,
     is_picklable,
     resolve_jobs,
     run_tasks,
@@ -212,12 +214,20 @@ class Mapper:
             candidates_invalid=invalid,
         )
 
-    def _prefetch(self, layers: list[ConvLayer], jobs: int) -> None:
+    def _prefetch(
+        self,
+        layers: list[ConvLayer],
+        jobs: int,
+        policy: TaskPolicy | None = None,
+        stats: SweepStats | None = None,
+    ) -> None:
         """Search uncached unique shapes in parallel and fill the cache.
 
         Falls back to doing nothing (the serial per-layer path takes over)
         when fewer than two shapes are pending or the search context cannot
-        cross a process boundary (e.g. a closure objective).
+        cross a process boundary (e.g. a closure objective).  A shape whose
+        task failed under ``policy.on_error="skip"`` is simply not cached --
+        the serial per-layer pass re-searches it in-process.
         """
         pending: dict[str, ConvLayer] = {}
         for layer in layers:
@@ -235,9 +245,16 @@ class Mapper:
         # counters stay private to their throwaway caches).
         obs.count("cache.misses", len(pending))
         results = run_tasks(
-            _search_layer_task, list(pending.values()), jobs=jobs, context=context
+            _search_layer_task,
+            list(pending.values()),
+            jobs=jobs,
+            context=context,
+            policy=policy,
+            stats=stats,
         )
         for key, result in zip(pending, results):
+            if isinstance(result, TaskFailure):
+                continue
             self.cache.put(
                 key,
                 result,
@@ -253,6 +270,7 @@ class Mapper:
         layers: list[ConvLayer],
         jobs: int | None = None,
         stats: SweepStats | None = None,
+        policy: TaskPolicy | None = None,
     ) -> list[LayerMappingResult]:
         """Optimal mapping for every layer of a model.
 
@@ -262,6 +280,8 @@ class Mapper:
                 to the mapper default, then ``REPRO_JOBS``, then serial.
                 Results are bit-identical at every worker count.
             stats: Optional instrumentation record to fill in place.
+            policy: Timeout/retry contract for the parallel prefetch; a
+                prefetch failure degrades to an in-process re-search.
         """
         if not layers:
             raise ValueError("layers must be non-empty")
@@ -273,7 +293,7 @@ class Mapper:
         try:
             with obs.span("mapper.search_model", layers=len(layers), jobs=effective):
                 if effective > 1:
-                    self._prefetch(layers, effective)
+                    self._prefetch(layers, effective, policy=policy, stats=stats)
                 results = [self.search_layer(layer) for layer in layers]
         finally:
             if timer:

@@ -1,0 +1,28 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+the resilience tests (and the CI ``fault-injection`` job) use to prove
+every recovery path of the sweep execution layer.
+"""
+
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedTaskError,
+    active_plan,
+    install_plan,
+    parse_fault_specs,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedTaskError",
+    "active_plan",
+    "install_plan",
+    "parse_fault_specs",
+]

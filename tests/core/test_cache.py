@@ -3,9 +3,16 @@
 The headline guarantee: a second ``search_model`` over a repeated-shape
 model performs **zero fresh evaluations** -- every lookup is answered from
 the cache, in memory within a run and from the JSON store across runs.
+
+Robustness guarantees: concurrent saves against one directory never lose
+entries (per-digest ``fcntl`` locking), corrupt or version-mismatched files
+are quarantined instead of silently shadowing the store, and stale temp
+files from crashed writers are swept on the next save.
 """
 
 import json
+import multiprocessing
+import os
 
 from repro.arch.config import build_hardware, case_study_hardware, simba_like_hardware
 from repro.core.cache import (
@@ -225,3 +232,141 @@ class TestDiskCache:
         )
         cache.save()
         assert not list(tmp_path.iterdir())
+
+
+DIGEST = "0123456789abcdef" * 4
+
+
+def _fake_key(writer: int, index: int) -> str:
+    return f"shape{writer}x{index}|{DIGEST}|minimal|energy_objective"
+
+
+def _concurrent_writer(directory, writer, count, barrier):
+    """One contending process: save one new entry per iteration."""
+    barrier.wait()
+    for index in range(count):
+        cache = MappingCache(directory)
+        key = _fake_key(writer, index)
+        cache.put(key, object(), record={"mapping": {"i": index}})
+        cache.save()
+
+
+class TestConcurrentSave:
+    def test_two_processes_never_lose_entries(self, tmp_path):
+        """The lost-update regression: read-merge-write races must be gone.
+
+        Without the per-digest lock, two processes read the same base file,
+        each merge their own entry, and the slower ``replace`` silently
+        drops the faster writer's entry.  Fifty iterations per process made
+        that race near-certain before the fix.
+        """
+        count = 50
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(
+                target=_concurrent_writer,
+                args=(tmp_path, writer, count, barrier),
+            )
+            for writer in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        payload = json.loads(
+            (tmp_path / f"mappings-{DIGEST[:16]}.json").read_text()
+        )
+        expected = {
+            _fake_key(writer, index)
+            for writer in range(2)
+            for index in range(count)
+        }
+        assert set(payload["entries"]) == expected
+
+
+class TestQuarantineAndSweep:
+    def test_corrupt_file_quarantined(self, tmp_path):
+        hw = case_study_hardware()
+        cache = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        path = next(tmp_path.glob("mappings-*.json"))
+        path.write_text("{not json")
+        broken = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=broken).search_model(
+            small_layers()
+        )
+        assert broken.corrupt_files == 1
+        quarantined = list(tmp_path.glob("mappings-*.json.corrupt-*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text() == "{not json"
+        # The fresh save re-created the store cleanly alongside the
+        # quarantined original.
+        assert json.loads(path.read_text())["entries"]
+        reread = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=reread).search_model(
+            small_layers()
+        )
+        assert reread.disk_hits > 0 and reread.corrupt_files == 0
+
+    def test_version_mismatch_quarantined(self, tmp_path):
+        hw = case_study_hardware()
+        cache = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=cache).search_model(
+            small_layers()
+        )
+        path = next(tmp_path.glob("mappings-*.json"))
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        stale = MappingCache(tmp_path)
+        Mapper(hw=hw, profile=SearchProfile.MINIMAL, cache=stale).search_model(
+            small_layers()
+        )
+        assert stale.corrupt_files == 1
+        assert list(tmp_path.glob("mappings-*.json.corrupt-*"))
+
+    def test_stale_tmp_files_swept_on_save(self, tmp_path):
+        dead = tmp_path / "mappings-feedfeedfeedfeed.tmp.999999999"
+        dead.write_text("{}")
+        alive = tmp_path / f"mappings-feedfeedfeedfeed.tmp.{os.getpid()}"
+        alive.write_text("{}")
+        cache = MappingCache(tmp_path)
+        cache.put("s|" + DIGEST + "|minimal|o", object(), record={"m": 1})
+        cache.save()
+        assert not dead.exists()  # pid 999999999 cannot be alive
+        assert alive.exists()  # our own (in-progress) temp is untouched
+
+    def test_injected_corruption_recovers_next_run(self, tmp_path):
+        """corrupt-cache fault -> torn file on disk -> quarantined, not fatal."""
+        from repro.testing.faults import (
+            FaultPlan,
+            install_plan,
+            parse_fault_specs,
+        )
+
+        hw = case_study_hardware()
+        install_plan(FaultPlan(parse_fault_specs("corrupt-cache:@indices=0")))
+        try:
+            cache = MappingCache(tmp_path)
+            Mapper(
+                hw=hw, profile=SearchProfile.MINIMAL, cache=cache
+            ).search_model(small_layers())
+        finally:
+            install_plan(None)
+        path = next(tmp_path.glob("mappings-*.json"))
+        try:
+            json.loads(path.read_text())
+            corrupted = False
+        except ValueError:
+            corrupted = True
+        assert corrupted
+        fresh = MappingCache(tmp_path)
+        results = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=fresh
+        ).search_model(small_layers())
+        assert len(results) == len(small_layers())
+        assert fresh.corrupt_files == 1

@@ -1,0 +1,185 @@
+"""Fault-tolerant sweep execution, end to end through the real CLI.
+
+The acceptance scenarios of the resilience layer:
+
+* a sweep run under injected crash faults (``REPRO_FAULTS=crash:0.1@seed=7``,
+  ``--on-error skip --jobs 4``) completes, and its surviving points are
+  byte-identical to a clean serial run;
+* a sweep interrupted around 50% and re-run with ``--resume`` produces
+  byte-identical output, answering at least 40% of its points from the
+  checkpoint;
+* a real SIGINT delivered to a running ``repro dse`` process flushes the
+  checkpoint and exits with code 130;
+* ``--on-error skip`` exits non-zero only when *every* point failed.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.testing.faults import FAULTS_ENV
+
+SWEEP_ARGS = [
+    "dse",
+    "--macs", "512",
+    "--models", "alexnet",
+    "--stride", "997",
+    "--profile", "minimal",
+]
+
+#: Task count of the SWEEP_ARGS sweep (keeps the 40%-resumed math honest).
+SWEEP_POINTS = 50
+
+
+def run_cli(tmp_path: Path, tag: str, extra: list[str], expect: int = 0):
+    result_path = tmp_path / f"result-{tag}.json"
+    code = main(SWEEP_ARGS + ["--json", str(result_path)] + extra)
+    assert code == expect, f"{tag}: exit {code}, expected {expect}"
+    return result_path.read_bytes() if result_path.exists() else b""
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+
+
+@pytest.fixture(scope="module")
+def clean_bytes(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("resilience-clean")
+    result_path = tmp_path / "clean.json"
+    code = main(SWEEP_ARGS + ["--jobs", "1", "--json", str(result_path)])
+    assert code == 0
+    return result_path.read_bytes()
+
+
+class TestFaultedSweepMatchesClean:
+    def test_crash_faults_survive_byte_identical(
+        self, tmp_path, monkeypatch, clean_bytes, capsys
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "crash:0.1@seed=7")
+        faulted = run_cli(
+            tmp_path, "faulted", ["--jobs", "4", "--on-error", "skip"]
+        )
+        assert faulted == clean_bytes
+        # The faults really fired: the run reports its retries.
+        assert "retries" in capsys.readouterr().out
+
+    def test_permanent_failures_reported_and_skipped(
+        self, tmp_path, monkeypatch, clean_bytes, capsys
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "exc:@indices=7&attempts=0")
+        faulted = run_cli(
+            tmp_path, "one-failed", ["--jobs", "1", "--on-error", "skip"]
+        )
+        out = capsys.readouterr().out
+        assert "Failed points (1)" in out
+        assert "InjectedTaskError" in out
+        # One point lost, the rest still there and the run exits 0.
+        assert faulted != clean_bytes
+        payload = json.loads(faulted)
+        assert payload["swept"] == SWEEP_POINTS
+
+    def test_abort_is_still_the_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "exc:@indices=7&attempts=0")
+        with pytest.raises(Exception, match="injected deterministic"):
+            main(SWEEP_ARGS + ["--jobs", "1", "--json", str(tmp_path / "x.json")])
+
+    def test_all_points_failed_exits_nonzero(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "exc:@attempts=0")  # every index
+        code = main(
+            SWEEP_ARGS
+            + ["--jobs", "1", "--on-error", "skip", "--json", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+
+
+class TestInterruptAndResume:
+    def test_interrupt_then_resume_byte_identical(
+        self, tmp_path, monkeypatch, clean_bytes
+    ):
+        ckpt = tmp_path / "ckpt"
+        # Injected KeyboardInterrupt at the mid-sweep point: deterministic
+        # stand-in for Ctrl-C, same code path as the signal handler.
+        monkeypatch.setenv(FAULTS_ENV, f"interrupt:@indices={SWEEP_POINTS // 2}")
+        code = main(
+            SWEEP_ARGS
+            + [
+                "--jobs", "1",
+                "--checkpoint-dir", str(ckpt),
+                "--json", str(tmp_path / "interrupted.json"),
+            ]
+        )
+        assert code == 130
+        monkeypatch.delenv(FAULTS_ENV)
+        resumed = run_cli(
+            tmp_path,
+            "resumed",
+            ["--jobs", "1", "--checkpoint-dir", str(ckpt), "--resume"],
+        )
+        assert resumed == clean_bytes
+        # At least 40% of the sweep came from the checkpoint.
+        point_lines = [
+            line
+            for line in next(ckpt.glob("sweep-*.jsonl")).read_text().splitlines()
+            if '"kind": "point"' in line
+        ]
+        assert len(point_lines) >= int(0.4 * SWEEP_POINTS)
+
+
+class TestRealSigint:
+    def test_sigint_flushes_checkpoint_and_exits_130(self, tmp_path):
+        """Drive the actual signal path: SIGINT a live ``repro dse`` process.
+
+        A ``hang`` fault parks the sweep on its final point so the test can
+        interrupt deterministically after most points completed.
+        """
+        ckpt = tmp_path / "ckpt"
+        env = {
+            **dict(__import__("os").environ),
+            "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+            FAULTS_ENV: f"hang:@indices={SWEEP_POINTS - 1}&sleep=120",
+        }
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"]
+            + SWEEP_ARGS
+            + [
+                "--jobs", "1",
+                "--checkpoint-dir", str(ckpt),
+                "--checkpoint-every", "1",
+                "--json", str(tmp_path / "sigint.json"),
+            ],
+            env=env,
+            cwd=tmp_path,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            checkpoint_file = None
+            while time.monotonic() < deadline:
+                files = list(ckpt.glob("sweep-*.jsonl"))
+                if files and len(files[0].read_text().splitlines()) >= 10:
+                    checkpoint_file = files[0]
+                    break
+                time.sleep(0.05)
+            assert checkpoint_file is not None, "checkpoint never grew"
+            proc.send_signal(signal.SIGINT)
+            _, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "--resume" in stderr
+        # Every line the interrupted writer left behind must load cleanly
+        # (at worst the torn tail is tolerated, never the whole file lost).
+        lines = checkpoint_file.read_text().splitlines()
+        assert len(lines) >= 10
+        assert json.loads(lines[0])["kind"] == "header"
