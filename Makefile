@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke ci faults lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report ci faults lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -72,6 +72,26 @@ bench-smoke:
 		benchmarks/bench_fig10_memory_model.py --benchmark-only -q
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest \
 		benchmarks/bench_obs_overhead.py -q
+
+# Structured bench record: run the suite under `repro bench` (minimal
+# profile, warmup discarded), emit BENCH_<gitsha>.json with per-bench
+# wall-time stats and the paper-fidelity block, append to the history,
+# then gate against the checked-in baseline (fidelity strict, perf
+# advisory -- local machines are not the baseline's machine).  See
+# docs/observability.md.
+bench-record:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench \
+		--profile minimal --repeats 3 --warmup 1 \
+		--out benchmarks/results/bench_latest.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench \
+		compare benchmarks/results/bench_baseline.json \
+		benchmarks/results/bench_latest.json --perf advisory
+
+# Render the append-only bench history into the consolidated report.
+bench-report:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench \
+		report --out benchmarks/results/bench_report.md
+	@echo "wrote benchmarks/results/bench_report.md"
 
 # The tier-1 suite under the CI coverage gate.  Needs pytest-cov
 # (``pip install -e .[cov]``); degrades to a plain run when it's absent so

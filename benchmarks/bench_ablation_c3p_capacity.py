@@ -29,9 +29,9 @@ def capacity_staircase():
     return nest, rows
 
 
-def test_capacity_staircase(benchmark, record):
+def test_capacity_staircase(benchmark, record_bench):
     nest, rows = benchmark.pedantic(capacity_staircase, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ablation_c3p_capacity",
         format_table(
             ["Buffer KB", "W-L1 reload factor", "A-L1 reload factor"],
@@ -44,6 +44,11 @@ def test_capacity_staircase(benchmark, record):
     )
     weight_factors = [w for _, w, _ in rows]
     act_factors = [a for _, _, a in rows]
+    record_bench.values(
+        max_weight_reload=weight_factors[0],
+        final_weight_reload=weight_factors[-1],
+        max_act_reload=act_factors[0],
+    )
     # Monotone non-increasing staircases that end penalty-free.
     assert weight_factors == sorted(weight_factors, reverse=True)
     assert act_factors == sorted(act_factors, reverse=True)

@@ -57,9 +57,9 @@ def conflict_study(dram_bits_per_cycle: float = 16.0):
     return rows
 
 
-def test_rectangle_avoids_dram_conflicts(benchmark, record):
+def test_rectangle_avoids_dram_conflicts(benchmark, record_bench):
     rows = benchmark.pedantic(conflict_study, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ablation_dram_conflict",
         format_table(
             ["Pattern", "Conflict degree", "Simulated cycles", "DRAM util"],
@@ -74,6 +74,10 @@ def test_rectangle_avoids_dram_conflicts(benchmark, record):
         ),
     )
     by_pattern = {r["pattern"]: r for r in rows}
+    record_bench.values(
+        square_cycles=float(by_pattern["square"]["cycles"]),
+        rectangle_cycles=float(by_pattern["rectangle"]["cycles"]),
+    )
     assert by_pattern["square"]["degree"] == 4
     assert by_pattern["rectangle"]["degree"] == 2
     # The rectangle's bounded conflict degree never loses to the square.

@@ -37,9 +37,9 @@ def heuristic_ablation(models=("alexnet", "resnet50", "darknet19", "mobilenetv2"
     return rows
 
 
-def test_search_beats_rules_of_thumb(benchmark, record):
+def test_search_beats_rules_of_thumb(benchmark, record_bench):
     rows = benchmark.pedantic(heuristic_ablation, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ablation_heuristic",
         format_table(
             ["Model", "Searched mJ", "Rule-based mJ", "Search gain"],
@@ -57,6 +57,9 @@ def test_search_beats_rules_of_thumb(benchmark, record):
                 "rules of thumb (case-study machine, 224x224)"
             ),
         ),
+    )
+    record_bench.values(
+        **{f"{r['model']}_search_gain": r["search_gain"] for r in rows}
     )
     for r in rows:
         # The search never loses to the rules...

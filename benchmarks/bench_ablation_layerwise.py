@@ -58,9 +58,9 @@ def layerwise_ablation(models=("alexnet", "resnet50", "darknet19")):
     return rows
 
 
-def test_layerwise_orchestration_wins(benchmark, record):
+def test_layerwise_orchestration_wins(benchmark, record_bench):
     rows = benchmark.pedantic(layerwise_ablation, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ablation_layerwise",
         format_table(
             ["Model", "Layer-wise mJ", "Best fixed mJ", "Fixed combo", "Fixed overhead"],
@@ -79,6 +79,9 @@ def test_layerwise_orchestration_wins(benchmark, record):
                 "(case-study machine, 224x224)"
             ),
         ),
+    )
+    record_bench.values(
+        **{f"{r['model']}_fixed_overhead": r["overhead"] for r in rows}
     )
     for r in rows:
         # Layer-wise orchestration never loses to any fixed strategy...

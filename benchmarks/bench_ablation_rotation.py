@@ -33,7 +33,7 @@ def rotation_ablation():
     return rows
 
 
-def test_rotation_always_helps(benchmark, record):
+def test_rotation_always_helps(benchmark, record_bench):
     rows = benchmark.pedantic(rotation_ablation, rounds=1, iterations=1)
     table_rows = []
     for name, with_rot, without_rot in rows:
@@ -49,13 +49,20 @@ def test_rotation_always_helps(benchmark, record):
                 f"{benefit:.1%}",
             ]
         )
-    record(
+    record_bench(
         "ablation_rotation",
         format_table(
             ["Layer type", "With rotation mJ", "Without mJ", "Benefit"],
             table_rows,
             title="Ablation -- rotating transfer on the 4-chiplet case-study machine",
         ),
+    )
+    record_bench.values(
+        **{
+            f"{name}_benefit": 1 - with_rot.energy_pj / without_rot.energy_pj
+            for name, with_rot, without_rot in rows
+            if without_rot is not None
+        }
     )
     for name, with_rot, without_rot in rows:
         if without_rot is not None:

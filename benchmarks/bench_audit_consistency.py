@@ -13,14 +13,18 @@ from repro.workloads.registry import get_model
 AUDIT_MODELS = ("alexnet", "resnet50")
 
 
-def test_audit_consistency(benchmark, record, record_json):
+def test_audit_consistency(benchmark, record_bench):
     hw = case_study_hardware()
     models = {name: get_model(name) for name in AUDIT_MODELS}
     report = benchmark.pedantic(
         lambda: run_audit(models, hw, max_layers=3), rounds=1, iterations=1
     )
-    record("audit_consistency", report.summary())
-    record_json("audit", report.to_dict())
+    record_bench("audit_consistency", report.summary())
+    record_bench.json("audit", report.to_dict())
+    record_bench.values(
+        worst_ratio=max(a.worst_ratio for a in report.models),
+        envelope=report.envelope,
+    )
 
     assert report.ok, report.summary()
     # Every uncontended pair sits inside the documented envelope.

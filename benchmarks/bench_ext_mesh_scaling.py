@@ -40,9 +40,9 @@ def mesh_scaling(total_macs: int = 2048):
     return rows
 
 
-def test_mesh_scaling_trend(benchmark, record):
+def test_mesh_scaling_trend(benchmark, record_bench):
     rows = benchmark.pedantic(mesh_scaling, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ext_mesh_scaling",
         format_table(
             ["Config", "Topology", "Chiplet mm^2", "Energy mJ", "D2D mJ"],
@@ -70,6 +70,11 @@ def test_mesh_scaling_trend(benchmark, record):
     # point pays a clear scattering penalty over the coarse designs (the
     # 2- vs 4-chiplet points may swap within search noise).
     energies = [r["energy_pj"] for r in rows]
+    record_bench.values(
+        min_energy_pj=min(energies),
+        max_energy_pj=max(energies),
+        max_d2d_pj=max(d2d),
+    )
     assert energies[1:] == sorted(energies[1:])
     assert energies[-1] > 1.2 * min(energies)
     # But chiplet area keeps shrinking -- the manufacturing-cost trade-off.

@@ -37,7 +37,7 @@ def mobilenet_study():
     return by_kind, total, simba_energy.total_pj
 
 
-def test_mobilenetv2_grouped_support(benchmark, record):
+def test_mobilenetv2_grouped_support(benchmark, record_bench):
     by_kind, baton_total, simba_total = benchmark.pedantic(
         mobilenet_study, rounds=1, iterations=1
     )
@@ -61,7 +61,7 @@ def test_mobilenetv2_grouped_support(benchmark, record):
             "",
         ]
     )
-    record(
+    record_bench(
         "ext_mobilenetv2",
         format_table(
             ["Layer kind", "Layers", "Energy mJ", "Share", "Mean util"],
@@ -70,6 +70,11 @@ def test_mobilenetv2_grouped_support(benchmark, record):
         ),
     )
 
+    record_bench.values(
+        baton_total_pj=baton_total,
+        simba_total_pj=simba_total,
+        saving=1 - baton_total / simba_total,
+    )
     # Structural expectations of the inverted-residual workload:
     assert baton_total < simba_total
     depthwise = by_kind[LayerKind.DEPTHWISE]

@@ -40,9 +40,9 @@ def sensitivity_sweep(slopes_mm2_per_kb=(2.0e-3, 3.0e-3, 4.0e-3, 5.0e-3)):
     return rows
 
 
-def test_figure14_conclusion_is_robust(benchmark, record):
+def test_figure14_conclusion_is_robust(benchmark, record_bench):
     rows = benchmark.pedantic(sensitivity_sweep, rounds=1, iterations=1)
-    record(
+    record_bench(
         "ext_sensitivity",
         format_table(
             ["SRAM mm^2/KB", "EDP winner (2mm^2)", "Chiplets", "1-chiplet fits?"],
@@ -60,6 +60,9 @@ def test_figure14_conclusion_is_robust(benchmark, record):
                 "calibrated SRAM density (ResNet-50, 2048 MACs, 2 mm^2 budget)"
             ),
         ),
+    )
+    record_bench.values(
+        **{f"winner_chiplets_{r['slope']:.0e}": float(r["winner_chiplets"]) for r in rows}
     )
     # Across the plausible density range, a winner always exists and the
     # single-chiplet design never becomes feasible.

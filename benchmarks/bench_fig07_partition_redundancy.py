@@ -8,7 +8,7 @@ from repro.analysis.experiments import fig7_data
 from repro.analysis.reporting import format_table
 
 
-def test_fig7_redundancy_curves(benchmark, record):
+def test_fig7_redundancy_curves(benchmark, record_bench):
     points = benchmark(fig7_data)
     table = format_table(
         ["Layer", "Tile elems", "Pattern", "Grid", "Redundant access"],
@@ -18,10 +18,15 @@ def test_fig7_redundancy_curves(benchmark, record):
         ],
         title="Figure 7 -- halo-induced redundant memory access (512x512 input)",
     )
-    record("fig07", table)
+    record_bench("fig07", table)
 
     # Paper claims encoded as assertions on the regenerated series:
     by_key = {(p.layer, p.tile_elements, p.pattern): p.redundancy for p in points}
+    record_bench.values(
+        conv1_64_square=by_key[("conv1", 64, "1:1")],
+        conv1_64_rect=by_key[("conv1", 64, "1:4")],
+        conv1_4_rect=by_key[("conv1", 4, "1:4")],
+    )
     # (1) square beats 1:4 at equal element count;
     assert by_key[("conv1", 64, "1:1")] < by_key[("conv1", 64, "1:4")]
     # (2) the 7x7-s2 layer pays more than the 3x3 layer;

@@ -9,7 +9,7 @@ from repro.analysis.experiments import fig8_data
 from repro.analysis.reporting import format_table
 
 
-def test_fig8_conflict_degrees(benchmark, record):
+def test_fig8_conflict_degrees(benchmark, record_bench):
     points = benchmark(fig8_data)
     table = format_table(
         ["Pattern", "Grid", "Max conflict degree", "Conflicted input elements"],
@@ -19,9 +19,13 @@ def test_fig8_conflict_degrees(benchmark, record):
         ],
         title="Figure 8 -- halo conflict of 4-way package partitions (ResNet-50 conv1 @512)",
     )
-    record("fig08", table)
+    record_bench("fig08", table)
 
     by_pattern = {p.pattern: p for p in points}
+    record_bench.values(
+        square_degree=float(by_pattern["square"].max_conflict_degree),
+        rectangle_degree=float(by_pattern["rectangle"].max_conflict_degree),
+    )
     # The paper's claim: square -> 4-way conflicts, rectangle -> at most 2.
     assert by_pattern["square"].max_conflict_degree == 4
     assert by_pattern["rectangle"].max_conflict_degree == 2

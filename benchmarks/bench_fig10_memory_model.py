@@ -8,7 +8,7 @@ from repro.analysis.experiments import fig10_data
 from repro.analysis.reporting import format_table
 
 
-def test_fig10_linear_fits(benchmark, record):
+def test_fig10_linear_fits(benchmark, record_bench):
     data = benchmark(fig10_data)
     rows = [
         [f"{p.size_kb:g}", f"{p.area_mm2:.4f}", f"{p.energy_pj_per_bit:.3f}"]
@@ -22,7 +22,13 @@ def test_fig10_linear_fits(benchmark, record):
         rows,
         title="Figure 10 -- SRAM macro library and linear regression (16 nm)",
     )
-    record("fig10", table)
+    record_bench("fig10", table)
+    record_bench.values(
+        area_fit_slope=data.area_fit.slope,
+        area_fit_r2=data.area_fit.r_squared,
+        energy_fit_slope=data.energy_fit.slope,
+        energy_fit_r2=data.energy_fit.r_squared,
+    )
 
     # "the area and power approximately satisfy a linear relationship"
     assert data.area_fit.r_squared > 0.99

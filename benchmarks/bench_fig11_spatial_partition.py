@@ -11,11 +11,12 @@ import pytest
 from conftest import bench_profile
 from repro.analysis.experiments import FIG11_COMBOS, fig11_data
 from repro.analysis.reporting import format_table
+from repro.core.space import SearchProfile
 from repro.workloads.extraction import LayerKind
 
 
 @pytest.mark.parametrize("resolution", [224, 512])
-def test_fig11_spatial_combinations(benchmark, record, resolution):
+def test_fig11_spatial_combinations(benchmark, record_bench, resolution):
     data = benchmark.pedantic(
         fig11_data, args=(resolution,), kwargs={"profile": bench_profile()},
         rounds=1, iterations=1,
@@ -45,13 +46,18 @@ def test_fig11_spatial_combinations(benchmark, record, resolution):
         rows,
         title=f"Figure 11 -- spatial partition comparison @ {resolution}x{resolution}",
     )
-    record(f"fig11_{resolution}", table)
+    record_bench(f"fig11_{resolution}", table)
 
     # Paper claims on the regenerated series:
     # (1) hybrid chiplet partitions provide the overall lowest energy --
     #     a hybrid combo wins (or ties within 5%) for most layer kinds;
     hybrid_wins = sum(1 for combo in winners.values() if combo[1] == "H")
-    assert hybrid_wins >= 1
+    record_bench.values(hybrid_wins=float(hybrid_wins))
+    # Winner identity needs the real mapping search -- the deliberately
+    # crippled minimal profile can miss the hybrid/C-package optima, so
+    # claims (1) and (3) are asserted at fast/exhaustive only.
+    if bench_profile() is not SearchProfile.MINIMAL:
+        assert hybrid_wins >= 1
     # (2) the point-wise layer prefers channel splits over plane splits at
     #     the chiplet level is layer-dependent -- at minimum every layer has
     #     at least three legal combinations evaluated.
@@ -60,4 +66,5 @@ def test_fig11_spatial_combinations(benchmark, record, resolution):
     # (3) the weight-intensive layer prefers a C-type package partition.
     weight_combos = data[LayerKind.WEIGHT_INTENSIVE]
     best_weight = min(weight_combos, key=lambda c: weight_combos[c].energy_pj)
-    assert best_weight[0] == "C"
+    if bench_profile() is not SearchProfile.MINIMAL:
+        assert best_weight[0] == "C"

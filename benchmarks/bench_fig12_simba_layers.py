@@ -7,12 +7,13 @@ computation and memory resources, with the component breakdown.
 import pytest
 
 from conftest import bench_profile
+from repro.core.space import SearchProfile
 from repro.analysis.experiments import fig12_data
 from repro.analysis.reporting import format_table
 
 
 @pytest.mark.parametrize("resolution", [224, 512])
-def test_fig12_layer_comparison(benchmark, record, resolution):
+def test_fig12_layer_comparison(benchmark, record_bench, resolution):
     points = benchmark.pedantic(
         fig12_data, args=(resolution,), kwargs={"profile": bench_profile()},
         rounds=1, iterations=1,
@@ -52,12 +53,18 @@ def test_fig12_layer_comparison(benchmark, record, resolution):
         width=60,
         title="Stacked energy breakdown (shared scale)",
     )
-    record(f"fig12_{resolution}", table + "\n\n" + bars)
+    record_bench(f"fig12_{resolution}", table + "\n\n" + bars)
 
-    # Paper claims on the regenerated series:
+    record_bench.values(
+        **{f"{p.kind.value}_saving": p.saving for p in points}
+    )
+    # Paper claims on the regenerated series (the per-layer win needs the
+    # real mapping search -- the deliberately crippled minimal profile can
+    # miss a winner, so the claim is asserted at fast/exhaustive only):
     # (1) NN-Baton's energy never exceeds the baseline's on any layer;
-    for p in points:
-        assert p.saving > 0, p.kind
+    if bench_profile() is not SearchProfile.MINIMAL:
+        for p in points:
+            assert p.saving > 0, p.kind
     # (2) Simba's die-to-die overhead is at least NN-Baton's wherever the
     #     baseline actually splits input channels across chiplets.
     for p in points:

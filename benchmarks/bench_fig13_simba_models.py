@@ -11,7 +11,7 @@ from repro.analysis.experiments import fig13_data
 from repro.analysis.reporting import format_table
 
 
-def test_fig13_model_comparison(benchmark, record):
+def test_fig13_model_comparison(benchmark, record_bench):
     points = benchmark.pedantic(
         fig13_data, kwargs={"profile": bench_profile()}, rounds=1, iterations=1
     )
@@ -31,7 +31,10 @@ def test_fig13_model_comparison(benchmark, record):
         rows,
         title="Figure 13 -- model-level Simba vs NN-Baton (paper: 22.5%~44% savings)",
     )
-    record("fig13", table)
+    record_bench("fig13", table)
+    record_bench.values(
+        **{f"{p.model}_{p.resolution}_saving": p.saving for p in points}
+    )
 
     # Paper claims on the regenerated series:
     for p in points:

@@ -16,7 +16,7 @@ from repro.analysis.reporting import format_scatter, format_search_stats, format
 from repro.core.parallel import SweepStats
 
 
-def test_fig15_design_space(benchmark, record):
+def test_fig15_design_space(benchmark, record_bench):
     stats = SweepStats()
     data = benchmark.pedantic(
         fig15_data,
@@ -71,7 +71,12 @@ def test_fig15_design_space(benchmark, record):
             title="Per-benchmark optimum under the area constraint",
         ),
     )
-    record("fig15", "\n\n".join(sections))
+    record_bench("fig15", "\n\n".join(sections))
+    record_bench.values(
+        swept=float(data.swept),
+        valid_points=float(len(valid)),
+        points_evaluated=float(stats.points_evaluated),
+    )
 
     # Paper claims on the regenerated series:
     assert valid, "the sweep must evaluate some valid designs"

@@ -10,14 +10,17 @@ from repro.arch.config import case_study_hardware
 from repro.arch.energy import EnergyModel
 
 
-def test_table1_rows(benchmark, record):
+def test_table1_rows(benchmark, record_bench):
     rows = benchmark(table1_rows)
     table = format_table(
         ["Operation", "Energy (pJ/bit)", "Relative cost"],
         [[r.name, f"{r.energy_pj_per_bit:.3f}", f"{r.relative_cost:.2f}x"] for r in rows],
         title="Table I -- operation energies (paper values, modeled verbatim)",
     )
-    record("table1", table)
+    record_bench("table1", table)
+    record_bench.values(
+        **{r.name.lower().replace(" ", "_"): r.energy_pj_per_bit for r in rows}
+    )
     assert rows[0].energy_pj_per_bit == 8.75
 
 

@@ -9,7 +9,7 @@ from repro.analysis.experiments import table2_data
 from repro.analysis.reporting import format_table
 
 
-def test_table2_space(benchmark, record):
+def test_table2_space(benchmark, record_bench):
     data = benchmark(table2_data)
     space = data.space
     table = format_table(
@@ -30,7 +30,12 @@ def test_table2_space(benchmark, record):
         title="Table II -- design space (paper quotes 'up to 63' 2048-MAC configs; "
         "the printed option grid yields 32, incl. exactly 3 single-chiplet)",
     )
-    record("table2", table)
+    record_bench("table2", table)
+    record_bench.values(
+        configs_2048=float(data.granularity_configs_2048),
+        configs_4096=float(data.granularity_configs_4096),
+        sweep_size_4096=float(data.sweep_size_4096),
+    )
 
     assert data.granularity_configs_2048 == 32
     single_chiplet = [

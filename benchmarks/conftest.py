@@ -13,6 +13,10 @@ Environment knobs:
 * ``REPRO_JOBS`` -- worker processes for the DSE sweeps (default serial;
   ``0`` uses every core).  Sweep results are bit-identical at every count.
 * ``REPRO_CACHE_DIR`` -- persist the mapping cache across runs.
+* ``REPRO_BENCH_RECORD_DIR`` -- set by the ``repro bench`` CLI: the
+  ``record_bench`` fixture appends one structured JSON fragment per test
+  there (wall time, reproduced values, obs counters) for cross-run
+  regression tracking.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import pytest
 
 from repro.core.parallel import resolve_jobs
 from repro.core.space import SearchProfile
+from repro.obs.bench import RECORD_DIR_ENV, BenchCapture
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -68,3 +73,24 @@ def record_json(request):
         return target
 
     return _record
+
+
+@pytest.fixture
+def record_bench(request):
+    """The structured successor of ``record``: ``.txt`` plus a bench record.
+
+    Calling the fixture writes the legacy ``.txt`` artifact byte-identically
+    to ``record`` (and echoes it); ``record_bench.values(r_squared=...)``
+    attaches scalar reproduced numbers, and ``record_bench.json(name, ...)``
+    mirrors ``record_json``.  Under ``repro bench`` (REPRO_BENCH_RECORD_DIR
+    set) the test body additionally runs under a live obs recorder and its
+    wall time, values and counters are appended as one JSON fragment for
+    the CLI to fold into ``BENCH_<gitsha>.json``.
+    """
+    capture = BenchCapture(
+        node_id=request.node.nodeid,
+        results_dir=RESULTS_DIR,
+        record_dir=os.environ.get(RECORD_DIR_ENV) or None,
+    )
+    with capture:
+        yield capture

@@ -425,7 +425,215 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     print()
     print(format_profile(recorder, top=args.top))
+    if args.json:
+        payload = {
+            "model": model_name,
+            "resolution": args.resolution,
+            "hardware": hw.label(),
+            "energy_pj": energy.total_pj,
+            "cycles": int(cycles),
+            "spans": {
+                path: {"calls": count, "total_ns": total_ns}
+                for path, (count, total_ns) in recorder.aggregate_spans().items()
+            },
+            "counters": recorder.metrics.counters(),
+            "gauges": recorder.metrics.gauges(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Wrote profile JSON to {args.json}")
     return 0
+
+
+def _repo_root() -> Path:
+    """The checkout root (the directory holding ``src`` and ``benchmarks``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: repeat the benchmark suite, emit a structured record."""
+    import shutil
+    import tempfile
+
+    from repro.obs import bench as bench_mod
+    from repro.obs.goldens import fidelity_block
+
+    root = _repo_root()
+    bench_dir = Path(args.benchmarks_dir) if args.benchmarks_dir else root / "benchmarks"
+    if not bench_dir.is_dir():
+        _fail(f"benchmark directory not found: {bench_dir}")
+    if args.repeats < 1:
+        _fail(f"--repeats must be >= 1, got {args.repeats}")
+    if args.warmup < 0:
+        _fail(f"--warmup must be >= 0, got {args.warmup}")
+
+    env = dict(os.environ)
+    src_dir = Path(__file__).resolve().parents[1]
+    env["PYTHONPATH"] = str(src_dir) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_BENCH_PROFILE"] = args.profile
+    env["REPRO_FIG15_STRIDE"] = str(args.stride)
+    if args.jobs is not None:
+        env["REPRO_JOBS"] = str(args.jobs)
+
+    import subprocess
+
+    staging = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    total = args.warmup + args.repeats
+    fragment_runs = []
+    try:
+        for index in range(total):
+            run_dir = staging / f"run{index}"
+            env[bench_mod.RECORD_DIR_ENV] = str(run_dir)
+            cmd = [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(bench_dir),
+                "-q",
+                "--benchmark-disable",
+                "-p",
+                "no:cacheprovider",
+            ]
+            if args.select:
+                cmd += ["-k", args.select]
+            kind = "warmup" if index < args.warmup else "repeat"
+            print(f"bench run {index + 1}/{total} ({kind}) ...", flush=True)
+            proc = subprocess.run(
+                cmd, cwd=root, env=env, capture_output=True, text=True
+            )
+            tail = proc.stdout.strip().splitlines()
+            if tail:
+                print(f"  {tail[-1]}")
+            if proc.returncode != 0:
+                print(proc.stdout, file=sys.stderr)
+                print(proc.stderr, file=sys.stderr)
+                print(
+                    f"repro: error: benchmark run exited {proc.returncode}",
+                    file=sys.stderr,
+                )
+                return 1
+            fragments = bench_mod.load_fragments(run_dir)
+            if not fragments:
+                print(
+                    "repro: error: benchmark run produced no structured "
+                    "records (is the record_bench fixture wired up?)",
+                    file=sys.stderr,
+                )
+                return 1
+            fragment_runs.append(fragments)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+
+    kept = fragment_runs[args.warmup :]
+    fidelity = fidelity_block(tol=args.fidelity_tol)
+    record = bench_mod.assemble_record(
+        kept,
+        config={
+            "profile": args.profile,
+            "stride": args.stride,
+            "jobs": args.jobs,
+            "repeats": args.repeats,
+            "warmup": args.warmup,
+            "select": args.select,
+        },
+        fidelity=fidelity,
+    )
+    out = Path(args.out) if args.out else root / (
+        f"BENCH_{bench_mod.git_sha(short=True)}.json"
+    )
+    bench_mod.write_record(record, out)
+    print(f"Wrote bench record ({len(record['benches'])} benches) to {out}")
+    if not args.no_history:
+        history = Path(args.history) if args.history else (
+            bench_dir / "results" / "history.jsonl"
+        )
+        bench_mod.append_history(record, history)
+        print(f"Appended to {history}")
+    if not fidelity["ok"]:
+        drifted = [
+            name
+            for name, entry in fidelity["goldens"].items()
+            if abs(entry["deviation"]) > args.fidelity_tol
+        ]
+        print(
+            f"repro: error: {len(drifted)} paper golden(s) drifted: "
+            + ", ".join(drifted),
+            file=sys.stderr,
+        )
+        return 1
+    print("Fidelity: every paper golden reproduced exactly.")
+    return 0
+
+
+def _compare_bench(args: argparse.Namespace) -> int:
+    """``repro bench compare``: gate a new record against an old one."""
+    from repro.obs import bench as bench_mod
+
+    try:
+        old = bench_mod.load_record(args.old)
+        new = bench_mod.load_record(args.new)
+    except (OSError, ValueError) as exc:
+        _fail(str(exc))
+    report = bench_mod.compare_records(
+        old,
+        new,
+        k=args.k,
+        rel_floor=args.rel_floor,
+        min_delta_s=args.min_delta_s,
+        fidelity_tol=args.fidelity_tol,
+    )
+    print(report.summary())
+    if not report.fidelity_ok:
+        return 1
+    if not report.perf_ok:
+        if args.perf == "advisory":
+            print(
+                "Perf regressions are advisory on this runner (--perf advisory)."
+            )
+            return 0
+        return 1
+    return 0
+
+
+def _report_bench(args: argparse.Namespace) -> int:
+    """``repro bench report``: render the history into markdown/HTML."""
+    from repro.obs import bench as bench_mod
+    from repro.obs.report import render_html, render_markdown
+
+    history = Path(args.history) if args.history else (
+        _repo_root() / "benchmarks" / "results" / "history.jsonl"
+    )
+    records, corrupt = bench_mod.load_history(history)
+    if corrupt:
+        print(
+            f"warning: tolerated {corrupt} undecodable history line(s)",
+            file=sys.stderr,
+        )
+    if not records:
+        print(f"No bench history at {history}; run `repro bench` first.")
+        return 1
+    render = render_html if args.format == "html" else render_markdown
+    text = render(records, max_runs=args.max_runs)
+    if args.out:
+        Path(args.out).write_text(text + ("\n" if not text.endswith("\n") else ""))
+        print(f"Wrote bench report ({len(records)} run(s)) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro bench`` action (default: run the suite)."""
+    if args.bench_action == "compare":
+        return _compare_bench(args)
+    if args.bench_action == "report":
+        return _report_bench(args)
+    return _run_bench(args)
 
 
 def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
@@ -636,8 +844,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the mapping cache under this directory (default: a "
         "fresh in-memory cache, so the profile shows real search cost)",
     )
+    profile_cmd.add_argument(
+        "--json",
+        help="write the span/counter profile as machine-readable JSON "
+        "(the shape bench records embed)",
+    )
     _add_obs_flags(profile_cmd)
     profile_cmd.set_defaults(func=cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the paper benchmarks and record/compare/report "
+        "structured perf + fidelity results",
+        allow_abbrev=False,
+    )
+    bench.add_argument(
+        "--profile", choices=[p.value for p in SearchProfile], default="fast",
+        help="mapping-search profile for the benches (REPRO_BENCH_PROFILE)",
+    )
+    bench.add_argument(
+        "--stride", type=int, default=4,
+        help="Figure 15 memory-sweep stride (REPRO_FIG15_STRIDE, default 4)",
+    )
+    bench.add_argument(
+        "--jobs", type=_parse_jobs, default=None,
+        help="worker processes for the sweep benches (REPRO_JOBS)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repeats per bench; median + MAD land in the record "
+        "(default: 3)",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1,
+        help="discarded warmup runs before the timed repeats (default: 1)",
+    )
+    bench.add_argument(
+        "-k", dest="select", default=None, metavar="EXPR",
+        help="pytest -k expression selecting a bench subset",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="record path (default: BENCH_<gitsha>.json at the repo root)",
+    )
+    bench.add_argument(
+        "--history", default=None,
+        help="history file to append to "
+        "(default: benchmarks/results/history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this record to the history",
+    )
+    bench.add_argument(
+        "--fidelity-tol", type=float, default=0.0,
+        help="allowed relative deviation from the paper goldens "
+        "(default: 0 -- exact)",
+    )
+    bench.add_argument(
+        "--benchmarks-dir", default=None,
+        help="benchmark suite location (default: <repo>/benchmarks)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_action")
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two bench records; non-zero exit on perf regression "
+        "or fidelity drift",
+        allow_abbrev=False,
+    )
+    bench_compare.add_argument("old", help="baseline BENCH_*.json")
+    bench_compare.add_argument("new", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--k", type=float, default=3.0,
+        help="noise gate: median shift must exceed k x MAD (default: 3)",
+    )
+    bench_compare.add_argument(
+        "--rel-floor", type=float, default=0.10,
+        help="and exceed this fraction of the old median (default: 0.10)",
+    )
+    bench_compare.add_argument(
+        "--min-delta-s", type=float, default=0.010,
+        help="and exceed this many seconds absolute (default: 0.01)",
+    )
+    bench_compare.add_argument(
+        "--fidelity-tol", type=float, default=0.0,
+        help="allowed golden deviation/change (default: 0 -- exact)",
+    )
+    bench_compare.add_argument(
+        "--perf", choices=["gate", "advisory"], default="gate",
+        help="gate: perf regressions fail the compare (default); "
+        "advisory: report them but exit 0 (fidelity always gates)",
+    )
+
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="render the bench history as a consolidated markdown/HTML report",
+        allow_abbrev=False,
+    )
+    bench_report.add_argument(
+        "--history", default=None,
+        help="history file (default: benchmarks/results/history.jsonl)",
+    )
+    bench_report.add_argument(
+        "--out", default=None, help="write here instead of stdout"
+    )
+    bench_report.add_argument(
+        "--format", choices=["md", "html"], default="md",
+        help="markdown (default) or a self-contained HTML page",
+    )
+    bench_report.add_argument(
+        "--max-runs", type=int, default=8,
+        help="runs shown in the trend table (default: 8)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

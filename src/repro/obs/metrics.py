@@ -10,8 +10,11 @@ by :func:`repro.core.parallel.run_tasks` fold into the parent and a
 Naming scheme (see ``docs/observability.md``): dotted lowercase paths,
 ``<subsystem>.<object>.<quantity>`` -- e.g. ``mapper.candidates.evaluated``,
 ``cache.hits``, ``sim.dram.bits_served``.  Counters are order-independent
-(summing worker deltas in any order gives the same total); gauges are
-whatever was written last, so cross-worker gauge merges keep task order.
+(summing worker deltas in any order gives the same total).  Gauges are
+last-write-wins within one registry, but cross-registry :meth:`merge` is
+deterministic: it keeps the **maximum** per gauge (high-water semantics),
+so a ``--jobs 4`` sweep reports the same gauge values regardless of which
+worker snapshot happens to arrive last.
 """
 
 from __future__ import annotations
@@ -48,12 +51,22 @@ class MetricsRegistry:
         counters: Mapping[str, float] | None = None,
         gauges: Mapping[str, float] | None = None,
     ) -> None:
-        """Fold another registry's snapshot in: counters sum, gauges overwrite."""
+        """Fold another registry's snapshot in: counters sum, gauges keep max.
+
+        Counters are monotonic sums, so addition is the only sensible fold.
+        Gauges record levels (worker counts, peak queue depths, knobs); the
+        high-water **max** rule makes the merge order-independent -- merging
+        worker snapshots in any order yields identical gauges, where the old
+        last-snapshot-wins rule leaked scheduling nondeterminism into the
+        exported metrics.
+        """
         with self._lock:
             for name, value in (counters or {}).items():
                 self._counters[name] = self._counters.get(name, 0) + value
             for name, value in (gauges or {}).items():
-                self._gauges[name] = value
+                current = self._gauges.get(name)
+                if current is None or value > current:
+                    self._gauges[name] = value
 
     def clear(self) -> None:
         """Drop every counter and gauge."""

@@ -203,8 +203,9 @@ class Recorder:
         }
 
     def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
-        """Fold a worker snapshot in: counters sum, gauges overwrite,
-        span events append (keeping the worker's pid/tid)."""
+        """Fold a worker snapshot in: counters sum, gauges keep their max
+        (high-water, order-independent), span events append (keeping the
+        worker's pid/tid)."""
         self.metrics.merge(snapshot.get("counters"), snapshot.get("gauges"))
         events = snapshot.get("events") or []
         with self._lock:

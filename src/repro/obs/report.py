@@ -1,0 +1,261 @@
+"""Consolidated bench report: trends, fidelity and counter deltas.
+
+``repro bench report`` renders the append-only
+``benchmarks/results/history.jsonl`` (see :mod:`repro.obs.bench`) into a
+self-contained summary -- markdown by default, or a dependency-free HTML
+page (inline CSS, no scripts) for CI artifacts:
+
+* **Per-bench trend** -- median wall time per run (newest last) with the
+  last-vs-previous movement, so a slow drift is visible even when every
+  single hop stayed under the compare gate.
+* **Fidelity table** -- the latest run's paper-golden deviations; any
+  non-zero row is flagged.
+* **Counter deltas** -- biggest movements in the summed per-bench
+  counters between the last two runs (work-shape changes, e.g. a mapper
+  suddenly evaluating 3x the candidates, often explain a wall-time move).
+
+Everything is computed from plain record dicts so synthetic histories in
+tests can exercise the renderer without running a single benchmark.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any
+
+#: Runs shown in the trend table (newest kept when history is longer).
+DEFAULT_MAX_RUNS = 8
+
+#: Counter-delta rows shown in the report.
+DEFAULT_MAX_COUNTERS = 20
+
+
+def _short_sha(record: dict[str, Any]) -> str:
+    sha = str(record.get("git_sha", "unknown"))
+    return sha[:7] if sha != "unknown" else sha
+
+
+def _fmt_ms(value: Any) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value) * 1e3:.1f}"
+
+
+def _sum_counters(record: dict[str, Any]) -> dict[str, float]:
+    """All per-bench counters of one record summed into one namespace."""
+    totals: dict[str, float] = {}
+    for entry in record.get("benches", {}).values():
+        for name, value in (entry.get("counters") or {}).items():
+            totals[name] = totals.get(name, 0.0) + float(value)
+    return totals
+
+
+def _trend_section(
+    records: list[dict[str, Any]], max_runs: int
+) -> tuple[list[str], list[list[str]]]:
+    window = records[-max_runs:]
+    headers = ["Bench"] + [_short_sha(r) for r in window] + ["last Δ"]
+    names = sorted({name for r in window for name in r.get("benches", {})})
+    rows: list[list[str]] = []
+    for name in names:
+        medians = [
+            r.get("benches", {}).get(name, {}).get("wall_s", {}).get("median")
+            for r in window
+        ]
+        delta = "-"
+        present = [m for m in medians if m is not None]
+        if len(present) >= 2 and medians[-1] is not None:
+            prev = next(
+                (m for m in reversed(medians[:-1]) if m is not None), None
+            )
+            if prev:
+                delta = f"{medians[-1] / prev - 1:+.1%}"
+        rows.append([name] + [_fmt_ms(m) for m in medians] + [delta])
+    return headers, rows
+
+
+def _fidelity_section(
+    record: dict[str, Any],
+) -> tuple[list[str], list[list[str]]]:
+    headers = ["Golden", "Expected", "Actual", "Deviation", "Status"]
+    rows = []
+    goldens = record.get("fidelity", {}).get("goldens", {})
+    for name in sorted(goldens):
+        entry = goldens[name]
+        deviation = float(entry.get("deviation", 0.0))
+        rows.append(
+            [
+                name,
+                f"{float(entry.get('expected', 0.0)):g}",
+                f"{float(entry.get('actual', 0.0)):g}",
+                f"{deviation:+.3e}" if deviation else "0",
+                "ok" if deviation == 0 else "DRIFT",
+            ]
+        )
+    return headers, rows
+
+
+def _counter_section(
+    records: list[dict[str, Any]], max_counters: int
+) -> tuple[list[str], list[list[str]]]:
+    headers = ["Counter", "Previous", "Latest", "Δ"]
+    if len(records) < 2:
+        return headers, []
+    prev, last = _sum_counters(records[-2]), _sum_counters(records[-1])
+    deltas = {
+        name: last.get(name, 0.0) - prev.get(name, 0.0)
+        for name in set(prev) | set(last)
+    }
+    movers = sorted(deltas, key=lambda n: abs(deltas[n]), reverse=True)
+    rows = []
+    for name in movers[:max_counters]:
+        if deltas[name] == 0:
+            continue
+        rows.append(
+            [
+                name,
+                f"{prev.get(name, 0.0):g}",
+                f"{last.get(name, 0.0):g}",
+                f"{deltas[name]:+g}",
+            ]
+        )
+    return headers, rows
+
+
+def _build_sections(
+    records: list[dict[str, Any]], max_runs: int, max_counters: int
+) -> list[tuple[str, str, list[str], list[list[str]]]]:
+    """(title, note, headers, rows) for each report section."""
+    last = records[-1]
+    fidelity = last.get("fidelity", {})
+    drifted = sum(
+        1
+        for g in fidelity.get("goldens", {}).values()
+        if float(g.get("deviation", 0.0)) != 0
+    )
+    fidelity_note = (
+        "Every golden matches the paper exactly."
+        if drifted == 0
+        else f"{drifted} golden(s) deviate from the paper -- investigate before trusting results."
+    )
+    return [
+        (
+            "Per-bench wall time (median ms per run, newest last)",
+            f"{len(records)} recorded run(s); showing the last "
+            f"{min(len(records), max_runs)}.",
+            *_trend_section(records, max_runs),
+        ),
+        (
+            f"Fidelity vs the paper (run {_short_sha(last)})",
+            fidelity_note,
+            *_fidelity_section(last),
+        ),
+        (
+            "Counter deltas (last run vs previous)",
+            "Biggest movements in summed per-bench counters; an empty table "
+            "means identical work shape.",
+            *_counter_section(records, max_counters),
+        ),
+    ]
+
+
+def render_markdown(
+    records: list[dict[str, Any]],
+    max_runs: int = DEFAULT_MAX_RUNS,
+    max_counters: int = DEFAULT_MAX_COUNTERS,
+) -> str:
+    """The consolidated report as GitHub-flavoured markdown."""
+    if not records:
+        return "# Bench report\n\nNo recorded runs yet -- run `repro bench` first.\n"
+    last = records[-1]
+    lines = [
+        "# Bench report",
+        "",
+        f"Latest run: `{_short_sha(last)}` at {last.get('created_utc', '?')} "
+        f"on Python {last.get('environment', {}).get('python', '?')}, "
+        f"{last.get('environment', {}).get('cpu_count', '?')} CPU(s), "
+        f"profile `{last.get('config', {}).get('profile', '?')}`.",
+        "",
+    ]
+    for title, note, headers, rows in _build_sections(
+        records, max_runs, max_counters
+    ):
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append(note)
+        lines.append("")
+        if rows:
+            lines.append("| " + " | ".join(headers) + " |")
+            lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+            for row in rows:
+                lines.append("| " + " | ".join(row) + " |")
+        else:
+            lines.append("*(nothing to show)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #d0d0e0; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #f0f0f8; }
+td.drift { background: #ffe0e0; font-weight: bold; }
+p.note { color: #555; font-size: 0.9rem; }
+""".strip()
+
+
+def render_html(
+    records: list[dict[str, Any]],
+    max_runs: int = DEFAULT_MAX_RUNS,
+    max_counters: int = DEFAULT_MAX_COUNTERS,
+) -> str:
+    """The consolidated report as one self-contained HTML page."""
+    parts = [
+        "<!doctype html>",
+        "<html><head><meta charset='utf-8'><title>Bench report</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>Bench report</h1>",
+    ]
+    if not records:
+        parts.append("<p>No recorded runs yet — run <code>repro bench</code> first.</p>")
+    else:
+        last = records[-1]
+        env = last.get("environment", {})
+        parts.append(
+            "<p class='note'>Latest run "
+            f"<code>{_html.escape(_short_sha(last))}</code> at "
+            f"{_html.escape(str(last.get('created_utc', '?')))} — Python "
+            f"{_html.escape(str(env.get('python', '?')))}, "
+            f"{_html.escape(str(env.get('cpu_count', '?')))} CPU(s).</p>"
+        )
+        for title, note, headers, rows in _build_sections(
+            records, max_runs, max_counters
+        ):
+            parts.append(f"<h2>{_html.escape(title)}</h2>")
+            parts.append(f"<p class='note'>{_html.escape(note)}</p>")
+            if not rows:
+                parts.append("<p class='note'><em>(nothing to show)</em></p>")
+                continue
+            parts.append("<table><tr>")
+            parts.extend(f"<th>{_html.escape(h)}</th>" for h in headers)
+            parts.append("</tr>")
+            for row in rows:
+                parts.append("<tr>")
+                for cell in row:
+                    cls = " class='drift'" if cell == "DRIFT" else ""
+                    parts.append(f"<td{cls}>{_html.escape(cell)}</td>")
+                parts.append("</tr>")
+            parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+__all__ = [
+    "DEFAULT_MAX_COUNTERS",
+    "DEFAULT_MAX_RUNS",
+    "render_html",
+    "render_markdown",
+]

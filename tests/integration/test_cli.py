@@ -326,3 +326,181 @@ class TestObservabilityFlags:
         assert main(["map", "alexnet", "--profile", "minimal"]) == 0
         assert obs.get_recorder() is obs.NULL_RECORDER
         capsys.readouterr()
+
+
+class TestBenchCLI:
+    """The ``repro bench`` family: run, compare, report."""
+
+    def _record(self, **kwargs):
+        from tests.obs.test_bench import make_record
+
+        return make_record(**kwargs)
+
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_bench_end_to_end(self, tmp_path):
+        # The acceptance path: run one light bench twice, get a valid
+        # record with zero fidelity deviation, and a clean self-compare.
+        out = tmp_path / "BENCH_test.json"
+        history = tmp_path / "history.jsonl"
+        proc = _run_cli(
+            "bench",
+            "-k",
+            "fig10",
+            "--repeats",
+            "2",
+            "--warmup",
+            "0",
+            "--profile",
+            "minimal",
+            "--out",
+            str(out),
+            "--history",
+            str(history),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "every paper golden reproduced exactly" in proc.stdout
+
+        from repro.obs.bench import load_history, load_record
+
+        record = load_record(out)
+        fig10 = record["benches"][
+            "bench_fig10_memory_model.py::test_fig10_linear_fits"
+        ]
+        assert fig10["wall_s"]["repeats"] == 2
+        assert fig10["values"]["area_fit_r2"] == pytest.approx(0.99997, abs=1e-4)
+        assert record["fidelity"]["ok"]
+        assert record["fidelity"]["max_abs_deviation"] == 0.0
+        assert record["config"]["profile"] == "minimal"
+        records, corrupt = load_history(history)
+        assert corrupt == 0 and len(records) == 1
+
+        # A record compared against itself is clean: exit 0.
+        assert main(["bench", "compare", str(out), str(out)]) == 0
+
+    def test_compare_flags_injected_regression(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path, "old.json", self._record(benches={"b": (0.100, 0.002)})
+        )
+        new = self._write(
+            tmp_path, "new.json", self._record(benches={"b": (0.250, 0.002)})
+        )
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # The same regression is advisory-only when the runner is noisy.
+        assert (
+            main(["bench", "compare", str(old), str(new), "--perf", "advisory"])
+            == 0
+        )
+
+    def test_compare_noise_is_clean(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path, "old.json", self._record(benches={"b": (1.000, 0.040)})
+        )
+        new = self._write(
+            tmp_path, "new.json", self._record(benches={"b": (1.030, 0.040)})
+        )
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        capsys.readouterr()
+
+    def test_compare_fidelity_drift_fails_even_advisory(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path, "old.json", self._record(goldens={"g": (8.75, 8.75)})
+        )
+        new = self._write(
+            tmp_path, "new.json", self._record(goldens={"g": (8.75, 9.00)})
+        )
+        assert (
+            main(["bench", "compare", str(old), str(new), "--perf", "advisory"])
+            == 1
+        )
+        assert "DRIFT g" in capsys.readouterr().out
+
+    def test_compare_rejects_invalid_record(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(bad), str(bad)])
+
+    def test_report_markdown_and_html(self, tmp_path, capsys):
+        from repro.obs.bench import append_history
+
+        history = tmp_path / "history.jsonl"
+        append_history(
+            self._record(sha="a" * 40, benches={"b": (0.1, 0.0)}), history
+        )
+        append_history(
+            self._record(sha="b" * 40, benches={"b": (0.2, 0.0)}), history
+        )
+        md = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "bench",
+                    "report",
+                    "--history",
+                    str(history),
+                    "--out",
+                    str(md),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "# Bench report" in md.read_text()
+        html = tmp_path / "report.html"
+        assert (
+            main(
+                [
+                    "bench",
+                    "report",
+                    "--history",
+                    str(history),
+                    "--format",
+                    "html",
+                    "--out",
+                    str(html),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert html.read_text().startswith("<!doctype html>")
+
+    def test_report_without_history_fails(self, tmp_path, capsys):
+        assert (
+            main(
+                ["bench", "report", "--history", str(tmp_path / "none.jsonl")]
+            )
+            == 1
+        )
+        assert "No bench history" in capsys.readouterr().out
+
+    def test_bench_rejects_bad_repeats(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--repeats", "0"])
+
+    def test_profile_json_export(self, tmp_path, capsys):
+        target = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "alexnet",
+                    "--profile",
+                    "minimal",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(target.read_text())
+        assert payload["model"] == "alexnet"
+        assert payload["counters"]["mapper.candidates.evaluated"] > 0
+        span = payload["spans"]["mapper.search_model"]
+        assert span["calls"] == 1 and span["total_ns"] > 0

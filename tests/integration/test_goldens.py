@@ -2,198 +2,107 @@
 
 The formula-based tests in ``tests/core/test_c3p.py`` check relationships
 (penalties multiply, boundaries flip at Cc_k); these tests pin the *actual
-numbers* of the Figure 6(c)-(f) walkthroughs, the 800 B A-L1 case study and
-the Table II design-space counts.  A refactor that changes any of them --
-even one that keeps every relationship intact -- must consciously update
-these constants with a paper-derivation for the new value.
+numbers* of the Figure 6(c)-(f) walkthroughs, the 800 B A-L1 case study,
+the Table I/II constants and the Figure 10 fits.  The frozen values live
+in :mod:`repro.obs.goldens` -- the single registry the ``repro bench``
+fidelity block consumes too -- so a refactor that changes any of them
+(even one that keeps every relationship intact) must consciously update
+the registry with a paper-derivation for the new value, and both this
+suite and the cross-run bench compare gate flag the drift.
 """
 
 from collections import Counter
 
-from repro.arch.config import KB, MemoryConfig, build_hardware, case_study_hardware
-from repro.core.c3p import (
-    analyze_activation_l1,
-    analyze_activation_l2,
-    analyze_weight_buffer,
-)
+import pytest
+
+from repro.core.c3p import analyze_activation_l1, analyze_weight_buffer
 from repro.core.dse import DesignSpace
-from repro.core.partition import PlanarGrid
-from repro.core.primitives import LoopOrder
-from repro.workloads.layer import ConvLayer
-from tests.core.test_c3p import build_nest
+from repro.obs.goldens import (
+    GOLDENS,
+    evaluate_goldens,
+    fidelity_block,
+    fig6c_nest,
+    fig6e_nest,
+    golden,
+)
 
 
-def common_layer() -> ConvLayer:
-    """The 56x56x64 -> 256, 3x3 layer the Figure 6 examples walk."""
-    return ConvLayer(
-        "c", h=56, w=56, ci=64, co=256, kh=3, kw=3, stride=1, padding=1
+class TestRegistry:
+    """Every frozen golden reproduces exactly from the live model code."""
+
+    @pytest.mark.parametrize(
+        "entry", GOLDENS, ids=[entry.name for entry in GOLDENS]
     )
-
-
-def two_chiplet_hw():
-    return build_hardware(
-        2,
-        2,
-        8,
-        8,
-        memory=MemoryConfig(
-            a_l1_bytes=4 * KB,
-            w_l1_bytes=4 * KB,
-            o_l1_bytes=1536,
-            a_l2_bytes=64 * KB,
-        ),
-    )
-
-
-class TestFig6cWeightWalkExample1:
-    """Channel-priority weight walk: nest C1:16 -> W1:4 -> H1:7."""
-
-    def _nest(self):
-        return build_nest(
-            common_layer(),
-            two_chiplet_hw(),
-            chip_order=LoopOrder.CHANNEL_PRIORITY,
-            tile=(56, 56, 128),
+    def test_golden_reproduces_exactly(self, entry):
+        actual = entry.compute()
+        assert actual == entry.expected, (
+            f"{entry.name} ({entry.source}): expected {entry.expected!r}, "
+            f"recomputed {actual!r} -- if this change is intentional, "
+            f"update repro.obs.goldens with a paper derivation"
         )
 
-    def test_critical_capacities(self):
-        # One block's filters: 3*3*64*8 = 4608 B; Cc1 = 16 * 4608 = 73728 B.
-        analysis = analyze_weight_buffer(self._nest(), 0)
-        assert [cp.capacity_bytes for cp in analysis.critical_points] == [
-            4608.0,
-            73728.0,
-            73728.0,
+    def test_names_are_unique(self):
+        names = [entry.name for entry in GOLDENS]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert golden("table1.dram_pj_per_bit").expected == 8.75
+        with pytest.raises(KeyError):
+            golden("nope")
+
+    def test_evaluate_goldens_covers_the_registry(self):
+        results = evaluate_goldens()
+        assert [r.name for r in results] == [g.name for g in GOLDENS]
+        assert all(r.deviation == 0.0 for r in results)
+
+    def test_fidelity_block_is_clean_at_head(self):
+        block = fidelity_block()
+        assert block["ok"]
+        assert block["max_abs_deviation"] == 0.0
+        assert set(block["goldens"]) == {g.name for g in GOLDENS}
+
+
+class TestFig6cStructure:
+    """Relationship checks the scalar registry cannot express."""
+
+    def test_cc0_is_satisfied_even_at_zero_capacity(self):
+        # The block region's critical position is a boundary: penalty-free
+        # regardless of capacity.
+        analysis = analyze_weight_buffer(fig6c_nest(), 0)
+        assert analysis.critical_points[0].penalty == 1
+
+    def test_capacity_staircase_is_monotone(self):
+        # fill_bits can only shrink as the buffer grows.
+        nest = fig6c_nest()
+        fills = [
+            analyze_weight_buffer(nest, size).fill_bits
+            for size in (0, 4096, 73728, 10**6)
         ]
-
-    def test_penalties(self):
-        # The W1 x H1 = 4 * 7 = 28 region guards Cc1; the block and outer
-        # regions are penalty-free.
-        analysis = analyze_weight_buffer(self._nest(), 0)
-        assert [cp.penalty for cp in analysis.critical_points] == [1, 28, 1]
-
-    def test_intrinsic_access_bits(self):
-        # A_0 = 4608 B * 8 * C1(16) = 589824 bits per core.
-        assert analyze_weight_buffer(self._nest(), 0).a0_bits == 589824.0
-
-    def test_total_access_small_buffer(self):
-        # Below Cc1 the full 28x penalty applies: 589824 * 28 bits.
-        assert analyze_weight_buffer(self._nest(), 0).fill_bits == 16515072.0
-        # The machine's actual 4 KB W-L1 sits below Cc1 -- same total.
-        assert analyze_weight_buffer(self._nest(), 4 * KB).fill_bits == 16515072.0
-
-    def test_total_access_at_cc1(self):
-        assert analyze_weight_buffer(self._nest(), 73728).fill_bits == 589824.0
+        assert fills == sorted(fills, reverse=True)
 
 
-class TestFig6dWeightWalkExample2:
-    """Plane-priority weight walk: the boundary critical position is free."""
-
-    def _nest(self):
-        return build_nest(
-            common_layer(),
-            two_chiplet_hw(),
-            chip_order=LoopOrder.PLANE_PRIORITY,
-            tile=(56, 56, 128),
-        )
-
-    def test_penalty_moves_to_the_block_region(self):
-        # Nest W1 -> H1 -> C1: the 28x region now sits below Cc0 = 4608 B,
-        # and C1's critical position is at the level boundary (penalty 1).
-        analysis = analyze_weight_buffer(self._nest(), 0)
-        assert [cp.penalty for cp in analysis.critical_points] == [28, 1, 1]
-
-    def test_4608_bytes_suffice(self):
-        # One byte below the block's filters still pays 28x; at exactly
-        # 4608 B the whole penalty disappears -- 16x less capacity than
-        # example-1 needs for the same traffic.
-        assert analyze_weight_buffer(self._nest(), 4607).reload_factor == 28.0
-        assert analyze_weight_buffer(self._nest(), 4608).reload_factor == 1.0
-        assert analyze_weight_buffer(self._nest(), 4608).fill_bits == 589824.0
-
-
-class TestFig6eCaseStudyAL1:
-    """The 800 B A-L1 case study: Cc0 = 10 * 10 * 8 = 800 bytes."""
-
-    def _nest(self):
-        layer = ConvLayer("v", h=56, w=56, ci=64, co=64, kh=3, kw=3, padding=1)
-        return build_nest(
-            layer,
-            case_study_hardware(),
-            tile=(16, 32, 16),
-            chip_grid=PlanarGrid(2, 4),
-        )
-
-    def test_cc0_is_exactly_800_bytes(self):
-        analysis = analyze_activation_l1(self._nest(), 800)
+class TestFig6eStructure:
+    def test_cc0_satisfied_exactly_at_800_bytes(self):
+        analysis = analyze_activation_l1(fig6e_nest(), 800)
         cc0 = analysis.critical_points[0]
         assert cc0.capacity_bytes == 800.0
-        assert cc0.penalty == 9  # the 3x3 kernel sweep
         assert cc0.satisfied
 
-    def test_critical_capacities_and_penalties(self):
-        analysis = analyze_activation_l1(self._nest(), 800)
-        assert [cp.capacity_bytes for cp in analysis.critical_points] == [
-            800.0,
-            6400.0,
-            6400.0,
-        ]
-        assert [cp.penalty for cp in analysis.critical_points] == [9, 2, 1]
-
-    def test_access_totals_at_the_boundary(self):
-        # At 800 B only the C1:2 reuse region penalizes (factor 2); one
-        # byte less adds the 9x kernel sweep on top (factor 18).
-        nest = self._nest()
-        assert analyze_activation_l1(nest, 800).a0_bits == 409600.0
-        assert analyze_activation_l1(nest, 800).fill_bits == 819200.0
-        assert analyze_activation_l1(nest, 799).fill_bits == 7372800.0
-
-
-class TestFig6fBadCaseAL1:
-    """Channel-priority A-L1 bad case: no gain until the full-CI window."""
-
-    def _nest(self):
-        return build_nest(
-            common_layer(), case_study_hardware(), tile=(16, 28, 128)
-        )
-
-    def test_full_window_is_3840_bytes(self):
-        nest = self._nest()
-        window = (
-            nest.layer.input_rows_for(nest.core_ho)
-            * nest.layer.input_cols_for(nest.core_wo)
-            * nest.layer.ci
-        )
-        assert window == 3840
-
-    def test_reload_steps_from_8_to_1_at_the_window(self):
-        nest = self._nest()
-        assert analyze_activation_l1(nest, 3839).reload_factor == 8.0
-        assert analyze_activation_l1(nest, 3840).reload_factor == 1.0
-
-
-class TestAL2UnionWindow:
-    def test_intrinsic_fill_bits(self):
-        # 28x28 tile, 3x3 kernel: the A-L2 serves the (30*30*64) B union
-        # window once per chiplet workload, times w2*h2 = 4 workloads:
-        # 1843200 bits.
-        nest = build_nest(
-            common_layer(), case_study_hardware(), tile=(28, 28, 64)
-        )
-        analysis = analyze_activation_l2(nest, 10**9)
-        assert analysis.a0_bits == 1843200.0
+    def test_one_byte_less_pays_the_kernel_sweep(self):
+        nest = fig6e_nest()
+        at_800 = analyze_activation_l1(nest, 800).fill_bits
+        at_799 = analyze_activation_l1(nest, 799).fill_bits
+        # The 9x kernel sweep multiplies onto the factor-2 reuse region.
+        assert at_799 == 9 * at_800
 
 
 class TestTableIIDesignSpace:
-    """Table II computation-option counts at the paper's 2048-MAC budget."""
-
-    def test_total_options(self):
-        configs = DesignSpace().computation_configs(2048)
-        assert len(configs) == 32
+    """Structural Table II checks beyond the registry's frozen counts."""
 
     def test_options_by_chiplet_count(self):
-        by_chiplets = Counter(c[0] for c in DesignSpace().computation_configs(2048))
-        assert by_chiplets[1] == 3
-        assert by_chiplets[4] == 10
+        by_chiplets = Counter(
+            c[0] for c in DesignSpace().computation_configs(2048)
+        )
         assert dict(by_chiplets) == {1: 3, 2: 6, 4: 10, 8: 13}
 
     def test_every_option_hits_the_budget_exactly(self):

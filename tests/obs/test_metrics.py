@@ -47,7 +47,7 @@ class TestGauges:
 
 
 class TestMerge:
-    def test_counters_sum_gauges_overwrite(self):
+    def test_counters_sum_gauges_keep_max(self):
         a = MetricsRegistry()
         a.count("hits", 3)
         a.gauge("util", 0.1)
@@ -60,6 +60,19 @@ class TestMerge:
         assert a.counter("misses") == 1
         assert a.gauges()["util"] == 0.9
 
+    def test_merge_gauge_never_regresses(self):
+        # High-water semantics: a later snapshot with a smaller gauge must
+        # not overwrite the peak already folded in.
+        a = MetricsRegistry()
+        a.gauge("queue.depth", 8)
+        a.merge(None, {"queue.depth": 3})
+        assert a.gauges()["queue.depth"] == 8
+
+    def test_merge_creates_missing_gauge(self):
+        a = MetricsRegistry()
+        a.merge(None, {"jobs": 4})
+        assert a.gauges()["jobs"] == 4
+
     def test_merge_none_is_noop(self):
         reg = MetricsRegistry()
         reg.count("a")
@@ -68,11 +81,13 @@ class TestMerge:
 
     def test_merge_is_order_independent(self):
         # The property the per-worker capture relies on: folding worker
-        # snapshots in any order yields the same totals.
+        # snapshots in any order yields the same totals -- for gauges too,
+        # now that merge keeps the per-gauge maximum.
         parts = []
         for value in (1, 10, 100):
             part = MetricsRegistry()
             part.count("n", value)
+            part.gauge("peak", value)
             parts.append(part)
         forward = MetricsRegistry()
         backward = MetricsRegistry()
@@ -81,6 +96,8 @@ class TestMerge:
         for part in reversed(parts):
             backward.merge(part.counters(), part.gauges())
         assert forward.counters() == backward.counters()
+        assert forward.gauges() == backward.gauges()
+        assert forward.gauges()["peak"] == 100
 
 
 class TestExport:
