@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report ci faults lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report ci faults guided lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -60,6 +60,27 @@ faults:
 		--jobs 4 --on-error skip --json "$$tmp/faulted.json" >/dev/null && \
 	cmp "$$tmp/clean.json" "$$tmp/faulted.json" && \
 	echo "faulted sweep byte-identical to clean serial run"
+
+# Guided-vs-exhaustive differential gate (mirrors the CI guided-dse job):
+# sweep the full Fig. 15 space as the oracle, run the seeded guided search
+# on a 1% trial budget, and require the exact same recommended point.
+# The oracle leg is the expensive one (tens of minutes on one core; the
+# study and unit suites above cover the fast paths).  See
+# docs/guided-search.md.
+guided:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/core/test_search.py tests/properties/test_search.py
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 4096 --area 3.0 --models alexnet --profile fast \
+		--stride 1 --jobs 4 --json "$$tmp/exhaustive.json" >/dev/null && \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 4096 --area 3.0 --models alexnet --profile fast \
+		--strategy guided --trials 139 --seed 0 \
+		--study "$$tmp/guided-study.sqlite" --jobs 4 \
+		--json "$$tmp/guided.json" >/dev/null && \
+	python scripts/check_guided_gate.py "$$tmp/exhaustive.json" \
+		"$$tmp/guided.json" --max-eval-frac 0.01
 
 bench:
 	pytest benchmarks/ --benchmark-only

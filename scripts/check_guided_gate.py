@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Differential gate: guided search vs the exhaustive oracle.
+
+Compares two ``repro explore --json`` payloads -- an exhaustive sweep (the
+oracle) and a guided run over the same space -- and enforces the guided-DSE
+fidelity contract:
+
+1. **Exactness** -- the guided run recommends the *same* design point as
+   the oracle: identical label, identical per-model energy and cycles
+   (hence identical EDP, bit for bit).
+2. **Efficiency** -- the guided run paid at most ``--max-eval-frac`` of
+   the oracle's sweep size in full evaluations (default 1%).
+
+Exit 0 when both hold, 1 otherwise, 2 on malformed inputs.
+
+Usage::
+
+    python scripts/check_guided_gate.py exhaustive.json guided.json \
+        [--max-eval-frac 0.01]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str, code: int = 1) -> int:
+    print(f"guided-gate: FAIL: {message}", file=sys.stderr)
+    return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("exhaustive", help="oracle explore --json payload")
+    parser.add_argument("guided", help="guided explore --json payload")
+    parser.add_argument(
+        "--max-eval-frac",
+        type=float,
+        default=0.01,
+        help="guided evaluations allowed, as a fraction of the oracle's "
+        "sweep size (default: 0.01)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.exhaustive) as handle:
+            oracle = json.load(handle)
+        with open(args.guided) as handle:
+            guided = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return fail(str(exc), code=2)
+
+    if oracle.get("strategy") != "exhaustive":
+        return fail(
+            f"{args.exhaustive} is not an exhaustive run "
+            f"(strategy={oracle.get('strategy')!r})",
+            code=2,
+        )
+    if guided.get("strategy") != "guided":
+        return fail(
+            f"{args.guided} is not a guided run "
+            f"(strategy={guided.get('strategy')!r})",
+            code=2,
+        )
+    for key in ("macs", "max_chiplet_mm2", "models", "resolution"):
+        if oracle.get(key) != guided.get(key):
+            return fail(
+                f"runs disagree on {key}: oracle={oracle.get(key)!r} "
+                f"guided={guided.get(key)!r}",
+                code=2,
+            )
+    if oracle.get("memory_stride") != 1:
+        return fail(
+            "the oracle must sweep the full space (--stride 1), got "
+            f"stride {oracle.get('memory_stride')!r}",
+            code=2,
+        )
+
+    oracle_best = oracle.get("recommended_point")
+    guided_best = guided.get("recommended_point")
+    if not oracle_best:
+        return fail("the oracle found no valid design point", code=2)
+    if not guided_best:
+        return fail("the guided run found no valid design point")
+
+    problems = []
+    if guided_best["config"] != oracle_best["config"]:
+        problems.append(
+            f"recommended label differs: oracle {oracle_best['config']}, "
+            f"guided {guided_best['config']}"
+        )
+    else:
+        for field in ("energy_pj", "cycles", "chiplet_area_mm2", "memory"):
+            if guided_best.get(field) != oracle_best.get(field):
+                problems.append(
+                    f"recommended {field} differs: oracle "
+                    f"{oracle_best.get(field)!r}, guided "
+                    f"{guided_best.get(field)!r}"
+                )
+
+    swept = int(oracle.get("swept", 0))
+    evaluated = int(guided.get("search", {}).get("evaluated", 0))
+    budget = args.max_eval_frac * swept
+    if swept <= 0:
+        return fail("oracle reports an empty sweep", code=2)
+    if evaluated > budget:
+        problems.append(
+            f"guided evaluated {evaluated} points, over the "
+            f"{args.max_eval_frac:.2%} budget ({budget:.0f} of {swept})"
+        )
+
+    if problems:
+        return fail("; ".join(problems))
+
+    print(
+        "guided-gate: PASS: guided found the exhaustive optimum "
+        f"{oracle_best['config']} (EDP-exact) with {evaluated} evaluations "
+        f"({evaluated / swept:.2%} of the {swept}-point sweep; "
+        f"pruned {guided.get('search', {}).get('pruned', 0)}, "
+        f"deduped {guided.get('search', {}).get('deduped', 0)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,13 @@ def format_search_stats(stats) -> str:
             f"  mapping cache: {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses ({rate:.0%} hit rate)"
         )
+    search = []
+    if getattr(stats, "points_pruned", 0):
+        search.append(f"{stats.points_pruned} pruned by dominance bound")
+    if getattr(stats, "points_deduped", 0):
+        search.append(f"{stats.points_deduped} duplicate proposals dropped")
+    if search:
+        lines.append(f"  guided search: {', '.join(search)}")
     resilience = []
     if getattr(stats, "points_resumed", 0):
         resilience.append(f"{stats.points_resumed} resumed from checkpoint")

@@ -37,6 +37,7 @@ from repro.core.baton import NNBaton
 from repro.core.cache import MappingCache
 from repro.core.checkpoint import CHECKPOINT_DIR_ENV, SweepCheckpoint
 from repro.core.parallel import SweepStats, TaskPolicy
+from repro.core.search import StudyConfigError
 from repro.core.serialize import compiler_report
 from repro.core.space import SearchProfile
 from repro.simba import evaluate_simba_model
@@ -270,6 +271,24 @@ def cmd_explore(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             on_error=args.on_error,
         )
+    guided = args.strategy == "guided"
+    if guided and args.trials is None:
+        print("--strategy guided requires --trials", file=sys.stderr)
+        return 2
+    if not guided and (args.trials is not None or args.study is not None):
+        print(
+            "--trials/--study only apply to --strategy guided",
+            file=sys.stderr,
+        )
+        return 2
+    if guided and args.stride not in (None, 1):
+        print(
+            "--strategy guided samples the full memory lattice; "
+            "drop --stride (or pass --stride 1)",
+            file=sys.stderr,
+        )
+        return 2
+    stride = args.stride if args.stride is not None else (1 if guided else 8)
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None and (
         args.checkpoint
@@ -277,12 +296,19 @@ def cmd_explore(args: argparse.Namespace) -> int:
         or os.environ.get(CHECKPOINT_DIR_ENV, "").strip()
     ):
         checkpoint_dir = SweepCheckpoint.resolve_dir(None)
+    if guided and (checkpoint_dir is not None or args.resume):
+        print(
+            "--strategy guided persists through --study, not the sweep "
+            "checkpoint; drop --checkpoint/--checkpoint-dir/--resume",
+            file=sys.stderr,
+        )
+        return 2
     try:
         result = baton.pre_design(
             models,
             required_macs=args.macs,
             max_chiplet_mm2=args.area,
-            memory_stride=args.stride,
+            memory_stride=stride,
             profile=SearchProfile(args.profile),
             jobs=args.jobs,
             stats=stats,
@@ -290,16 +316,30 @@ def cmd_explore(args: argparse.Namespace) -> int:
             checkpoint_dir=checkpoint_dir,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
+            strategy=args.strategy,
+            trials=args.trials,
+            study=args.study,
+            seed=args.seed,
         )
+    except StudyConfigError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
-        # explore() has already flushed the sweep checkpoint on its way
-        # out; report where the run can pick up and exit like SIGINT.
+        # explore() has already flushed the sweep checkpoint (or the guided
+        # study) on its way out; report where the run can pick up and exit
+        # like SIGINT.
         print()
         print("Interrupted.", file=sys.stderr)
         if checkpoint_dir is not None:
             print(
                 f"Partial results checkpointed under {checkpoint_dir}; "
                 "re-run with --resume to continue.",
+                file=sys.stderr,
+            )
+        if guided and args.study is not None:
+            print(
+                f"Completed trials persisted to {args.study}; re-run the "
+                "same command to resume.",
                 file=sys.stderr,
             )
         return 130
@@ -311,31 +351,56 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if stats.failures:
         print(format_failures(stats.failures))
     if args.json:
+        def _point_entry(point):
+            return {
+                "config": point.label,
+                "chiplets": point.hw.n_chiplets,
+                "chiplet_area_mm2": point.chiplet_area_mm2,
+                "memory": {
+                    "a_l1_bytes": point.hw.memory.a_l1_bytes,
+                    "w_l1_bytes": point.hw.memory.w_l1_bytes,
+                    "o_l1_bytes": point.hw.memory.o_l1_bytes,
+                    "a_l2_bytes": point.hw.memory.a_l2_bytes,
+                },
+                "energy_pj": {m: point.energy_pj[m] for m in sorted(models)},
+                "cycles": {m: point.cycles[m] for m in sorted(models)},
+            }
+
         payload = {
             "macs": args.macs,
             "max_chiplet_mm2": args.area,
-            "memory_stride": args.stride,
+            "memory_stride": stride,
             "models": sorted(models),
             "resolution": args.resolution,
+            "strategy": args.strategy,
+            "seed": args.seed if guided else None,
+            "trials": args.trials,
+            # Run-provenance counters stay out of exhaustive payloads:
+            # interrupted-and-resumed sweeps must stay byte-identical to
+            # clean ones (the fault-injection contract).  A guided payload
+            # is defined by its trajectory, so there they are semantics.
+            "search": (
+                {
+                    "evaluated": stats.points_evaluated,
+                    "pruned": stats.points_pruned,
+                    "deduped": stats.points_deduped,
+                    "resumed": stats.points_resumed,
+                    "proposed": stats.points_total,
+                }
+                if guided
+                else None
+            ),
             "swept": result.swept,
             "recommended": (
                 result.recommended.label if result.recommended else None
             ),
+            "recommended_point": (
+                _point_entry(result.recommended)
+                if result.recommended
+                else None
+            ),
             "valid_points": [
-                {
-                    "config": point.label,
-                    "chiplets": point.hw.n_chiplets,
-                    "chiplet_area_mm2": point.chiplet_area_mm2,
-                    "memory": {
-                        "a_l1_bytes": point.hw.memory.a_l1_bytes,
-                        "w_l1_bytes": point.hw.memory.w_l1_bytes,
-                        "o_l1_bytes": point.hw.memory.o_l1_bytes,
-                        "a_l2_bytes": point.hw.memory.a_l2_bytes,
-                    },
-                    "energy_pj": {m: point.energy_pj[m] for m in sorted(models)},
-                    "cycles": {m: point.cycles[m] for m in sorted(models)},
-                }
-                for point in result.valid_points
+                _point_entry(point) for point in result.valid_points
             ],
         }
         with open(args.json, "w") as handle:
@@ -586,9 +651,12 @@ def _compare_bench(args: argparse.Namespace) -> int:
         rel_floor=args.rel_floor,
         min_delta_s=args.min_delta_s,
         fidelity_tol=args.fidelity_tol,
+        gate_counters=args.gate_counter,
     )
     print(report.summary())
     if not report.fidelity_ok:
+        return 1
+    if not report.counters_ok:
         return 1
     if not report.perf_ok:
         if args.perf == "advisory":
@@ -727,7 +795,31 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--area", type=float, default=None)
     explore.add_argument("--models", default="resnet50")
     explore.add_argument("--resolution", type=int, default=224)
-    explore.add_argument("--stride", type=int, default=8)
+    explore.add_argument(
+        "--stride", type=int, default=None,
+        help="evaluate every Nth memory combination (exhaustive only; "
+        "default: 8)",
+    )
+    explore.add_argument(
+        "--strategy", choices=["exhaustive", "guided"], default="exhaustive",
+        help="exhaustive: sweep every point (default, the paper's oracle); "
+        "guided: seeded ask/tell optimizer with dominance pruning",
+    )
+    explore.add_argument(
+        "--trials", type=int, default=None,
+        help="guided only: full-evaluation budget (required with "
+        "--strategy guided)",
+    )
+    explore.add_argument(
+        "--study", default=None,
+        help="guided only: sqlite study file persisting completed trials "
+        "so an interrupted search resumes",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=0,
+        help="guided only: sampler seed; the same seed replays the same "
+        "trial sequence at every --jobs count (default: 0)",
+    )
     explore.add_argument(
         "--profile", choices=[p.value for p in SearchProfile], default="minimal"
     )
@@ -935,6 +1027,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf", choices=["gate", "advisory"], default="gate",
         help="gate: perf regressions fail the compare (default); "
         "advisory: report them but exit 0 (fidelity always gates)",
+    )
+    bench_compare.add_argument(
+        "--gate-counter", action="append", default=[], metavar="NAME",
+        help="obs counter that must be exactly equal between the records "
+        "in every bench (repeatable); any drift fails the compare",
     )
 
     bench_report = bench_sub.add_parser(

@@ -130,6 +130,10 @@ class NNBaton:
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         checkpoint_every: int = 16,
+        strategy: str = "exhaustive",
+        trials: int | None = None,
+        study: str | Path | None = None,
+        seed: int = 0,
     ) -> PreDesignResult:
         """Explore the design space and recommend a configuration.
 
@@ -155,6 +159,11 @@ class NNBaton:
                 under this directory (see :func:`repro.core.dse.explore`).
             resume: Skip points already answered by the checkpoint.
             checkpoint_every: Completed points buffered per checkpoint flush.
+            strategy: ``"exhaustive"`` (default) or ``"guided"`` -- the
+                ask/tell optimizer of :mod:`repro.core.search`.
+            trials: Guided only -- the full-evaluation budget.
+            study: Guided only -- sqlite study path for persistence/resume.
+            seed: Guided only -- sampler seed.
         """
         if not models:
             raise ValueError("models must be non-empty")
@@ -176,6 +185,11 @@ class NNBaton:
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             checkpoint_every=checkpoint_every,
+            strategy=strategy,
+            trials=trials,
+            study=study,
+            seed=seed,
+            primary_model=model,
         )
         recommended = best_point(
             points,

@@ -55,8 +55,17 @@ def sweep_digest(
     profile: Any,
     tech: Any,
     memory_stride: int,
+    strategy: str = "exhaustive",
+    seed: int | None = None,
+    trials: int | None = None,
 ) -> str:
-    """A stable hex digest of everything a sweep's results depend on."""
+    """A stable hex digest of everything a sweep's results depend on.
+
+    The search strategy, sampler seed and trial budget are always part of
+    the canonical payload (``exhaustive``/``None``/``None`` for the
+    default sweep), so a guided study can never be silently resumed by an
+    exhaustive run -- or by a guided run with a different seed or budget.
+    """
     from repro.core.mapper import _shape_key
 
     canonical = json.dumps(
@@ -71,6 +80,9 @@ def sweep_digest(
             "profile": getattr(profile, "value", str(profile)),
             "tech": dataclasses.asdict(tech),
             "memory_stride": memory_stride,
+            "strategy": strategy,
+            "seed": seed,
+            "trials": trials,
         },
         sort_keys=True,
     )

@@ -454,12 +454,24 @@ def explore(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     checkpoint_every: int = 16,
+    strategy: str = "exhaustive",
+    trials: int | None = None,
+    study: str | Path | None = None,
+    seed: int = 0,
+    primary_model: str | None = None,
 ) -> list[DesignPoint]:
     """The Figure 15 full design-space exploration.
 
     Sweeps every (computation, memory) combination of ``space`` whose total
     MAC count equals ``required_macs``, prunes invalid points cheaply, and
     evaluates the survivors with the optimal per-layer mapping.
+
+    With ``strategy="guided"`` the exhaustive sweep is replaced by the
+    ask/tell optimizer of :func:`repro.core.search.guided_explore`: only
+    ``trials`` full evaluations are paid, dominance-pruned and invalid
+    proposals come back as labelled ``valid=False`` points, and ``study``
+    (a sqlite file) makes the search resumable.  The exhaustive default
+    is byte-for-byte the pre-guided behaviour.
 
     Args:
         models: Benchmarks to evaluate (name -> layers).
@@ -488,7 +500,55 @@ def explore(
             same ``checkpoint_dir`` must be supplied); resumed outputs are
             byte-identical to an uninterrupted run.
         checkpoint_every: Completed points buffered per checkpoint flush.
+        strategy: ``"exhaustive"`` (default) or ``"guided"``.
+        trials: Guided only -- the full-evaluation budget (required).
+        study: Guided only -- optional sqlite study path for resume.
+        seed: Guided only -- sampler seed (same seed, same trajectory).
+        primary_model: Guided only -- the model whose EDP the search
+            minimizes (defaults to the first ``models`` entry).
     """
+    if strategy not in ("exhaustive", "guided"):
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'exhaustive' or 'guided'"
+        )
+    if strategy == "guided":
+        if checkpoint_dir is not None or resume:
+            raise ValueError(
+                "guided search persists through --study, not the sweep "
+                "checkpoint; drop checkpoint_dir/resume"
+            )
+        if max_valid_points is not None:
+            raise ValueError(
+                "guided search budgets with trials, not max_valid_points"
+            )
+        if memory_stride != 1:
+            raise ValueError(
+                "guided search samples the full memory lattice; "
+                "memory_stride must stay 1"
+            )
+        if trials is None:
+            raise ValueError("strategy='guided' requires a trials budget")
+        from repro.core.search import guided_explore
+
+        return guided_explore(
+            models,
+            required_macs,
+            space=space,
+            max_chiplet_mm2=max_chiplet_mm2,
+            profile=profile,
+            tech=tech,
+            trials=trials,
+            seed=seed,
+            study=study,
+            primary_model=primary_model,
+            jobs=jobs,
+            stats=stats,
+            policy=policy,
+        )
+    if trials is not None or study is not None:
+        raise ValueError(
+            "trials/study only apply to strategy='guided'"
+        )
     if memory_stride < 1:
         raise ValueError(f"memory_stride must be >= 1, got {memory_stride}")
     if resume and checkpoint_dir is None:

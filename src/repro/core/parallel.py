@@ -677,6 +677,11 @@ class SweepStats:
             (``on_error="skip"`` only; an aborting run raises instead).
         points_resumed: Points answered from a sweep checkpoint instead of
             being re-evaluated (:mod:`repro.core.checkpoint`).
+        points_pruned: Points discarded by dominance pruning -- their EDP
+            lower bound already exceeded the incumbent's actual EDP, so the
+            full evaluation was never paid (:mod:`repro.core.search`).
+        points_deduped: Sampler proposals discarded as duplicates of an
+            already-proposed design point within the same guided run.
         retries: Task attempts re-dispatched after crash-only faults.
         pool_restarts: Worker pools rebuilt after a break or timeout kill.
         cache_hits: Mapping-cache hits accumulated across the run.
@@ -690,6 +695,8 @@ class SweepStats:
     points_evaluated: int = 0
     points_failed: int = 0
     points_resumed: int = 0
+    points_pruned: int = 0
+    points_deduped: int = 0
     retries: int = 0
     pool_restarts: int = 0
     cache_hits: int = 0

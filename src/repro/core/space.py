@@ -305,6 +305,56 @@ class MappingSpace:
                                             rotation=rotation,
                                         )
 
+    def congruence_key(self, layer: ConvLayer, mapping: Mapping) -> tuple:
+        """The cost-determining signature of ``mapping`` on ``layer``.
+
+        The cost model reads a mapping only through its derived
+        :class:`~repro.core.loopnest.LoopNest` (clamped tile extents and
+        the loop structure they induce) plus the spatial primitives,
+        rotation and loop orders.  Two candidates with equal keys are
+        therefore *congruent*: they produce identical traffic, energy and
+        cycle numbers, and evaluating both is pure waste.  Declared tile
+        sizes that clamp to the same extent (the common case -- several
+        multipliers saturate at the macro-tile bound) land on one key.
+        """
+        from repro.core.loopnest import LoopNest
+
+        nest = LoopNest(layer, self.hw, mapping)
+        return (
+            mapping.package_spatial,
+            mapping.chiplet_spatial,
+            mapping.rotation,
+            mapping.package_temporal.order,
+            mapping.chiplet_temporal.order,
+            nest.tile_ho,
+            nest.tile_wo,
+            nest.tile_co,
+            nest.core_ho,
+            nest.core_wo,
+            nest.core_co,
+        )
+
     def unique_candidates(self, layer: ConvLayer) -> list[Mapping]:
-        """Deduplicated candidate list (tile clamping creates duplicates)."""
-        return _dedupe(list(self.candidates(layer)))
+        """Candidates deduplicated up to cost-model congruence.
+
+        Keeps the *first* representative of each congruence class
+        (order-preserving, like :func:`_dedupe`), so the mapper's
+        strict-``<`` minimum selects the same winning mapping object it
+        always did.  The number of discarded congruent candidates is
+        exported as the ``space.candidates.deduped`` obs counter.
+        """
+        from repro import obs
+
+        seen: set[tuple] = set()
+        out: list[Mapping] = []
+        dropped = 0
+        for mapping in self.candidates(layer):
+            key = self.congruence_key(layer, mapping)
+            if key in seen:
+                dropped += 1
+                continue
+            seen.add(key)
+            out.append(mapping)
+        if dropped:
+            obs.count("space.candidates.deduped", dropped)
+        return out

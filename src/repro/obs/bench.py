@@ -43,7 +43,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro import obs
 
@@ -452,12 +452,32 @@ class FidelityIssue:
     new_actual: float
 
 
+@dataclass(frozen=True)
+class CounterIssue:
+    """One gated obs counter that is not byte-identical across the runs."""
+
+    bench: str
+    counter: str
+    old_value: float | None
+    new_value: float | None
+
+    def describe(self) -> str:
+        def fmt(value: float | None) -> str:
+            return "missing" if value is None else f"{value:g}"
+
+        return (
+            f"{self.bench}/{self.counter}: "
+            f"{fmt(self.old_value)} -> {fmt(self.new_value)}"
+        )
+
+
 @dataclass
 class CompareReport:
     """The outcome of ``repro bench compare <old> <new>``."""
 
     perf: list[PerfDelta] = field(default_factory=list)
     fidelity: list[FidelityIssue] = field(default_factory=list)
+    counters: list[CounterIssue] = field(default_factory=list)
     k: float = DEFAULT_K
     rel_floor: float = DEFAULT_REL_FLOOR
 
@@ -472,6 +492,10 @@ class CompareReport:
     @property
     def fidelity_ok(self) -> bool:
         return not self.fidelity
+
+    @property
+    def counters_ok(self) -> bool:
+        return not self.counters
 
     def summary(self) -> str:
         """A terminal-friendly rendering of the comparison."""
@@ -503,6 +527,10 @@ class CompareReport:
                 )
         else:
             lines.append("Fidelity: every golden matches the paper exactly.")
+        if self.counters:
+            lines.append("Counter drift (gated counters must match exactly):")
+            for issue in self.counters:
+                lines.append(f"  DRIFT {issue.describe()}")
         lines.append(
             f"Perf: {len(self.regressions)} regression(s) across "
             f"{len(self.perf)} bench(es)."
@@ -517,6 +545,7 @@ def compare_records(
     rel_floor: float = DEFAULT_REL_FLOOR,
     min_delta_s: float = DEFAULT_MIN_DELTA_S,
     fidelity_tol: float = 0.0,
+    gate_counters: Sequence[str] = (),
 ) -> CompareReport:
     """Noise-aware comparison of two bench records.
 
@@ -525,6 +554,12 @@ def compare_records(
     and ``min_delta_s`` absolute.  Fidelity is strict: any golden in
     ``new`` deviating from the paper beyond ``fidelity_tol``, or whose
     recomputed actual changed since ``old``, is an issue.
+
+    Counter gating is stricter still: every counter named in
+    ``gate_counters`` must be *exactly* equal between the runs in every
+    bench where either run recorded it (missing on one side is drift) --
+    the contract that guided-search prune/dedup accounting is a pure
+    function of the workload, not of ``--jobs`` or host timing.
     """
     report = CompareReport(k=k, rel_floor=rel_floor)
     old_benches = old.get("benches", {})
@@ -590,6 +625,20 @@ def compare_records(
                     new_actual=actual,
                 )
             )
+
+    if gate_counters:
+        for name in sorted(set(old_benches) | set(new_benches)):
+            old_counters = old_benches.get(name, {}).get("counters", {})
+            new_counters = new_benches.get(name, {}).get("counters", {})
+            for counter in gate_counters:
+                old_value = old_counters.get(counter)
+                new_value = new_counters.get(counter)
+                if old_value is None and new_value is None:
+                    continue
+                if old_value != new_value:
+                    report.counters.append(
+                        CounterIssue(name, counter, old_value, new_value)
+                    )
     return report
 
 
@@ -604,6 +653,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchCapture",
     "CompareReport",
+    "CounterIssue",
     "DEFAULT_K",
     "DEFAULT_MIN_DELTA_S",
     "DEFAULT_REL_FLOOR",

@@ -108,6 +108,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Recommended:" in out
 
+    def test_explore_guided_json_payload(self, tmp_path, capsys):
+        out_path = tmp_path / "guided.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "--macs",
+                    "512",
+                    "--models",
+                    "alexnet",
+                    "--profile",
+                    "minimal",
+                    "--strategy",
+                    "guided",
+                    "--trials",
+                    "6",
+                    "--seed",
+                    "3",
+                    "--study",
+                    str(tmp_path / "study.sqlite"),
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Recommended:" in out
+        data = json.loads(out_path.read_text())
+        assert data["strategy"] == "guided"
+        assert data["seed"] == 3
+        assert data["trials"] == 6
+        search = data["search"]
+        assert set(search) >= {"evaluated", "pruned", "deduped", "resumed"}
+        assert search["evaluated"] <= 6
+        assert (tmp_path / "study.sqlite").exists()
+
+    def test_explore_guided_requires_trials(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--macs",
+                "512",
+                "--models",
+                "alexnet",
+                "--strategy",
+                "guided",
+            ]
+        )
+        assert code == 2
+        assert "--trials" in capsys.readouterr().err
+
     def test_unknown_model_exits_2_in_process(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["map", "nope", "--profile", "minimal"])

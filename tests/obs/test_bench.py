@@ -307,6 +307,48 @@ class TestCompare:
         assert "DRIFT g" in text
 
 
+class TestCounterGate:
+    @staticmethod
+    def record_with_counters(counters, name="b"):
+        record = make_record(benches={name: (0.1, 0.002)})
+        record["benches"][name]["counters"] = counters
+        return record
+
+    def test_matching_gated_counters_pass(self):
+        old = self.record_with_counters({"dse.points.pruned": 7, "other": 1})
+        new = self.record_with_counters({"dse.points.pruned": 7, "other": 99})
+        report = compare_records(old, new, gate_counters=["dse.points.pruned"])
+        assert report.counters_ok
+        assert report.counters == []
+
+    def test_gated_counter_drift_fails_exactly(self):
+        old = self.record_with_counters({"dse.points.pruned": 7})
+        new = self.record_with_counters({"dse.points.pruned": 8})
+        report = compare_records(old, new, gate_counters=["dse.points.pruned"])
+        assert not report.counters_ok
+        issue = report.counters[0]
+        assert issue.counter == "dse.points.pruned"
+        assert (issue.old_value, issue.new_value) == (7, 8)
+        assert "dse.points.pruned" in report.summary()
+
+    def test_counter_missing_on_one_side_is_drift(self):
+        old = self.record_with_counters({"dse.points.pruned": 7})
+        new = self.record_with_counters({})
+        report = compare_records(old, new, gate_counters=["dse.points.pruned"])
+        assert not report.counters_ok
+
+    def test_counter_absent_from_both_sides_is_ignored(self):
+        old = self.record_with_counters({})
+        new = self.record_with_counters({})
+        report = compare_records(old, new, gate_counters=["dse.points.pruned"])
+        assert report.counters_ok
+
+    def test_ungated_counters_never_gate(self):
+        old = self.record_with_counters({"dse.points.pruned": 7})
+        new = self.record_with_counters({"dse.points.pruned": 999})
+        assert compare_records(old, new).counters_ok
+
+
 class TestReport:
     def _history(self):
         return [
