@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report ci faults guided lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report batch-parity ci faults guided lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -81,6 +81,26 @@ guided:
 		--json "$$tmp/guided.json" >/dev/null && \
 	python scripts/check_guided_gate.py "$$tmp/exhaustive.json" \
 		"$$tmp/guided.json" --max-eval-frac 0.01
+
+# Batch-vs-scalar parity gate (mirrors the CI guided-dse parity step):
+# the unit/property suites first, then the full Fig. 15 pre-design sweep
+# with the numpy batch kernel on and off -- the two JSON payloads must be
+# byte-identical (winner, energy, cycles, EDP on every point).  See
+# docs/modeling.md section 11.
+batch-parity:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/core/test_batch.py tests/properties/test_batch_kernel.py
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	REPRO_BATCH_KERNEL=1 \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 4096 --area 3.0 --models alexnet --profile fast \
+		--stride 1 --jobs 4 --json "$$tmp/batch.json" >/dev/null && \
+	REPRO_BATCH_KERNEL=0 \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 4096 --area 3.0 --models alexnet --profile fast \
+		--stride 1 --jobs 4 --json "$$tmp/scalar.json" >/dev/null && \
+	cmp "$$tmp/batch.json" "$$tmp/scalar.json" && \
+	echo "batch kernel byte-identical to the scalar oracle (full Fig. 15 space)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

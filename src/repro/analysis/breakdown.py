@@ -96,8 +96,9 @@ def dominant_component(breakdown: EnergyBreakdown) -> str:
 
 
 def aggregate(breakdowns: MappingType[str, EnergyBreakdown]) -> EnergyBreakdown:
-    """Sum a collection of breakdowns (e.g. per-layer to model level)."""
-    total = EnergyBreakdown.zero()
-    for breakdown in breakdowns.values():
-        total = total + breakdown
-    return total
+    """Sum a collection of breakdowns (e.g. per-layer to model level).
+
+    Uses :meth:`EnergyBreakdown.fsum` so the model total is independent of
+    the layer iteration order.
+    """
+    return EnergyBreakdown.fsum(breakdowns.values())

@@ -1,0 +1,581 @@
+"""Vectorized batch cost-model kernel (struct-of-arrays C3P evaluation).
+
+The scalar pipeline (:mod:`repro.core.c3p` -> :mod:`repro.core.traffic` ->
+:mod:`repro.core.cost`) walks one ``(layer, hw, mapping)`` triple at a time
+through Python objects.  This module evaluates *every* candidate of one
+``(layer, hw)`` pair in a handful of numpy array operations: the candidate
+mappings are encoded as int64/float64 columns (tile extents, clamped
+loop-nest bounds, spatial primitives, rotation/order codes) and the three
+C3P walks, the traffic assembly and the energy/cycles/EDP scalarization run
+over all rows at once.
+
+**Bit-identity contract.**  The scalar path is the golden oracle; this
+kernel must agree with it to the last float.  Three rules make that hold:
+
+* every float expression replicates the scalar path's association order
+  (e.g. ``(fill * n_cores) * n_chiplets``, the ``EnergyBreakdown.total_pj``
+  component order, ``(energy * 1e-12) * runtime``) -- IEEE-754 float64 ops
+  are deterministic, so equal operand order means equal bits;
+* integer quantities (loop counts, cycles, weight-read bits) stay in int64
+  until the exact point where the scalar path first mixes them into a
+  float, so the int->float64 conversion happens once, correctly rounded,
+  on the same value;
+* int64 products whose float64 estimate exceeds ``2**62`` abort the batch
+  (:class:`BatchOverflowError`) -- the caller falls back to the scalar
+  path, which computes with arbitrary-precision Python ints.  Real mapping
+  spaces sit many orders of magnitude below this bound.
+
+The winner selection mirrors the mapper's strict-``<`` scan: invalid lanes
+are masked to ``+inf`` and ``np.argmin`` returns the *first* index of the
+minimum, which is exactly the first-in-enumeration winner the scalar loop
+keeps on ties.
+
+``REPRO_BATCH_KERNEL=0`` (or ``false``/``off``/``no``) opts out and forces
+the scalar path everywhere; the kernel is the default when numpy imports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+try:  # numpy is a hard dependency of the package, but stay importable without it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via _set_numpy_for_tests
+    np = None  # type: ignore[assignment]
+
+from repro.arch.config import HardwareConfig
+from repro.arch.energy import EnergyModel
+from repro.core.mapping import Mapping
+from repro.core.primitives import PartitionDim, RotationKind
+from repro.workloads.layer import ConvLayer
+
+#: Environment switch; default on, ``0/false/off/no`` disables.
+BATCH_KERNEL_ENV = "REPRO_BATCH_KERNEL"
+
+#: Loop-kind codes used by the slot walk (order is cosmetic, values are not).
+_KIND_C, _KIND_W, _KIND_H = 0, 1, 2
+
+#: int64 magnitude guard: products whose float64 estimate clears this bound
+#: may have lost exactness (or wrapped), so the batch aborts to scalar.
+_INT64_SAFE_LIMIT = float(2**62)
+
+
+class BatchOverflowError(OverflowError):
+    """An int64 product left the exactness-guaranteed range; use scalar."""
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend imported."""
+    return np is not None
+
+
+def batch_kernel_enabled() -> bool:
+    """The effective on/off switch (numpy present and env not opted out)."""
+    if np is None:
+        return False
+    raw = os.environ.get(BATCH_KERNEL_ENV, "").strip().lower()
+    if not raw:
+        return True
+    return raw not in ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Struct-of-arrays evaluation of one candidate list on one (layer, hw).
+
+    Every array has one row per candidate, aligned with ``candidates``.
+    Candidate-independent terms (output drain, per-cycle PE feeds) are kept
+    as Python scalars, exactly as the scalar traffic assembly produces them.
+    Rows where ``valid`` is ``False`` carry the arithmetic the walks produced
+    anyway; only the masked score selects winners.
+    """
+
+    candidates: list[Mapping]
+    valid: "np.ndarray"
+
+    # C3P walk outputs (bits / factors, float64)
+    weight_a0_bits: "np.ndarray"
+    weight_reload: "np.ndarray"
+    weight_fill_bits: "np.ndarray"
+    a_l1_cc0_bytes: "np.ndarray"
+    a_l1_a0_bits: "np.ndarray"
+    a_l1_reload: "np.ndarray"
+    a_l1_fill_bits: "np.ndarray"
+    a_l2_a0_bits: "np.ndarray"
+    a_l2_reload: "np.ndarray"
+    a_l2_fill_bits: "np.ndarray"
+
+    # traffic (float64 arrays; scalar terms are candidate-independent)
+    dram_input_bits: "np.ndarray"
+    dram_weight_bits: "np.ndarray"
+    dram_output_bits: int
+    d2d_bit_hops: "np.ndarray"
+    a_l2_write_bits: "np.ndarray"
+    a_l2_read_bits: "np.ndarray"
+    a_l1_write_bits: "np.ndarray"
+    a_l1_read_bits: float
+    w_l1_write_bits: "np.ndarray"
+    w_l1_read_bits: "np.ndarray"
+    rf_rmw_bits: float
+    rf_drain_bits: int
+
+    # energy (pJ, float64 arrays except the candidate-independent scalars)
+    dram_pj: "np.ndarray"
+    d2d_pj: "np.ndarray"
+    a_l2_pj: "np.ndarray"
+    o_l2_pj: "np.ndarray"
+    a_l1_pj: "np.ndarray"
+    w_l1_pj: "np.ndarray"
+    rf_pj: float
+    mac_pj: float
+    energy_pj: "np.ndarray"
+
+    # scalarization
+    o_l2_bytes: "np.ndarray"
+    cycles: "np.ndarray"
+    edp: "np.ndarray"
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def evaluated(self) -> int:
+        """Valid candidates (the scalar loop's ``evaluated`` counter)."""
+        return int(self.valid.sum())
+
+    @property
+    def invalid(self) -> int:
+        """Invalid candidates (the scalar loop's ``invalid`` counter)."""
+        return len(self.candidates) - self.evaluated
+
+    def scores(self, objective: str) -> "np.ndarray":
+        """The per-candidate objective column (``"energy"`` or ``"edp"``)."""
+        if objective == "energy":
+            return self.energy_pj
+        if objective == "edp":
+            return self.edp
+        raise ValueError(f"unknown batch objective {objective!r}")
+
+    def best_index(self, objective: str = "energy") -> int | None:
+        """First-in-enumeration argmin over the valid candidates.
+
+        ``np.argmin`` returns the first index of the minimum, matching the
+        scalar loop's strict-``<`` update rule on exact ties.  ``None``
+        when no candidate is valid.
+        """
+        if not len(self.candidates) or not bool(self.valid.any()):
+            return None
+        masked = np.where(self.valid, self.scores(objective), np.inf)
+        return int(np.argmin(masked))
+
+
+@dataclass(frozen=True)
+class BatchSearchOutcome:
+    """What the mapper needs from a batch search."""
+
+    best_index: int | None
+    evaluated: int
+    invalid: int
+
+
+def _ceil_div(a: "np.ndarray", b: "np.ndarray") -> "np.ndarray":
+    """Elementwise ceiling division on int64 (positive divisors)."""
+    return -(-a // b)
+
+
+def _encode(candidates: list[Mapping]) -> dict[str, "np.ndarray"]:
+    """Columnar int64 encoding of the mapping list."""
+    n = len(candidates)
+    names = (
+        "pkg_co_ways", "pkg_rows", "pkg_cols", "pkg_is_channel",
+        "pkg_tile_h", "pkg_tile_w", "pkg_tile_co", "pkg_order_channel",
+        "chp_co_ways", "chp_rows", "chp_cols",
+        "chp_tile_h", "chp_tile_w", "chp_order_channel",
+        "rot_activations", "rot_weights",
+    )
+    cols = {name: np.empty(n, dtype=np.int64) for name in names}
+    for i, m in enumerate(candidates):
+        pkg, pt = m.package_spatial, m.package_temporal
+        chp, ct = m.chiplet_spatial, m.chiplet_temporal
+        cols["pkg_co_ways"][i] = pkg.co_ways
+        cols["pkg_rows"][i] = pkg.grid.rows
+        cols["pkg_cols"][i] = pkg.grid.cols
+        cols["pkg_is_channel"][i] = pkg.dim is PartitionDim.CHANNEL
+        cols["pkg_tile_h"][i] = pt.tile_h
+        cols["pkg_tile_w"][i] = pt.tile_w
+        cols["pkg_tile_co"][i] = pt.tile_co
+        cols["pkg_order_channel"][i] = pt.order.value == "channel"
+        cols["chp_co_ways"][i] = chp.co_ways
+        cols["chp_rows"][i] = chp.grid.rows
+        cols["chp_cols"][i] = chp.grid.cols
+        cols["chp_tile_h"][i] = ct.tile_h
+        cols["chp_tile_w"][i] = ct.tile_w
+        cols["chp_order_channel"][i] = ct.order.value == "channel"
+        cols["rot_activations"][i] = m.rotation is RotationKind.ACTIVATIONS
+        cols["rot_weights"][i] = m.rotation is RotationKind.WEIGHTS
+    return cols
+
+
+def _input_channels_for(layer: ConvLayer, out_channels: "np.ndarray") -> "np.ndarray":
+    """Vectorized :meth:`ConvLayer.input_channels_for` (out_channels >= 1)."""
+    groups_spanned = np.minimum(
+        _ceil_div(out_channels, layer.co_per_group), layer.groups
+    )
+    return np.minimum(groups_spanned * layer.ci_per_group, layer.ci)
+
+
+def _input_rows_for(layer: ConvLayer, out_rows: "np.ndarray") -> "np.ndarray":
+    """Vectorized :meth:`ConvLayer.input_rows_for` (out_rows >= 1)."""
+    return (out_rows - 1) * min(layer.stride, layer.kh) + layer.kh
+
+
+def _input_cols_for(layer: ConvLayer, out_cols: "np.ndarray") -> "np.ndarray":
+    """Vectorized :meth:`ConvLayer.input_cols_for` (out_cols >= 1)."""
+    return (out_cols - 1) * min(layer.stride, layer.kw) + layer.kw
+
+
+def _window_bytes(
+    layer: ConvLayer,
+    data_bytes: float,
+    out_rows: "np.ndarray",
+    out_cols: "np.ndarray",
+    channels: "np.ndarray",
+) -> "np.ndarray":
+    """Vectorized ``c3p._window_bytes``: int64 element count, one conversion."""
+    elements = _input_rows_for(layer, out_rows) * _input_cols_for(layer, out_cols) * channels
+    return elements * data_bytes
+
+
+def _level_slots(
+    order_channel: "np.ndarray",
+    c: "np.ndarray",
+    w: "np.ndarray",
+    h: "np.ndarray",
+) -> list[tuple["np.ndarray", "np.ndarray"]]:
+    """(kind, count) columns of one temporal level, inner to outer.
+
+    Channel-priority yields C, W, H; plane-priority yields W, H, C --
+    exactly :func:`repro.core.loopnest._level_loops`.
+    """
+    ch = order_channel.astype(bool)
+    return [
+        (np.where(ch, _KIND_C, _KIND_W), np.where(ch, c, w)),
+        (np.where(ch, _KIND_W, _KIND_H), np.where(ch, w, h)),
+        (np.where(ch, _KIND_H, _KIND_C), np.where(ch, h, c)),
+    ]
+
+
+def evaluate_batch(
+    layer: ConvLayer, hw: HardwareConfig, candidates: list[Mapping]
+) -> BatchResult:
+    """Evaluate every candidate mapping of one (layer, hw) in one pass.
+
+    Raises:
+        RuntimeError: When numpy is unavailable.
+        BatchOverflowError: When an int64 product would leave the exact
+            range (callers fall back to the scalar oracle).
+    """
+    if np is None:
+        raise RuntimeError("numpy is required for the batch kernel")
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    cols = _encode(candidates)
+    tech = hw.tech
+    data_bytes = tech.data_bits / 8.0
+    data_bits = tech.data_bits
+    grouped = layer.groups > 1
+
+    # --- loop-nest derivation (LoopNest.__init__, vectorized) ---------------
+    macro_ho = _ceil_div(np.int64(layer.ho), cols["pkg_rows"])
+    macro_wo = _ceil_div(np.int64(layer.wo), cols["pkg_cols"])
+    macro_co = _ceil_div(np.int64(layer.co), cols["pkg_co_ways"])
+    tile_ho = np.minimum(cols["pkg_tile_h"], macro_ho)
+    tile_wo = np.minimum(cols["pkg_tile_w"], macro_wo)
+    tile_co = np.minimum(cols["pkg_tile_co"], macro_co)
+    share_ho = _ceil_div(tile_ho, cols["chp_rows"])
+    share_wo = _ceil_div(tile_wo, cols["chp_cols"])
+    share_co = _ceil_div(tile_co, cols["chp_co_ways"])
+    core_ho = np.minimum(cols["chp_tile_h"], share_ho)
+    core_wo = np.minimum(cols["chp_tile_w"], share_wo)
+    core_co = np.minimum(np.int64(hw.lanes), share_co)
+    c1 = _ceil_div(share_co, core_co)
+    w1 = _ceil_div(share_wo, core_wo)
+    h1 = _ceil_div(share_ho, core_ho)
+    c2 = _ceil_div(macro_co, tile_co)
+    w2 = _ceil_div(macro_wo, tile_wo)
+    h2 = _ceil_div(macro_ho, tile_ho)
+
+    pkg_grid_ways = cols["pkg_rows"] * cols["pkg_cols"]
+    pkg_ways = cols["pkg_co_ways"] * pkg_grid_ways
+    chp_grid_ways = cols["chp_rows"] * cols["chp_cols"]
+    chp_ways = cols["chp_co_ways"] * chp_grid_ways
+    n_chiplets = np.minimum(pkg_ways, np.int64(hw.n_chiplets))
+    n_cores = np.minimum(chp_ways, np.int64(hw.n_cores))
+
+    slots = _level_slots(cols["chp_order_channel"], c1, w1, h1) + _level_slots(
+        cols["pkg_order_channel"], c2, w2, h2
+    )
+
+    # --- validity (LoopNest.validity_errors, vectorized) --------------------
+    o_l1_required = _ceil_div(core_ho * core_wo * core_co * tech.psum_bits, np.int64(8))
+    min_a_l1 = (
+        _input_cols_for(layer, core_wo) * min(hw.vector_size, layer.ci) * data_bits // 8
+    )
+    pkg_channel = cols["pkg_is_channel"].astype(bool)
+    invalid = pkg_ways > hw.n_chiplets
+    invalid |= chp_ways > hw.n_cores
+    invalid |= o_l1_required > hw.memory.o_l1_bytes
+    invalid |= min_a_l1 > hw.memory.a_l1_bytes
+    invalid |= pkg_channel & (cols["pkg_co_ways"] > layer.co)
+    invalid |= cols["chp_co_ways"] > macro_co
+    invalid |= (cols["pkg_rows"] > layer.ho) | (cols["pkg_cols"] > layer.wo)
+    invalid |= (cols["chp_rows"] > tile_ho) | (cols["chp_cols"] > tile_wo)
+    valid = ~invalid
+
+    # --- weight-buffer C3P walk (analyze_weight_buffer) ---------------------
+    weight_elements = layer.kh * layer.kw * layer.ci_per_group * core_co
+    block_bytes = weight_elements * data_bytes
+    weight_buffer = (hw.memory.w_l1_bytes * chp_grid_ways).astype(np.float64)
+    working_set = block_bytes.copy()
+    weight_reload = np.ones(len(candidates), dtype=np.float64)
+    for kind, count in slots:
+        is_c = kind == _KIND_C
+        penalized = ~is_c & (weight_buffer < working_set)
+        weight_reload = np.where(penalized, weight_reload * count, weight_reload)
+        working_set = np.where(is_c, working_set * count, working_set)
+    total_channel = c1 * c2
+    weight_a0_bits = block_bytes * 8.0 * total_channel
+    weight_fill_bits = weight_a0_bits * weight_reload
+
+    # --- A-L1 C3P walk (analyze_activation_l1) ------------------------------
+    block_channels = _input_channels_for(layer, core_co)
+    chunk_channels = np.minimum(np.int64(hw.vector_size), block_channels)
+    cc0 = _window_bytes(layer, data_bytes, core_ho, core_wo, chunk_channels)
+    a_l1_budget = float(hw.memory.a_l1_bytes)
+    kernel_sweep = float(layer.kh * layer.kw)
+    a_l1_reload = np.where(a_l1_budget >= cc0, 1.0, kernel_sweep)
+    out_rows, out_cols = core_ho.copy(), core_wo.copy()
+    channel_multiplicity = np.ones(len(candidates), dtype=np.int64)
+    ci_col = np.full(len(candidates), layer.ci, dtype=np.int64)
+    for kind, count in slots:
+        is_c = kind == _KIND_C
+        if grouped:
+            channel_multiplicity = np.where(
+                is_c, channel_multiplicity * count, channel_multiplicity
+            )
+        else:
+            ws = _window_bytes(layer, data_bytes, out_rows, out_cols, ci_col)
+            penalized = is_c & (a_l1_budget < ws)
+            a_l1_reload = np.where(penalized, a_l1_reload * count, a_l1_reload)
+        out_cols = np.where(kind == _KIND_W, out_cols * count, out_cols)
+        out_rows = np.where(kind == _KIND_H, out_rows * count, out_rows)
+    planar_iterations = w1 * h1 * w2 * h2
+    if grouped:
+        a0_channels = np.minimum(block_channels * channel_multiplicity, layer.ci)
+    else:
+        a0_channels = ci_col
+    a_l1_a0_bits = (
+        _window_bytes(layer, data_bytes, core_ho, core_wo, a0_channels)
+        * 8.0
+        * planar_iterations
+    )
+    a_l1_fill_bits = a_l1_a0_bits * a_l1_reload
+
+    # --- A-L2 C3P walk (analyze_activation_l2: level-2 loops only) ----------
+    tile_channels = _input_channels_for(layer, tile_co)
+    a_l2_budget = float(hw.memory.a_l2_bytes)
+    a_l2_reload = np.ones(len(candidates), dtype=np.float64)
+    out_rows, out_cols = tile_ho.copy(), tile_wo.copy()
+    channel_multiplicity2 = np.ones(len(candidates), dtype=np.int64)
+    for kind, count in _level_slots(cols["pkg_order_channel"], c2, w2, h2):
+        is_c = kind == _KIND_C
+        if grouped:
+            channel_multiplicity2 = np.where(
+                is_c, channel_multiplicity2 * count, channel_multiplicity2
+            )
+        else:
+            ws = _window_bytes(layer, data_bytes, out_rows, out_cols, ci_col)
+            penalized = is_c & (a_l2_budget < ws)
+            a_l2_reload = np.where(penalized, a_l2_reload * count, a_l2_reload)
+        out_cols = np.where(kind == _KIND_W, out_cols * count, out_cols)
+        out_rows = np.where(kind == _KIND_H, out_rows * count, out_rows)
+    if grouped:
+        a0_channels2 = np.minimum(tile_channels * channel_multiplicity2, layer.ci)
+    else:
+        a0_channels2 = ci_col
+    a_l2_a0_bits = (
+        _window_bytes(layer, data_bytes, tile_ho, tile_wo, a0_channels2) * 8.0 * w2 * h2
+    )
+    a_l2_fill_bits = a_l2_a0_bits * a_l2_reload
+
+    # --- traffic assembly (compute_traffic) ---------------------------------
+    chiplet_weight_fill = weight_fill_bits * cols["chp_co_ways"]
+    sharing_hops = np.maximum(n_chiplets - 1, 0)  # ring and mesh alike
+    rot_weights = cols["rot_weights"].astype(bool)
+    rot_activations = cols["rot_activations"].astype(bool)
+    plane_rotated = ~pkg_channel & rot_weights
+    dram_weight_bits = np.where(
+        plane_rotated, chiplet_weight_fill, chiplet_weight_fill * n_chiplets
+    )
+    weight_d2d = np.where(plane_rotated, chiplet_weight_fill * sharing_hops, 0.0)
+    w_l1_write_bits = chiplet_weight_fill * n_chiplets
+    core_blocks = c1 * w1 * h1 * c2 * w2 * h2
+    block_weight_bits = weight_elements * data_bits
+    w_l1_read_bits = block_weight_bits * core_blocks * n_cores * n_chiplets
+
+    channel_rotated = pkg_channel & rot_activations
+    dram_input_bits = np.where(
+        channel_rotated, a_l2_fill_bits, a_l2_fill_bits * n_chiplets
+    )
+    act_d2d = np.where(channel_rotated, a_l2_fill_bits * sharing_hops, 0.0)
+    a_l2_write_bits = a_l2_fill_bits * n_chiplets
+    a_l1_write_bits = a_l1_fill_bits * n_cores * n_chiplets
+    a_l2_read_bits = a_l1_fill_bits * chp_grid_ways * n_chiplets
+    a_l1_read_bits = layer.macs / hw.lanes * data_bits
+    d2d_bit_hops = act_d2d + weight_d2d
+
+    output_bits = layer.output_elements * data_bits
+    psum_rmw_bits = layer.macs / hw.vector_size * tech.psum_bits
+    rf_drain_bits = layer.output_elements * tech.psum_bits
+
+    # --- int64 exactness guard ----------------------------------------------
+    blocks_f = (
+        c1.astype(np.float64)
+        * w1.astype(np.float64)
+        * h1.astype(np.float64)
+        * c2.astype(np.float64)
+        * w2.astype(np.float64)
+        * h2.astype(np.float64)
+    )
+    read_estimate = block_weight_bits.astype(np.float64) * blocks_f * n_cores * n_chiplets
+    block_cycles_f = (
+        core_ho.astype(np.float64) * core_wo * layer.kh * layer.kw
+    )  # chunk factor bounded below by 1, added next
+    chunks = _ceil_div(np.maximum(_input_channels_for(layer, core_co), 1),
+                       np.int64(hw.vector_size))
+    cycles_estimate = blocks_f * block_cycles_f * chunks
+    window_estimate = (
+        _input_rows_for(layer, out_rows).astype(np.float64)
+        * _input_cols_for(layer, out_cols)
+        * layer.ci
+    )
+    guard = max(
+        float(read_estimate.max()),
+        float(cycles_estimate.max()),
+        float(window_estimate.max()),
+    )
+    if guard > _INT64_SAFE_LIMIT:
+        raise BatchOverflowError(
+            f"candidate magnitude {guard:g} exceeds the int64-exact range"
+        )
+
+    # --- energy (energy_from_traffic) ---------------------------------------
+    model = EnergyModel(hw)
+    dram_bits = dram_input_bits + dram_weight_bits + output_bits
+    dram_pj = dram_bits * model.dram_pj_per_bit
+    d2d_pj = d2d_bit_hops * model.d2d_pj_per_bit
+    a_l2_pj = (a_l2_write_bits + a_l2_read_bits) * model.a_l2_pj_per_bit
+    o_l2_bytes = _ceil_div(tile_ho * tile_wo * tile_co * data_bits, np.int64(8))
+    if hw.memory.o_l2_bytes:
+        o_l2_pj_bit = np.full(
+            len(candidates), model.o_l2_pj_per_bit(0), dtype=np.float64
+        )
+    else:
+        # TechnologyParams.sram_energy_pj_per_bit on the per-candidate size.
+        slope = (tech.l2_anchor_pj_per_bit - tech.l1_anchor_pj_per_bit) / (
+            tech.l2_anchor_kb - tech.l1_anchor_kb
+        )
+        size_kb = o_l2_bytes / 1024.0
+        o_l2_pj_bit = np.maximum(
+            tech.l1_anchor_pj_per_bit + slope * (size_kb - tech.l1_anchor_kb),
+            tech.rf_rmw_energy_pj_per_bit,
+        )
+    o_l2_pj = (output_bits + output_bits) * o_l2_pj_bit
+    a_l1_pj = (a_l1_write_bits + a_l1_read_bits) * model.a_l1_pj_per_bit
+    w_l1_pj = (w_l1_write_bits + w_l1_read_bits) * model.w_l1_pj_per_bit
+    rf_pj = (psum_rmw_bits + rf_drain_bits) * model.rf_rmw_pj_per_bit
+    mac_pj = model.mac_energy_pj(layer.macs)
+    # EnergyBreakdown.total_pj association order, component by component.
+    energy_pj = (
+        ((((((dram_pj + d2d_pj) + a_l2_pj) + o_l2_pj) + a_l1_pj) + w_l1_pj) + rf_pj)
+        + mac_pj
+    )
+
+    # --- cycles and EDP (LoopNest.total_cycles / CostReport.edp) ------------
+    block_cycles = core_ho * core_wo * layer.kh * layer.kw * chunks
+    cycles = core_blocks * block_cycles
+    runtime_s = cycles * tech.cycle_time_ns() * 1e-9
+    edp = energy_pj * 1e-12 * runtime_s
+
+    return BatchResult(
+        candidates=candidates,
+        valid=valid,
+        weight_a0_bits=weight_a0_bits,
+        weight_reload=weight_reload,
+        weight_fill_bits=weight_fill_bits,
+        a_l1_cc0_bytes=cc0,
+        a_l1_a0_bits=a_l1_a0_bits,
+        a_l1_reload=a_l1_reload,
+        a_l1_fill_bits=a_l1_fill_bits,
+        a_l2_a0_bits=a_l2_a0_bits,
+        a_l2_reload=a_l2_reload,
+        a_l2_fill_bits=a_l2_fill_bits,
+        dram_input_bits=dram_input_bits,
+        dram_weight_bits=dram_weight_bits,
+        dram_output_bits=output_bits,
+        d2d_bit_hops=d2d_bit_hops,
+        a_l2_write_bits=a_l2_write_bits,
+        a_l2_read_bits=a_l2_read_bits,
+        a_l1_write_bits=a_l1_write_bits,
+        a_l1_read_bits=a_l1_read_bits,
+        w_l1_write_bits=w_l1_write_bits,
+        w_l1_read_bits=w_l1_read_bits,
+        rf_rmw_bits=psum_rmw_bits,
+        rf_drain_bits=rf_drain_bits,
+        dram_pj=dram_pj,
+        d2d_pj=d2d_pj,
+        a_l2_pj=a_l2_pj,
+        o_l2_pj=o_l2_pj,
+        a_l1_pj=a_l1_pj,
+        w_l1_pj=w_l1_pj,
+        rf_pj=rf_pj,
+        mac_pj=mac_pj,
+        energy_pj=energy_pj,
+        o_l2_bytes=o_l2_bytes,
+        cycles=cycles,
+        edp=edp,
+    )
+
+
+#: Objective-function names the kernel can score (mapper objectives).
+BATCH_OBJECTIVES = {
+    "energy_objective": "energy",
+    "edp_objective": "edp",
+}
+
+
+def search_batch(
+    layer: ConvLayer,
+    hw: HardwareConfig,
+    candidates: list[Mapping],
+    objective: str = "energy_objective",
+) -> BatchSearchOutcome | None:
+    """Batch-evaluate ``candidates`` and pick the scalar-identical winner.
+
+    Returns ``None`` when the kernel cannot guarantee bit-identity for this
+    call (unknown objective, empty candidate list, numpy missing, or the
+    int64 exactness guard tripping) -- callers then run the scalar loop.
+    """
+    scorer = BATCH_OBJECTIVES.get(objective)
+    if scorer is None or np is None or not candidates:
+        return None
+    try:
+        result = evaluate_batch(layer, hw, candidates)
+    except BatchOverflowError:
+        return None
+    return BatchSearchOutcome(
+        best_index=result.best_index(scorer),
+        evaluated=result.evaluated,
+        invalid=result.invalid,
+    )

@@ -8,7 +8,9 @@ energy laws, and the loop nest into cycles with the utilization model
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig
@@ -83,6 +85,29 @@ class EnergyBreakdown:
     def zero() -> "EnergyBreakdown":
         """An all-zero breakdown (sum identity)."""
         return EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def fsum(breakdowns: Iterable["EnergyBreakdown"]) -> "EnergyBreakdown":
+        """Order-independent component-wise total via :func:`math.fsum`.
+
+        Repeated ``__add__`` is a naive left fold, so the total depends on
+        the summand order (float addition is not associative).  Compensated
+        summation returns the correctly rounded component sums, making
+        model- and sweep-level totals permutation invariant -- the same fix
+        the Figure 10 :class:`~repro.arch.memory.LinearFit` needed, and the
+        reduction contract the batch kernel's aggregations must match.
+        """
+        items = list(breakdowns)
+        return EnergyBreakdown(
+            dram_pj=math.fsum(b.dram_pj for b in items),
+            d2d_pj=math.fsum(b.d2d_pj for b in items),
+            a_l2_pj=math.fsum(b.a_l2_pj for b in items),
+            o_l2_pj=math.fsum(b.o_l2_pj for b in items),
+            a_l1_pj=math.fsum(b.a_l1_pj for b in items),
+            w_l1_pj=math.fsum(b.w_l1_pj for b in items),
+            rf_pj=math.fsum(b.rf_pj for b in items),
+            mac_pj=math.fsum(b.mac_pj for b in items),
+        )
 
 
 @dataclass(frozen=True)
@@ -207,11 +232,8 @@ def model_cost(
     """
     if not reports:
         raise ValueError("reports must be non-empty")
-    energy = EnergyBreakdown.zero()
-    cycles = 0
-    for report in reports:
-        energy = energy + report.energy
-        cycles += report.cycles
+    energy = EnergyBreakdown.fsum(report.energy for report in reports)
+    cycles = sum(report.cycles for report in reports)
     runtime_s = cycles * hw.tech.cycle_time_ns() * 1e-9
     edp = energy.total_pj * 1e-12 * runtime_s
     return energy, cycles, edp

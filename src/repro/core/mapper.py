@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro import obs
 from repro.arch.config import HardwareConfig
+from repro.core import batch
 from repro.core.cache import MappingCache, cache_key, rebuild_record
 from repro.core.cost import CostReport, InvalidMappingError, evaluate_mapping
 from repro.core.mapping import Mapping
@@ -120,6 +121,14 @@ class Mapper:
         self._objective_name = getattr(
             self.objective, "__name__", type(self.objective).__name__
         )
+        # The batch kernel scores only the two known objectives; identity
+        # (not name) equality, so a custom callable never takes the fast path.
+        if self.objective is energy_objective:
+            self._batch_objective: str | None = "energy_objective"
+        elif self.objective is edp_objective:
+            self._batch_objective = "edp_objective"
+        else:
+            self._batch_objective = None
 
     def _key(self, layer: ConvLayer) -> str:
         """The cache key of one layer on this (hw, profile, objective)."""
@@ -142,15 +151,23 @@ class Mapper:
         )
 
     def _rebuild(self, record: dict, layer: ConvLayer) -> LayerMappingResult | None:
-        """Turn a disk record back into a result (one cost-model call)."""
+        """Turn a disk record back into a result (one cost-model call).
+
+        A record missing any required key is a cache miss, not a zero: a
+        legacy record without ``evaluated``/``invalid`` would otherwise
+        resurface with fabricated search statistics and under-report
+        ``mapper.candidates.evaluated`` forever after a format change.
+        """
+        if not all(key in record for key in ("mapping", "evaluated", "invalid")):
+            return None
         best = rebuild_record(record, layer, self.hw)
         if best is None:
             return None
         return LayerMappingResult(
             layer=layer,
             best=best,
-            candidates_evaluated=int(record.get("evaluated", 0)),
-            candidates_invalid=int(record.get("invalid", 0)),
+            candidates_evaluated=int(record["evaluated"]),
+            candidates_invalid=int(record["invalid"]),
         )
 
     def search_layer(self, layer: ConvLayer) -> LayerMappingResult:
@@ -180,6 +197,14 @@ class Mapper:
     def _search_fresh(self, layer: ConvLayer) -> LayerMappingResult:
         """The exhaustive candidate scan (cache-oblivious).
 
+        The struct-of-arrays batch kernel (:mod:`repro.core.batch`) scores
+        every candidate in one numpy pass when it can guarantee bit-identity
+        with the scalar loop (known objective, ``REPRO_BATCH_KERNEL`` not
+        opted out); the winner's full :class:`CostReport` then comes from a
+        single scalar ``evaluate_mapping`` call.  Otherwise the scalar
+        strict-``<`` scan below is the path -- it stays the golden oracle
+        either way (see ``tests/properties/test_batch_kernel.py``).
+
         Candidate counters are batched into one pair of ``obs.count`` calls
         after the scan, so the per-candidate hot loop carries no
         instrumentation at all.
@@ -189,17 +214,33 @@ class Mapper:
         evaluated = 0
         invalid = 0
         with obs.span("mapper.search_fresh", layer=layer.name):
-            for mapping in self._space.unique_candidates(layer):
-                try:
-                    report = evaluate_mapping(layer, self.hw, mapping)
-                except InvalidMappingError:
-                    invalid += 1
-                    continue
-                evaluated += 1
-                score = self.objective(report, self.hw)
-                if score < best_score:
-                    best_score = score
-                    best = report
+            candidates = self._space.unique_candidates(layer)
+            outcome = None
+            if batch.batch_kernel_enabled() and self._batch_objective is not None:
+                outcome = batch.search_batch(
+                    layer, self.hw, candidates, objective=self._batch_objective
+                )
+            if outcome is not None:
+                evaluated = outcome.evaluated
+                invalid = outcome.invalid
+                if outcome.best_index is not None:
+                    best = evaluate_mapping(
+                        layer, self.hw, candidates[outcome.best_index]
+                    )
+                obs.count("mapper.batch.searches")
+                obs.count("mapper.batch.candidates", len(candidates))
+            else:
+                for mapping in candidates:
+                    try:
+                        report = evaluate_mapping(layer, self.hw, mapping)
+                    except InvalidMappingError:
+                        invalid += 1
+                        continue
+                    evaluated += 1
+                    score = self.objective(report, self.hw)
+                    if score < best_score:
+                        best_score = score
+                        best = report
         obs.count("mapper.candidates.evaluated", evaluated)
         obs.count("mapper.candidates.invalid", invalid)
         obs.count("mapper.searches.fresh")

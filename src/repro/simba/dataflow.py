@@ -214,9 +214,6 @@ def evaluate_simba_model(
     if not layers:
         raise ValueError("layers must be non-empty")
     reports = [evaluate_simba(layer, hw) for layer in layers]
-    energy = EnergyBreakdown.zero()
-    cycles = 0
-    for report in reports:
-        energy = energy + report.energy
-        cycles += report.cycles
+    energy = EnergyBreakdown.fsum(report.energy for report in reports)
+    cycles = sum(report.cycles for report in reports)
     return energy, cycles, reports

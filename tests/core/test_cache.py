@@ -234,6 +234,45 @@ class TestDiskCache:
         assert not list(tmp_path.iterdir())
 
 
+class TestLegacyRecords:
+    def test_record_missing_stats_is_a_miss_not_a_zero(self, tmp_path):
+        """Regression: a pre-stats disk record must not resurface with
+        ``evaluated=0``.
+
+        ``Mapper._rebuild`` used to default missing ``evaluated``/``invalid``
+        to 0, so after a cache-format change every legacy record silently
+        under-reported ``mapper.candidates.evaluated`` forever.  A record
+        missing required keys is now a cache miss: the layer is re-searched
+        and the store is repaired with real statistics.
+        """
+        hw = case_study_hardware()
+        layer = small_layers()[0]
+        cache = MappingCache(tmp_path)
+        fresh = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=cache
+        ).search_layer(layer)
+        cache.save()
+        assert fresh.candidates_evaluated > 0
+
+        # Rewrite the store as a hand-written legacy record: the winning
+        # mapping survives, the search statistics do not.
+        path = next(tmp_path.glob("mappings-*.json"))
+        payload = json.loads(path.read_text())
+        for record in payload["entries"].values():
+            del record["evaluated"]
+            del record["invalid"]
+        path.write_text(json.dumps(payload))
+
+        legacy = MappingCache(tmp_path)
+        result = Mapper(
+            hw=hw, profile=SearchProfile.MINIMAL, cache=legacy
+        ).search_layer(layer)
+        assert legacy.misses == 1 and legacy.disk_hits == 0  # re-searched
+        assert result.candidates_evaluated == fresh.candidates_evaluated
+        assert result.candidates_invalid == fresh.candidates_invalid
+        assert result.mapping == fresh.mapping
+
+
 DIGEST = "0123456789abcdef" * 4
 
 

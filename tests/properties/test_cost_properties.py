@@ -7,7 +7,13 @@ from hypothesis import strategies as st
 
 from repro.arch.config import build_hardware
 from repro.arch.memory import LinearFit
-from repro.core.cost import InvalidMappingError, evaluate_mapping
+from repro.core.cost import (
+    CostReport,
+    EnergyBreakdown,
+    InvalidMappingError,
+    evaluate_mapping,
+    model_cost,
+)
 from repro.core.mapper import Mapper
 from repro.core.space import MappingSpace, SearchProfile
 from repro.sim.resources import BandwidthResource
@@ -105,6 +111,63 @@ class TestResourceInvariants:
         resource = BandwidthResource("r", bw)
         done = resource.request(arrival, bits)
         assert done >= arrival + bits / bw - 1e-9
+
+
+#: Component magnitudes spanning pJ noise to mJ totals -- the spread that
+#: makes naive left-fold float addition order-sensitive.
+_COMPONENT_PJ = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+@st.composite
+def breakdown_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        EnergyBreakdown(*(draw(_COMPONENT_PJ) for _ in range(8))) for _ in range(n)
+    ]
+
+
+class TestEnergyAggregationInvariance:
+    """Model/sweep totals must not depend on the layer summation order.
+
+    ``EnergyBreakdown.fsum`` is the reduction contract: compensated sums are
+    the correctly rounded component totals, so any permutation of the same
+    summands yields bit-identical results -- the property a naive
+    ``__add__`` left fold does not have.
+    """
+
+    @given(breakdown_lists(), st.randoms())
+    @settings(max_examples=200, deadline=None)
+    def test_fsum_is_permutation_invariant(self, breakdowns, rng):
+        reference = EnergyBreakdown.fsum(breakdowns)
+        shuffled = list(breakdowns)
+        rng.shuffle(shuffled)
+        permuted = EnergyBreakdown.fsum(shuffled)
+        assert permuted.as_dict() == reference.as_dict()
+        assert permuted.total_pj == reference.total_pj
+
+    @given(breakdown_lists(), st.randoms())
+    @settings(max_examples=100, deadline=None)
+    def test_model_cost_is_permutation_invariant(self, breakdowns, rng):
+        hw = build_hardware(1, 1, 8, 8)
+        reports = [
+            CostReport(
+                layer=None,
+                mapping=None,
+                energy=breakdown,
+                traffic=None,
+                cycles=1000 + i,
+                utilization=1.0,
+                o_l2_bytes=0,
+            )
+            for i, breakdown in enumerate(breakdowns)
+        ]
+        energy, cycles, edp = model_cost(reports, hw)
+        shuffled = list(reports)
+        rng.shuffle(shuffled)
+        energy2, cycles2, edp2 = model_cost(shuffled, hw)
+        assert energy2.as_dict() == energy.as_dict()
+        assert cycles2 == cycles
+        assert edp2 == edp
 
 
 class TestLinearFitProperties:
