@@ -85,8 +85,9 @@ guided:
 # Batch-vs-scalar parity gate (mirrors the CI guided-dse parity step):
 # the unit/property suites first, then the full Fig. 15 pre-design sweep
 # with the numpy batch kernel on and off -- the two JSON payloads must be
-# byte-identical (winner, energy, cycles, EDP on every point).  See
-# docs/modeling.md section 11.
+# byte-identical (winner, energy, cycles, EDP on every point) -- and the
+# same gate on a transformer sweep, so GEMM-shaped candidate spaces are
+# held to the identical contract.  See docs/modeling.md section 11.
 batch-parity:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
 		tests/core/test_batch.py tests/properties/test_batch_kernel.py
@@ -100,7 +101,17 @@ batch-parity:
 		--macs 4096 --area 3.0 --models alexnet --profile fast \
 		--stride 1 --jobs 4 --json "$$tmp/scalar.json" >/dev/null && \
 	cmp "$$tmp/batch.json" "$$tmp/scalar.json" && \
-	echo "batch kernel byte-identical to the scalar oracle (full Fig. 15 space)"
+	echo "batch kernel byte-identical to the scalar oracle (full Fig. 15 space)" && \
+	REPRO_BATCH_KERNEL=1 \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models bert_base --profile minimal \
+		--stride 997 --jobs 4 --json "$$tmp/bert-batch.json" >/dev/null && \
+	REPRO_BATCH_KERNEL=0 \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models bert_base --profile minimal \
+		--stride 997 --jobs 4 --json "$$tmp/bert-scalar.json" >/dev/null && \
+	cmp "$$tmp/bert-batch.json" "$$tmp/bert-scalar.json" && \
+	echo "batch kernel byte-identical on the transformer sweep (bert_base)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

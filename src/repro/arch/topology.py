@@ -1,9 +1,20 @@
-"""Network-on-Package topologies: the paper's ring plus a mesh extension.
+"""Network-on-Package topologies: the paper's ring plus pluggable extensions.
 
 The paper "employ[s] the directional ring network on package interconnecting
 1-to-8 chiplets rather than an intricate network for tens of chiplets"
 (Section I) -- the intricate network being Simba's 6x6 2D mesh.  This module
-models both so the framework can scale past eight chiplets:
+generalizes the interconnect into a pluggable interface so the framework can
+scale past eight chiplets and model alternative fabrics:
+
+* :class:`Topology` is the serializable *handle* -- a small enum stored on
+  :class:`~repro.arch.config.PackageConfig` and round-tripped through config
+  files by value (``"ring"``/``"mesh"``/``"switch"``).
+* :class:`TopologyModel` is the *behaviour* -- link geometry, sharing cost
+  and validity range.  Each enum member delegates to the model registered
+  for its value; :func:`register_topology` swaps a model in (for
+  experimentation or custom fabrics with the same handle).
+
+Built-in models:
 
 * **RING** -- one directional link per chiplet.  Sharing data among all
   chiplets (the rotating transfer) moves every shared bit across
@@ -12,8 +23,17 @@ models both so the framework can scale past eight chiplets:
   is distributed along a multicast spanning tree, which also traverses
   ``N_P - 1`` edges, so the *energy* per shared bit matches the ring; what
   changes is the link count (bandwidth) and the validity range.
+* **SWITCH** -- a central crossbar with one full-duplex port per chiplet.
+  A shared bit leaves the owner's uplink once and is replicated onto the
+  ``N_P - 1`` receiver downlinks, so sharing costs ``N_P`` link traversals;
+  any unicast crosses exactly two links.  The crossbar radix bounds the
+  chiplet count.
 
-Energy per link traversal is one GRS PHY-pair hop in both cases (Table I).
+Energy per link traversal is one GRS PHY-pair hop in all cases (Table I).
+Per-link *contention* is modeled where the links are actually scheduled:
+the tile-pipeline DES spreads rotation traffic over ``link_count`` discrete
+:class:`~repro.sim.des.BandwidthResource` links, and the audit's analytical
+channel term charges the same per-link occupancy.
 """
 
 from __future__ import annotations
@@ -22,66 +42,178 @@ import math
 from enum import Enum
 
 
-class Topology(Enum):
-    """The package interconnect style."""
+def _check_chiplets(n_chiplets: int) -> None:
+    if n_chiplets < 1:
+        raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
 
-    RING = "ring"
-    MESH = "mesh"
+
+class TopologyModel:
+    """Geometry and sharing-cost model behind one :class:`Topology` handle.
+
+    Subclass and :func:`register_topology` an instance to plug a different
+    fabric model under an existing handle.  Implementations must keep
+    ``n_chiplets == 1`` degenerate (no links, zero sharing cost).
+    """
 
     def max_chiplets(self) -> int:
-        """Validity range of the topology model.
+        """Largest chiplet count the model claims validity for."""
+        raise NotImplementedError
 
-        The ring follows the paper's 1-to-8 scope; the mesh extension covers
-        "tens of chiplets" up to Simba's 36 and a bit beyond.
-        """
-        return 8 if self is Topology.RING else 64
+    def link_count(self, n_chiplets: int) -> int:
+        """Number of physical package links available to rotation traffic."""
+        raise NotImplementedError
 
-    def mesh_dims(self, n_chiplets: int) -> tuple[int, int]:
-        """Near-square (rows, cols) arrangement for a mesh of ``n_chiplets``."""
-        if n_chiplets < 1:
-            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+    def sharing_hops_per_bit(self, n_chiplets: int) -> int:
+        """Link traversals for one bit shared among all chiplets."""
+        raise NotImplementedError
+
+    def average_distance(self, n_chiplets: int) -> float:
+        """Mean hop distance between distinct chiplets (latency proxy)."""
+        raise NotImplementedError
+
+
+class RingModel(TopologyModel):
+    """The paper's directional ring (1-to-8 chiplets, one link each)."""
+
+    def max_chiplets(self) -> int:
+        return 8
+
+    def link_count(self, n_chiplets: int) -> int:
+        _check_chiplets(n_chiplets)
+        return 0 if n_chiplets == 1 else n_chiplets
+
+    def sharing_hops_per_bit(self, n_chiplets: int) -> int:
+        # Ring rotation forwards each bit across N_P - 1 links.
+        _check_chiplets(n_chiplets)
+        return max(n_chiplets - 1, 0)
+
+    def average_distance(self, n_chiplets: int) -> float:
+        _check_chiplets(n_chiplets)
+        if n_chiplets == 1:
+            return 0.0
+        # Directional ring: the distance from i to j is (j - i) mod n,
+        # uniform over {1, ..., n-1} across distinct pairs -> mean n/2.
+        return n_chiplets / 2.0
+
+
+class MeshModel(TopologyModel):
+    """Near-square 2D mesh with bidirectional links (Simba-class scaling)."""
+
+    def max_chiplets(self) -> int:
+        # "Tens of chiplets": up to Simba's 36 and a bit beyond.
+        return 64
+
+    @staticmethod
+    def dims(n_chiplets: int) -> tuple[int, int]:
+        """Near-square (rows, cols) arrangement for ``n_chiplets``."""
+        _check_chiplets(n_chiplets)
         rows = int(math.isqrt(n_chiplets))
         while n_chiplets % rows:
             rows -= 1
         return rows, n_chiplets // rows
 
     def link_count(self, n_chiplets: int) -> int:
-        """Physical link count (directional ring links / mesh edges)."""
-        if n_chiplets < 1:
-            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        _check_chiplets(n_chiplets)
         if n_chiplets == 1:
             return 0
-        if self is Topology.RING:
-            return n_chiplets
-        rows, cols = self.mesh_dims(n_chiplets)
+        rows, cols = self.dims(n_chiplets)
         return rows * (cols - 1) + cols * (rows - 1)
 
     def sharing_hops_per_bit(self, n_chiplets: int) -> int:
-        """Link traversals for one bit shared among all chiplets.
-
-        Ring rotation forwards each bit across ``N_P - 1`` links; a mesh
-        multicast spanning tree also has ``N_P - 1`` edges.  Energy is
-        therefore topology-independent -- the paper's ring choice is about
-        design simplicity, not energy.
-        """
-        if n_chiplets < 1:
-            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        # A multicast spanning tree over N_P nodes has N_P - 1 edges, so the
+        # energy per shared bit matches the ring -- the paper's ring choice
+        # is about design simplicity, not energy.
+        _check_chiplets(n_chiplets)
         return max(n_chiplets - 1, 0)
 
     def average_distance(self, n_chiplets: int) -> float:
-        """Mean hop distance between distinct chiplets (latency proxy)."""
-        if n_chiplets < 1:
-            raise ValueError(f"chiplet count must be >= 1, got {n_chiplets}")
+        _check_chiplets(n_chiplets)
         if n_chiplets == 1:
             return 0.0
-        if self is Topology.RING:
-            # Directional ring: the distance from i to j is (j - i) mod n,
-            # uniform over {1, ..., n-1} across distinct pairs -> mean n/2.
-            return n_chiplets / 2.0
-        rows, cols = self.mesh_dims(n_chiplets)
+        rows, cols = self.dims(n_chiplets)
+
         # Mean Manhattan distance on a rows x cols grid: per axis, the mean
         # |a - b| over uniform a, b in [0, n) is (n^2 - 1) / (3n).
         def mean_axis(n: int) -> float:
             return (n * n - 1) / (3 * n) if n > 1 else 0.0
 
         return mean_axis(rows) + mean_axis(cols)
+
+
+class SwitchModel(TopologyModel):
+    """Central crossbar: one full-duplex port (link) per chiplet."""
+
+    def max_chiplets(self) -> int:
+        # Crossbar area/power grows quadratically with radix; cap it at a
+        # plausible package-level switch.
+        return 16
+
+    def link_count(self, n_chiplets: int) -> int:
+        _check_chiplets(n_chiplets)
+        return 0 if n_chiplets == 1 else n_chiplets
+
+    def sharing_hops_per_bit(self, n_chiplets: int) -> int:
+        # One uplink traversal out of the owner plus a replicated copy down
+        # each of the N_P - 1 receiver ports.
+        _check_chiplets(n_chiplets)
+        return n_chiplets if n_chiplets > 1 else 0
+
+    def average_distance(self, n_chiplets: int) -> float:
+        _check_chiplets(n_chiplets)
+        # Any unicast crosses exactly two links: uplink then downlink.
+        return 0.0 if n_chiplets == 1 else 2.0
+
+
+class Topology(Enum):
+    """The package interconnect handle (see the module docstring)."""
+
+    RING = "ring"
+    MESH = "mesh"
+    SWITCH = "switch"
+
+    @property
+    def model(self) -> TopologyModel:
+        """The registered behaviour model for this handle."""
+        return _MODELS[self.value]
+
+    def max_chiplets(self) -> int:
+        """Validity range of the topology model."""
+        return self.model.max_chiplets()
+
+    def mesh_dims(self, n_chiplets: int) -> tuple[int, int]:
+        """Near-square (rows, cols) arrangement for a mesh of ``n_chiplets``."""
+        return MeshModel.dims(n_chiplets)
+
+    def link_count(self, n_chiplets: int) -> int:
+        """Physical link count (ring links / mesh edges / crossbar ports)."""
+        return self.model.link_count(n_chiplets)
+
+    def sharing_hops_per_bit(self, n_chiplets: int) -> int:
+        """Link traversals for one bit shared among all chiplets."""
+        return self.model.sharing_hops_per_bit(n_chiplets)
+
+    def average_distance(self, n_chiplets: int) -> float:
+        """Mean hop distance between distinct chiplets (latency proxy)."""
+        return self.model.average_distance(n_chiplets)
+
+
+_MODELS: dict[str, TopologyModel] = {
+    Topology.RING.value: RingModel(),
+    Topology.MESH.value: MeshModel(),
+    Topology.SWITCH.value: SwitchModel(),
+}
+
+
+def register_topology(handle: Topology, model: TopologyModel) -> TopologyModel:
+    """Register ``model`` as the behaviour behind ``handle``.
+
+    Returns the model previously registered, so callers can restore it.
+    Mapping caches key on the hardware digest (which embeds the handle's
+    value only), so swapping models for the same handle should be paired
+    with a fresh cache directory.
+    """
+    if not isinstance(handle, Topology):
+        raise TypeError(f"handle must be a Topology member, got {handle!r}")
+    previous = _MODELS[handle.value]
+    _MODELS[handle.value] = model
+    return previous

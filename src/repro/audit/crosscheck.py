@@ -221,18 +221,24 @@ def cross_validate(
         mapping.rotation is RotationKind.NONE and model.conflict_bits == 0.0
     )
 
-    # The bandwidth-aware estimate: whichever roof binds, plus the pipeline
-    # fill (first load) and drain (last writeback) the analytical model
-    # deliberately leaves out.
+    # The bandwidth-aware estimate: whichever roof binds -- compute, the
+    # DRAM channel, or (for rotating mappings) the per-link occupancy of
+    # the package interconnect -- plus the pipeline fill (first load) and
+    # drain (last writeback) the analytical model deliberately leaves out.
     dram_bw = hw.tech.dram_bandwidth_bits_per_cycle
     channel_cycles = (
         (model.dram_load_bits + model.writeback_bits + model.conflict_bits)
         * model.iterations
         / dram_bw
     )
+    link_cycles = (
+        model.ring_bits
+        * model.iterations
+        / hw.tech.ring_bandwidth_bits_per_cycle
+    )
     fill = model.dram_load_bits / dram_bw
     drain = model.writeback_bits / dram_bw
-    estimate = max(analytical, channel_cycles) + fill + drain
+    estimate = max(analytical, channel_cycles, link_cycles) + fill + drain
 
     if simulated < roofline - _CYCLE_EPS:
         violations.append(

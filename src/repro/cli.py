@@ -33,6 +33,7 @@ from repro.analysis.reporting import (
 )
 from repro.arch.config import build_hardware, case_study_hardware
 from repro.arch.technology import TABLE_I
+from repro.arch.topology import Topology
 from repro.core.baton import NNBaton
 from repro.core.cache import MappingCache
 from repro.core.checkpoint import CHECKPOINT_DIR_ENV, SweepCheckpoint
@@ -68,6 +69,15 @@ def _parse_jobs(spec: str) -> int:
     if jobs < 0:
         raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+def _add_topology_flag(cmd: argparse.ArgumentParser) -> None:
+    """Register ``--topology`` (package interconnect) on a subcommand."""
+    cmd.add_argument(
+        "--topology", choices=[t.value for t in Topology], default=None,
+        help="package interconnect for the machine (default: the ring, or "
+        "whatever an --hw-file specifies)",
+    )
 
 
 def cmd_models(args: argparse.Namespace) -> int:
@@ -152,12 +162,26 @@ def _resolve_model(args: argparse.Namespace):
 
 
 def _resolve_hw(args: argparse.Namespace):
-    """Pick the hardware: --hw-file wins over the --hw tuple."""
+    """Pick the hardware: --hw-file wins over the --hw tuple.
+
+    ``--topology`` (when the command exposes it) rebuilds the package
+    around the requested interconnect; it applies to ``--hw`` tuples and
+    the case-study machine, while an explicit ``--hw-file`` carries its
+    own topology field and is left untouched.
+    """
     if getattr(args, "hw_file", None):
         from repro.arch.io import load_hardware
 
         return load_hardware(args.hw_file)
-    return args.hw
+    hw = args.hw
+    topology = getattr(args, "topology", None)
+    if topology is not None:
+        from dataclasses import replace
+
+        hw = replace(
+            hw, package=replace(hw.package, topology=Topology(topology))
+        )
+    return hw
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -308,6 +332,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             models,
             required_macs=args.macs,
             max_chiplet_mm2=args.area,
+            topology=Topology(args.topology) if args.topology else Topology.RING,
             memory_stride=stride,
             profile=SearchProfile(args.profile),
             jobs=args.jobs,
@@ -748,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("model", nargs="?", default="resnet50")
     map_cmd.add_argument("--hw", type=_parse_hw, default="case-study")
     map_cmd.add_argument("--hw-file", help="load the machine from a JSON file")
+    _add_topology_flag(map_cmd)
     map_cmd.add_argument(
         "--model-file", help="load the workload from a JSON layer list"
     )
@@ -779,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model")
     compare.add_argument("--hw", type=_parse_hw, default="case-study")
     compare.add_argument("--hw-file", help="load the machine from a JSON file")
+    _add_topology_flag(compare)
     compare.add_argument("--resolution", type=int, default=224)
     compare.add_argument(
         "--profile", choices=[p.value for p in SearchProfile], default="fast"
@@ -823,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--profile", choices=[p.value for p in SearchProfile], default="minimal"
     )
+    _add_topology_flag(explore)
     explore.add_argument("--csv", help="export valid design points to this CSV")
     explore.add_argument(
         "--json",
@@ -881,6 +909,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--hw", type=_parse_hw, default="case-study")
     audit.add_argument("--hw-file", help="load the machine from a JSON file")
+    _add_topology_flag(audit)
     audit.add_argument("--resolution", type=int, default=224)
     audit.add_argument(
         "--profile", choices=[p.value for p in SearchProfile], default="minimal"
@@ -910,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("model", nargs="?", default="resnet50")
     profile_cmd.add_argument("--hw", type=_parse_hw, default="case-study")
     profile_cmd.add_argument("--hw-file", help="load the machine from a JSON file")
+    _add_topology_flag(profile_cmd)
     profile_cmd.add_argument(
         "--model-file", help="load the workload from a JSON layer list"
     )

@@ -411,7 +411,15 @@ def evaluate_batch(
 
     # --- traffic assembly (compute_traffic) ---------------------------------
     chiplet_weight_fill = weight_fill_bits * cols["chp_co_ways"]
-    sharing_hops = np.maximum(n_chiplets - 1, 0)  # ring and mesh alike
+    # Sharing cost dispatches on the package topology (ring/mesh: N_P - 1
+    # hops; switch: N_P).  n_chiplets is per-candidate, so evaluate the
+    # scalar model once per distinct count -- candidate spaces only ever
+    # contain a handful of active-chiplet values.
+    sharing_hops = np.zeros_like(n_chiplets)
+    for count in np.unique(n_chiplets):
+        sharing_hops[n_chiplets == count] = hw.topology.sharing_hops_per_bit(
+            int(count)
+        )
     rot_weights = cols["rot_weights"].astype(bool)
     rot_activations = cols["rot_activations"].astype(bool)
     plane_rotated = ~pkg_channel & rot_weights

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.arch.config import HardwareConfig
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+from repro.arch.topology import Topology
 from repro.core.cost import EnergyBreakdown, model_cost
 from repro.core.dse import DesignPoint, DesignSpace, best_point, explore
 from repro.core.mapper import LayerMappingResult, Mapper
@@ -117,6 +118,7 @@ class NNBaton:
         models: dict[str, list[ConvLayer]],
         required_macs: int,
         max_chiplet_mm2: float | None = None,
+        topology: Topology = Topology.RING,
         space: DesignSpace | None = None,
         objective: str = "edp",
         primary_model: str | None = None,
@@ -141,6 +143,8 @@ class NNBaton:
             models: Benchmarks driving the exploration.
             required_macs: Exact MAC budget.
             max_chiplet_mm2: Per-chiplet area constraint.
+            topology: Package interconnect fabric every swept machine is
+                built with (directional ring by default).
             space: Exploration space (Table II by default).
             objective: Recommendation objective (EDP by default, Figure 14).
             primary_model: Model the recommendation optimizes (defaults to
@@ -175,6 +179,7 @@ class NNBaton:
             required_macs=required_macs,
             space=space,
             max_chiplet_mm2=max_chiplet_mm2,
+            topology=topology,
             profile=profile or SearchProfile.FAST,
             tech=self.tech,
             memory_stride=memory_stride,

@@ -58,6 +58,7 @@ def sweep_digest(
     strategy: str = "exhaustive",
     seed: int | None = None,
     trials: int | None = None,
+    topology: str = "ring",
 ) -> str:
     """A stable hex digest of everything a sweep's results depend on.
 
@@ -83,6 +84,7 @@ def sweep_digest(
             "strategy": strategy,
             "seed": seed,
             "trials": trials,
+            "topology": topology,
         },
         sort_keys=True,
     )

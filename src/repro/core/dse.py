@@ -30,6 +30,7 @@ from repro import obs
 from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig, MemoryConfig, build_hardware
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+from repro.arch.topology import Topology
 from repro.arch.validate import validation_errors
 from repro.core.checkpoint import SweepCheckpoint, sweep_digest, task_key
 from repro.core.cost import InvalidMappingError, model_cost
@@ -220,9 +221,13 @@ def _granularity_task(config: tuple[int, int, int, int]):
 
 def _explore_task(task: tuple[int, int, int, int, MemoryConfig]):
     """Worker: one Figure 15 (computation, memory) sweep point."""
-    models, profile, tech, required_macs, max_chiplet_mm2 = worker_context()
+    models, profile, tech, required_macs, max_chiplet_mm2, topology = (
+        worker_context()
+    )
     n_p, n_c, lane, vec, memory = task
-    hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+    hw = build_hardware(
+        n_p, n_c, lane, vec, memory=memory, tech=tech, topology=topology
+    )
     return _make_point(
         hw,
         models,
@@ -412,6 +417,7 @@ def _outcome_from_record(
     task: tuple[int, int, int, int, MemoryConfig],
     record: dict,
     tech: TechnologyParams,
+    topology: Topology = Topology.RING,
 ) -> tuple[DesignPoint, bool, int, int] | None:
     """Rebuild a sweep outcome from its checkpoint record.
 
@@ -420,7 +426,9 @@ def _outcome_from_record(
     """
     try:
         n_p, n_c, lane, vec, memory = task
-        hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+        hw = build_hardware(
+            n_p, n_c, lane, vec, memory=memory, tech=tech, topology=topology
+        )
         point = DesignPoint(
             hw=hw,
             chiplet_area_mm2=float(record["area"]),
@@ -444,6 +452,7 @@ def explore(
     required_macs: int,
     space: DesignSpace | None = None,
     max_chiplet_mm2: float | None = None,
+    topology: Topology = Topology.RING,
     profile: SearchProfile = SearchProfile.FAST,
     tech: TechnologyParams = DEFAULT_TECHNOLOGY,
     max_valid_points: int | None = None,
@@ -479,6 +488,9 @@ def explore(
         space: Exploration space (defaults to Table II).
         max_chiplet_mm2: Points over this area are kept but marked invalid,
             mirroring the paper's constrained/unconstrained split.
+        topology: Package interconnect every swept machine uses (the
+            paper's directional ring by default; mesh/switch let the sweep
+            answer "does the winning granularity survive a fabric change").
         profile: Mapping-search profile for each valid point.
         max_valid_points: Optional cap on evaluated points (sweep still
             counts the rest as valid-but-unevaluated=False for reporting).
@@ -535,6 +547,7 @@ def explore(
             required_macs,
             space=space,
             max_chiplet_mm2=max_chiplet_mm2,
+            topology=topology,
             profile=profile,
             tech=tech,
             trials=trials,
@@ -555,7 +568,7 @@ def explore(
         raise ValueError("resume=True requires a checkpoint_dir")
     space = space or DesignSpace()
     jobs = resolve_jobs(jobs)
-    context = (models, profile, tech, required_macs, max_chiplet_mm2)
+    context = (models, profile, tech, required_macs, max_chiplet_mm2, topology)
     if jobs > 1 and not is_picklable(context):
         jobs = 1
     tasks = _sweep_tasks(space, required_macs, memory_stride)
@@ -578,6 +591,7 @@ def explore(
                 profile,
                 tech,
                 memory_stride,
+                topology=topology.value,
             ),
             flush_every=checkpoint_every,
         )
@@ -587,7 +601,9 @@ def explore(
                 record = stored.get(key)
                 if record is None:
                     continue
-                outcome = _outcome_from_record(tasks[index], record, tech)
+                outcome = _outcome_from_record(
+                    tasks[index], record, tech, topology=topology
+                )
                 if outcome is not None:
                     resumed[index] = outcome
             if resumed:
@@ -653,7 +669,9 @@ def explore(
     for index, outcome in enumerate(outcomes):
         if isinstance(outcome, TaskFailure):
             n_p, n_c, lane, vec, memory = tasks[index]
-            hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+            hw = build_hardware(
+                n_p, n_c, lane, vec, memory=memory, tech=tech, topology=topology
+            )
             point, structural, hits, misses = (
                 _failed_point(hw, outcome),
                 False,
@@ -695,11 +713,13 @@ def _explore_serial_capped(
     evaluations beyond ``max_valid_points`` -- the cheap-skip behaviour the
     pre-parallel implementation had.
     """
-    models, profile, tech, required_macs, max_chiplet_mm2 = context
+    models, profile, tech, required_macs, max_chiplet_mm2, topology = context
     outcomes: list[tuple[DesignPoint, bool, int, int]] = []
     evaluated = 0
     for n_p, n_c, lane, vec, memory in tasks:
-        hw = build_hardware(n_p, n_c, lane, vec, memory=memory, tech=tech)
+        hw = build_hardware(
+            n_p, n_c, lane, vec, memory=memory, tech=tech, topology=topology
+        )
         errors = validation_errors(
             hw,
             required_macs=required_macs,

@@ -44,6 +44,7 @@ from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig, MemoryConfig, build_hardware
 from repro.arch.energy import EnergyModel
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
+from repro.arch.topology import Topology
 from repro.arch.validate import validation_errors
 from repro.core.checkpoint import sweep_digest, task_key
 from repro.core.cost import intrinsic_compute_energy_pj
@@ -586,6 +587,7 @@ def guided_explore(
     required_macs: int,
     space: Any = None,
     max_chiplet_mm2: float | None = None,
+    topology: Topology = Topology.RING,
     profile: SearchProfile = SearchProfile.FAST,
     tech: TechnologyParams = DEFAULT_TECHNOLOGY,
     trials: int = 128,
@@ -611,6 +613,8 @@ def guided_explore(
         required_macs: Exact MAC budget.
         space: Exploration space (Table II by default).
         max_chiplet_mm2: Per-chiplet area constraint (structural pruning).
+        topology: Package interconnect every proposed machine is built
+            with (directional ring by default).
         profile: Mapping-search profile per evaluated point.
         tech: Technology point.
         trials: Full-evaluation budget (resumed study trials count too).
@@ -648,7 +652,7 @@ def guided_explore(
         space, required_macs, trials=trials, seed=seed
     )
     jobs = resolve_jobs(jobs)
-    context = (models, profile, tech, required_macs, max_chiplet_mm2)
+    context = (models, profile, tech, required_macs, max_chiplet_mm2, topology)
     if jobs > 1 and not is_picklable(context):
         jobs = 1
     if stats is not None:
@@ -668,6 +672,7 @@ def guided_explore(
             strategy=engine.name,
             seed=seed,
             trials=trials,
+            topology=topology.value,
         )
         store = Study(
             study,
@@ -696,10 +701,14 @@ def guided_explore(
             by_key: dict[str, Trial] = {}
             to_eval: list[Candidate] = []
             for cand in candidates:
-                hw = build_hardware(*cand.comp, memory=cand.memory, tech=tech)
+                hw = build_hardware(
+                    *cand.comp, memory=cand.memory, tech=tech, topology=topology
+                )
                 record = stored.get(cand.key)
                 if record is not None:
-                    outcome = _outcome_from_record(cand.task, record, tech)
+                    outcome = _outcome_from_record(
+                        cand.task, record, tech, topology=topology
+                    )
                     if outcome is not None:
                         point, _structural, hits, misses = outcome
                         if stats is not None:
@@ -754,7 +763,10 @@ def guided_explore(
                 for cand, outcome in zip(to_eval, outcomes):
                     if isinstance(outcome, TaskFailure):
                         hw = build_hardware(
-                            *cand.comp, memory=cand.memory, tech=tech
+                            *cand.comp,
+                            memory=cand.memory,
+                            tech=tech,
+                            topology=topology,
                         )
                         by_key[cand.key] = Trial(
                             cand, "failed", _failed_point(hw, outcome)

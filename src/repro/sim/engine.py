@@ -5,9 +5,12 @@ a three-stage pipeline:
 
 * **load** -- DMA the iteration's input and weight fill from the chiplet's
   DRAM channel (the crossbar gives every chiplet its own channel); when the
-  mapping rotates shared data, the ring phase starts after *all* chiplets
+  mapping rotates shared data, the sharing phase starts after *all* chiplets
   have loaded their 1/N_P slice (the rotating transfer is a synchronized
-  round, Figure 3) and each directional link carries the forwarded traffic.
+  round, Figure 3) and the forwarded traffic is spread over the package
+  topology's physical links (ring links, mesh edges, or crossbar ports --
+  see :mod:`repro.arch.topology`), each a discrete FIFO-scheduled
+  bandwidth resource, so per-link contention is modeled for every fabric.
 * **compute** -- the analytical core-block cycles of the workload; double
   buffering lets load ``i`` overlap compute ``i-1`` but not run further
   ahead (two buffers).
@@ -82,8 +85,8 @@ class TilePipelineModel:
         weight_total = traffic.dram_weight_bits
         self.dram_load_bits = (input_total + weight_total) / self.n_chiplets / iters
         # Rotation traffic per link per iteration, balanced over the
-        # topology's physical links (N_P directional ring links, or the mesh
-        # extension's edge count).
+        # topology's physical links (N_P directional ring links, the mesh's
+        # edge count, or the crossbar's N_P ports).
         n_links = max(hw.topology.link_count(self.n_chiplets), 1)
         if rotation is RotationKind.NONE:
             self.ring_bits = 0.0
@@ -231,9 +234,12 @@ class TilePipelineModel:
             if arrived[iteration] == self.n_chiplets:
                 release = barrier_time[iteration]
                 for peer in states:
-                    ring_start, ring_done = self.ring_links[
-                        peer.index
-                    ].request_span(release, self.ring_bits)
+                    # A fabric can have fewer links than chiplets (a 1xN
+                    # mesh strip); peers then contend for the same link.
+                    link = self.ring_links[peer.index % len(self.ring_links)]
+                    ring_start, ring_done = link.request_span(
+                        release, self.ring_bits
+                    )
                     if self.trace is not None:
                         self.trace.add(
                             peer.index,

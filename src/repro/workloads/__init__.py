@@ -4,8 +4,11 @@ The mapping and DSE engines consume layer shape tuples only, so this package
 replaces the paper's ``torch.jit`` model parsing with from-scratch layer
 tables for the paper's four networks (AlexNet, VGG-16, ResNet-50, DarkNet-19)
 plus MobileNetV2 (grouped/depthwise convolutions), at both evaluated input
-resolutions (224x224 classification, 512x512 detection).  Custom models load
-from JSON layer lists via :mod:`repro.workloads.io`.
+resolutions (224x224 classification, 512x512 detection).  Native matmul and
+attention layer types (:mod:`repro.workloads.transformer`) extend the
+substrate to transformer-class workloads -- BERT-base and ViT-B/16 encoder
+stacks and a batch-1 LLM decoder block.  Custom models load from JSON layer
+lists via :mod:`repro.workloads.io`.
 """
 
 from repro.workloads.extraction import (
@@ -14,28 +17,42 @@ from repro.workloads.extraction import (
     representative_layers,
 )
 from repro.workloads.io import layers_from_specs, load_model_file, save_model_file
-from repro.workloads.layer import ConvLayer, fc_as_pointwise
+from repro.workloads.layer import ConvLayer, MatmulLayer, fc_as_pointwise, matmul
 from repro.workloads.models import alexnet, darknet19, mobilenetv2, resnet50, vgg16
 from repro.workloads.registry import MODEL_BUILDERS, get_model, list_models
 from repro.workloads.stats import LayerStats, ModelStats
+from repro.workloads.transformer import (
+    AttentionLayer,
+    bert_base,
+    encoder_block,
+    llm_decode,
+    vit_b16,
+)
 
 __all__ = [
+    "AttentionLayer",
     "ConvLayer",
     "LayerKind",
     "LayerStats",
+    "MatmulLayer",
     "ModelStats",
     "MODEL_BUILDERS",
     "alexnet",
+    "bert_base",
     "classify_layer",
     "darknet19",
+    "encoder_block",
     "fc_as_pointwise",
     "get_model",
     "layers_from_specs",
+    "llm_decode",
     "load_model_file",
     "save_model_file",
     "list_models",
+    "matmul",
     "mobilenetv2",
     "representative_layers",
     "resnet50",
     "vgg16",
+    "vit_b16",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from enum import Enum
 
-from repro.workloads.layer import ConvLayer
+from repro.workloads.layer import ConvLayer, MatmulLayer
 from repro.workloads.models import resnet50, vgg16
 
 
@@ -25,6 +25,9 @@ class LayerKind(Enum):
 
     DEPTHWISE extends the paper's taxonomy for grouped convolutions
     (MobileNetV2), whose mapping behavior differs from every dense category.
+    MATMUL extends it for native GEMM layers (FC heads, transformer
+    projections and attention einsums), which have no kernel sweep and no
+    halo and therefore map unlike any convolution category.
     """
 
     ACTIVATION_INTENSIVE = "activation-intensive"
@@ -33,17 +36,22 @@ class LayerKind(Enum):
     POINTWISE = "point-wise"
     COMMON = "common"
     DEPTHWISE = "depthwise"
+    MATMUL = "matmul"
 
 
 def classify_layer(layer: ConvLayer) -> LayerKind:
     """Classify a layer into its representative category.
 
+    Native matmul layers are their own category (checked first: a grouped
+    attention einsum is a multi-head GEMM, not a depthwise convolution).
     Kernel-shape categories take precedence (large-kernel, point-wise), then
     the activation/weight volume comparison decides the rest; a 3x3 layer
     whose two volumes are within 8x of each other is "common" (the paper's
     common example, res2a_branch2b, carries ~5x more activations than
     weights and is still called common).
     """
+    if isinstance(layer, MatmulLayer):
+        return LayerKind.MATMUL
     if layer.groups > 1:
         return LayerKind.DEPTHWISE
     if layer.kh >= 7 or layer.kw >= 7:

@@ -8,11 +8,19 @@ file) can feed the tool::
     [
       {"name": "conv1", "h": 224, "w": 224, "ci": 3, "co": 64,
        "kh": 7, "kw": 7, "stride": 2, "padding": 3},
+      {"name": "enc0", "attn_seq": 128, "attn_d": 768, "attn_heads": 12},
+      {"name": "ffn1", "m": 128, "k": 768, "n": 3072},
       {"name": "fc", "fc_in": 2048, "fc_out": 1000}
     ]
 
-Entries with ``fc_in``/``fc_out`` are folded into pointwise layers, the
-same treatment the paper applies to FC layers.
+Four entry shapes are accepted:
+
+* convolutions (``h``/``w``/``ci``/``co``/``kh``/``kw`` + options),
+* native matmuls (``m``/``k``/``n`` + optional ``batch``/``heads``),
+* attention blocks (``attn_seq``/``attn_d``/``attn_heads`` + optional
+  ``attn_kv``/``batch``), which expand in place into their six GEMMs, and
+* FC entries (``fc_in``/``fc_out`` + optional ``batch``), routed through
+  the native matmul path.
 """
 
 from __future__ import annotations
@@ -21,19 +29,25 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.workloads.layer import ConvLayer, fc_as_pointwise
+from repro.workloads.layer import ConvLayer, MatmulLayer, fc_as_pointwise, matmul
+from repro.workloads.transformer import AttentionLayer
 
 #: Accepted convolution keys (everything else is rejected loudly).
 _CONV_KEYS = {"name", "h", "w", "ci", "co", "kh", "kw", "stride", "padding", "groups"}
-_FC_KEYS = {"name", "fc_in", "fc_out"}
+_FC_KEYS = {"name", "fc_in", "fc_out", "batch"}
+_MATMUL_KEYS = {"name", "m", "k", "n", "batch", "heads"}
+_ATTENTION_KEYS = {"name", "attn_seq", "attn_d", "attn_heads", "attn_kv", "batch"}
 
 
 def layer_from_spec(spec: dict[str, Any]) -> ConvLayer:
     """Build one layer from a JSON-style dictionary.
 
+    Attention entries cannot be built through this single-layer hook (they
+    expand into several GEMMs); use :func:`layers_from_specs` for those.
+
     Raises:
-        ValueError: For unknown keys or a spec that is neither a convolution
-            nor an FC entry.
+        ValueError: For unknown keys or a spec that is none of the accepted
+            entry shapes.
     """
     keys = set(spec)
     if {"fc_in", "fc_out"} <= keys:
@@ -41,7 +55,29 @@ def layer_from_spec(spec: dict[str, Any]) -> ConvLayer:
         if unknown:
             raise ValueError(f"unknown FC keys: {', '.join(sorted(unknown))}")
         return fc_as_pointwise(
-            spec.get("name", "fc"), spec["fc_in"], spec["fc_out"]
+            spec.get("name", "fc"),
+            spec["fc_in"],
+            spec["fc_out"],
+            batch=spec.get("batch", 1),
+        )
+    if {"m", "k", "n"} <= keys:
+        unknown = keys - _MATMUL_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown matmul keys: {', '.join(sorted(unknown))}"
+            )
+        return matmul(
+            spec.get("name", "matmul"),
+            m=spec["m"],
+            k=spec["k"],
+            n=spec["n"],
+            batch=spec.get("batch", 1),
+            heads=spec.get("heads", 1),
+        )
+    if "attn_seq" in keys:
+        raise ValueError(
+            "attention entries expand into several layers; load them via "
+            "layers_from_specs/load_model_file"
         )
     unknown = keys - _CONV_KEYS
     if unknown:
@@ -63,8 +99,32 @@ def layer_from_spec(spec: dict[str, Any]) -> ConvLayer:
     )
 
 
+def _attention_from_spec(spec: dict[str, Any]) -> AttentionLayer:
+    keys = set(spec)
+    unknown = keys - _ATTENTION_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown attention keys: {', '.join(sorted(unknown))}"
+        )
+    missing = {"attn_seq", "attn_d", "attn_heads"} - keys
+    if missing:
+        raise ValueError(
+            f"missing attention keys: {', '.join(sorted(missing))}"
+        )
+    return AttentionLayer(
+        name=spec.get("name", "attn"),
+        seq=spec["attn_seq"],
+        d_model=spec["attn_d"],
+        heads=spec["attn_heads"],
+        kv_seq=spec.get("attn_kv"),
+        batch=spec.get("batch", 1),
+    )
+
+
 def layers_from_specs(specs: list[dict[str, Any]]) -> list[ConvLayer]:
     """Build a model from a list of layer dictionaries.
+
+    Attention entries expand in place into their six GEMM sublayers.
 
     Raises:
         ValueError: For an empty list (with the index of any bad entry
@@ -72,10 +132,13 @@ def layers_from_specs(specs: list[dict[str, Any]]) -> list[ConvLayer]:
     """
     if not specs:
         raise ValueError("model description is empty")
-    layers = []
+    layers: list[ConvLayer] = []
     for index, spec in enumerate(specs):
         try:
-            layers.append(layer_from_spec(spec))
+            if isinstance(spec, dict) and "attn_seq" in spec:
+                layers.extend(_attention_from_spec(spec).sublayers())
+            else:
+                layers.append(layer_from_spec(spec))
         except (ValueError, KeyError, TypeError) as exc:
             raise ValueError(f"layer {index}: {exc}") from exc
     return layers
@@ -92,10 +155,29 @@ def load_model_file(path: str | Path) -> list[ConvLayer]:
 
 
 def save_model_file(layers: list[ConvLayer], path: str | Path) -> None:
-    """Write a model to a JSON file in the import format."""
+    """Write a model to a JSON file in the import format.
+
+    Matmul layers are written as native matmul entries, so the round-trip
+    preserves the layer type (an expanded attention block round-trips as
+    its six GEMMs).
+    """
     specs = []
     for layer in layers:
-        spec: dict[str, Any] = {
+        spec: dict[str, Any]
+        if isinstance(layer, MatmulLayer):
+            spec = {
+                "name": layer.name,
+                "m": layer.m,
+                "k": layer.k,
+                "n": layer.n,
+            }
+            if layer.batch != 1:
+                spec["batch"] = layer.batch
+            if layer.heads != 1:
+                spec["heads"] = layer.heads
+            specs.append(spec)
+            continue
+        spec = {
             "name": layer.name,
             "h": layer.h,
             "w": layer.w,

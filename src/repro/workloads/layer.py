@@ -209,18 +209,107 @@ class ConvLayer:
         )
 
 
-def fc_as_pointwise(name: str, in_features: int, out_features: int) -> ConvLayer:
-    """Fold a fully-connected layer into a 1x1 pointwise convolution.
+@dataclass(frozen=True)
+class MatmulLayer(ConvLayer):
+    """A ``(m x k) @ (k x n)`` GEMM expressed in convolution coordinates.
+
+    The C3P computation-pattern abstraction is not conv-specific: a GEMM is
+    exactly a 1x1 (point-wise) convolution whose output plane is the
+    ``m x batch`` result grid -- output rows map onto the H loop slot, the
+    batch dimension onto W, the reduction dimension onto the input channels
+    and the output features onto the output channels.  Multi-head einsums
+    (attention scores / context) use ``groups = heads``: each head reduces
+    only over its own ``k / heads`` slice, which is precisely the grouped
+    convolution contract every walk already honours.
+
+    The subclass adds *no* stored fields, so a :class:`MatmulLayer` flows
+    through ``MappingSpace``, the three C3P walks, the scalar cost model,
+    the batch kernel and the DES bit-identically to the equal-geometry
+    :class:`ConvLayer` -- only the constructors, accessors and
+    classification differ.  Use :func:`matmul` to build one.
+    """
+
+    @property
+    def m(self) -> int:
+        """GEMM output rows (sequence positions / batch rows)."""
+        return self.h
+
+    @property
+    def k(self) -> int:
+        """Total reduction depth across all heads."""
+        return self.ci
+
+    @property
+    def n(self) -> int:
+        """Total output features across all heads."""
+        return self.co
+
+    @property
+    def batch(self) -> int:
+        """Independent GEMM instances sharing the weight operand."""
+        return self.w
+
+    @property
+    def heads(self) -> int:
+        """Independent reduction groups (attention heads)."""
+        return self.groups
+
+    def describe(self) -> str:
+        """A one-line human-readable summary in GEMM terms."""
+        head = f" heads={self.heads}" if self.heads > 1 else ""
+        batch = f" batch={self.batch}" if self.batch > 1 else ""
+        return (
+            f"{self.name}: ({self.m}x{self.k // self.heads})"
+            f"@({self.k // self.heads}x{self.n // self.heads})"
+            f"{head}{batch} -> {self.macs / 1e6:.1f} MMACs"
+        )
+
+
+def matmul(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    batch: int = 1,
+    heads: int = 1,
+) -> MatmulLayer:
+    """Build a native matmul layer (see :class:`MatmulLayer`).
+
+    Args:
+        name: Layer name.
+        m: Output rows of the GEMM.
+        k: Total reduction depth (summed over ``heads``).
+        n: Total output features (summed over ``heads``).
+        batch: Independent GEMM instances sharing the same weights.
+        heads: Independent reduction groups; must divide ``k`` and ``n``.
+    """
+    if min(m, k, n, batch, heads) < 1:
+        raise ValueError("matmul dimensions must all be >= 1")
+    if k % heads or n % heads:
+        raise ValueError(
+            f"heads ({heads}) must divide both k ({k}) and n ({n})"
+        )
+    return MatmulLayer(
+        name=name, h=m, w=batch, ci=k, co=n, kh=1, kw=1, groups=heads
+    )
+
+
+def fc_as_pointwise(
+    name: str, in_features: int, out_features: int, batch: int = 1
+) -> MatmulLayer:
+    """A fully-connected layer, routed through the native matmul path.
 
     The paper's evaluation "reorganizes FC layers into point-wise layers"
-    (Figure 13 caption): an FC of ``in -> out`` features is a 1x1 convolution
-    over a 1x1 plane with ``ci = in`` and ``co = out``.
+    (Figure 13 caption); historically this helper built that 1x1-plane
+    pointwise fold directly, which silently dropped any batch dimension
+    greater than one.  It now returns the equivalent
+    :func:`matmul`-constructed layer -- identical geometry (and therefore
+    identical energy/cycles) for ``batch == 1``, and a correct
+    ``(batch x in) @ (in x out)`` GEMM otherwise.
     """
     if in_features < 1 or out_features < 1:
         raise ValueError("FC feature counts must be >= 1")
-    return ConvLayer(
-        name=name, h=1, w=1, ci=in_features, co=out_features, kh=1, kw=1
-    )
+    return matmul(name, m=batch, k=in_features, n=out_features)
 
 
 def ceil_div(a: int, b: int) -> int:

@@ -10,6 +10,7 @@ from typing import Callable
 
 from repro.workloads.layer import ConvLayer
 from repro.workloads.models import alexnet, darknet19, mobilenetv2, resnet50, vgg16
+from repro.workloads.transformer import bert_base, llm_decode, vit_b16
 
 ModelBuilder = Callable[..., list[ConvLayer]]
 
@@ -20,6 +21,9 @@ MODEL_BUILDERS: dict[str, ModelBuilder] = {
     "vgg16": vgg16,
     "resnet50": resnet50,
     "darknet19": darknet19,
+    "bertbase": bert_base,
+    "vitb16": vit_b16,
+    "llmdecode": llm_decode,
 }
 
 
@@ -39,8 +43,12 @@ def get_model(
             Separator characters are ignored, so ``"mobilenet_v2"`` and
             ``"MobileNet-V2"`` both resolve to ``"mobilenetv2"``.
         resolution: Network input resolution (224 or 512 in the paper).
-        include_fc: Whether to append the FC layers folded into pointwise
-            convolutions.
+            Transformer models reinterpret it: ``bert_base@N`` selects the
+            sequence length and ``llm_decode@N`` the KV-cache length (the
+            default maps to their canonical 128/512 configurations);
+            ``vit_b16`` uses it as a true image resolution.
+        include_fc: Whether to append the FC/classifier-head layers (built
+            as native matmul layers).
 
     Raises:
         KeyError: For an unregistered name.

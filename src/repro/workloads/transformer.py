@@ -1,0 +1,191 @@
+"""Transformer workloads: attention blocks and the BERT/ViT/LLM builders.
+
+Matmul layers (:class:`~repro.workloads.layer.MatmulLayer`) are native
+first-class citizens of the mapping substrate; *attention* is a composite.
+A single softmax(QK^T)V block is several einsums with different operand
+shapes, so it cannot be one loop nest -- :class:`AttentionLayer` therefore
+describes the block and :meth:`AttentionLayer.sublayers` expands it into
+the six GEMMs that actually run through ``MappingSpace``/C3P/DES:
+
+========  =========================================  ==================
+sublayer  einsum (per batch)                          grouped?
+========  =========================================  ==================
+``_q``    ``(S x d) @ (d x d)``                       no
+``_k``    ``(S x d) @ (d x d)``                       no
+``_v``    ``(S x d) @ (d x d)``                       no
+``_scores``  per head ``(S x d_h) @ (d_h x T)``       ``groups = heads``
+``_context`` per head ``(S x T) @ (T x d_h)``         ``groups = heads``
+``_out``  ``(S x d) @ (d x d)``                       no
+========  =========================================  ==================
+
+where ``S`` is the query length, ``T`` the key/value length (the KV-cache
+length during decode) and ``d_h = d / heads``.  The softmax itself carries
+no MACs and is not modeled.  Model builders flatten the expansion, so every
+downstream consumer only ever sees :class:`ConvLayer`-compatible objects.
+
+The registered models:
+
+* ``bert_base`` -- 12 encoder blocks (d=768, 12 heads, FFN 3072) at
+  sequence length 128 (an ``@N`` resolution suffix overrides it).
+* ``vit_b16`` -- the 16x16 patch-embedding *convolution* followed by 12
+  encoder blocks over the ``(res/16)^2 + 1`` patch tokens, plus the
+  1000-way classifier head.
+* ``llm_decode`` -- one batch-1 GEMV-heavy decoder block (d=4096, 32
+  heads, FFN 11008) generating a single token against a 512-entry KV
+  cache (an ``@N`` suffix overrides the cache length), plus the 32000-way
+  LM head.
+
+Identical blocks repeat identical layer shapes, so the mapper's shape-keyed
+cache searches each unique GEMM once regardless of model depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.layer import ConvLayer, MatmulLayer, matmul
+
+
+@dataclass(frozen=True)
+class AttentionLayer:
+    """A multi-head self-attention block (composite; see module docstring).
+
+    Attributes:
+        name: Block name; sublayers are suffixed ``_q``/``_k``/``_v``/
+            ``_scores``/``_context``/``_out``.
+        seq: Query positions processed (1 for single-token decode).
+        d_model: Model width; must be divisible by ``heads``.
+        heads: Attention heads (the grouped-GEMM group count).
+        kv_seq: Key/value positions attended to -- the KV-cache length
+            during decode.  Defaults to ``seq`` (bidirectional encoder).
+        batch: Independent sequences sharing the same weights.
+    """
+
+    name: str
+    seq: int
+    d_model: int
+    heads: int
+    kv_seq: int | None = None
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.seq, self.d_model, self.heads, self.batch) < 1:
+            raise ValueError("attention dimensions must all be >= 1")
+        if self.d_model % self.heads:
+            raise ValueError(
+                f"heads ({self.heads}) must divide d_model ({self.d_model})"
+            )
+        if self.kv_seq is not None and self.kv_seq < 1:
+            raise ValueError(f"kv_seq must be >= 1, got {self.kv_seq}")
+
+    @property
+    def context_length(self) -> int:
+        """Key/value positions each query attends to."""
+        return self.kv_seq if self.kv_seq is not None else self.seq
+
+    def sublayers(self) -> tuple[MatmulLayer, ...]:
+        """The six GEMMs the block expands into, in execution order."""
+        d, h, s, t = self.d_model, self.heads, self.seq, self.context_length
+        return (
+            matmul(f"{self.name}_q", m=s, k=d, n=d, batch=self.batch),
+            matmul(f"{self.name}_k", m=s, k=d, n=d, batch=self.batch),
+            matmul(f"{self.name}_v", m=s, k=d, n=d, batch=self.batch),
+            matmul(
+                f"{self.name}_scores",
+                m=s, k=d, n=h * t, batch=self.batch, heads=h,
+            ),
+            matmul(
+                f"{self.name}_context",
+                m=s, k=h * t, n=d, batch=self.batch, heads=h,
+            ),
+            matmul(f"{self.name}_out", m=s, k=d, n=d, batch=self.batch),
+        )
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates across the expansion."""
+        return sum(layer.macs for layer in self.sublayers())
+
+    def describe(self) -> str:
+        """A one-line human-readable summary."""
+        kv = f" kv={self.context_length}" if self.kv_seq is not None else ""
+        return (
+            f"{self.name}: attention seq={self.seq} d={self.d_model} "
+            f"heads={self.heads}{kv} -> {self.macs / 1e6:.1f} MMACs"
+        )
+
+
+def encoder_block(
+    prefix: str,
+    seq: int,
+    d_model: int,
+    heads: int,
+    ffn: int,
+    batch: int = 1,
+    kv_seq: int | None = None,
+) -> list[ConvLayer]:
+    """One pre-norm transformer block, flattened to its GEMMs."""
+    attention = AttentionLayer(
+        f"{prefix}_attn", seq=seq, d_model=d_model, heads=heads,
+        kv_seq=kv_seq, batch=batch,
+    )
+    return [
+        *attention.sublayers(),
+        matmul(f"{prefix}_ffn1", m=seq, k=d_model, n=ffn, batch=batch),
+        matmul(f"{prefix}_ffn2", m=seq, k=ffn, n=d_model, batch=batch),
+    ]
+
+
+def bert_base(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """BERT-base: 12 encoder blocks, d=768, 12 heads, FFN 3072.
+
+    For transformer models the ``@N`` resolution suffix selects the
+    sequence length; the registry default (224, an image resolution)
+    maps to the canonical 128-token configuration.  ``include_fc`` keeps
+    the pooler and 2-way classifier head.
+    """
+    seq = 128 if resolution == 224 else resolution
+    layers: list[ConvLayer] = []
+    for index in range(12):
+        layers.extend(encoder_block(f"enc{index}", seq, 768, 12, 3072))
+    if include_fc:
+        layers.append(matmul("pooler", m=1, k=768, n=768))
+        layers.append(matmul("cls", m=1, k=768, n=2))
+    return layers
+
+
+def vit_b16(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """ViT-B/16: patch-embedding conv + 12 encoder blocks + classifier."""
+    if resolution < 16 or resolution % 16:
+        raise ValueError(
+            f"vit_b16 needs a resolution divisible by 16, got {resolution}"
+        )
+    seq = (resolution // 16) ** 2 + 1  # patch tokens + [CLS]
+    layers: list[ConvLayer] = [
+        ConvLayer(
+            "patch_embed", h=resolution, w=resolution, ci=3, co=768,
+            kh=16, kw=16, stride=16,
+        ),
+    ]
+    for index in range(12):
+        layers.extend(encoder_block(f"enc{index}", seq, 768, 12, 3072))
+    if include_fc:
+        layers.append(matmul("head", m=1, k=768, n=1000))
+    return layers
+
+
+def llm_decode(resolution: int = 224, include_fc: bool = True) -> list[ConvLayer]:
+    """One batch-1 LLM decoder block: single-token GEMV decode.
+
+    Every GEMM has ``m = 1`` (one new token), which is the degenerate
+    matrix-vector regime the conv-centric substrate never exercised; the
+    KV cache enters through ``kv_seq`` (512 by default, overridden by the
+    ``@N`` resolution suffix).  ``include_fc`` keeps the 32000-way LM head.
+    """
+    kv = 512 if resolution == 224 else resolution
+    layers = encoder_block(
+        "dec0", seq=1, d_model=4096, heads=32, ffn=11008, kv_seq=kv
+    )
+    if include_fc:
+        layers.append(matmul("lm_head", m=1, k=4096, n=32000))
+    return layers

@@ -82,3 +82,63 @@ class TestTopologyInHardware:
             profile=SearchProfile.MINIMAL,
         ).search_layer(layer)
         assert ring.best.energy_pj == pytest.approx(mesh.best.energy_pj)
+
+
+class TestSwitchTopology:
+    def test_link_count_is_port_count(self):
+        # A crossbar has one port (link) per chiplet; a single chiplet
+        # needs no fabric at all.
+        for n in (2, 4, 8, 16):
+            assert Topology.SWITCH.link_count(n) == n
+        assert Topology.SWITCH.link_count(1) == 0
+
+    def test_sharing_hops_include_uplink(self):
+        # Sharing a bit through the switch costs the sender's uplink plus
+        # n - 1 downlinks: n hops total (vs n - 1 on ring/mesh).
+        for n in (2, 4, 8, 16):
+            assert Topology.SWITCH.sharing_hops_per_bit(n) == n
+        assert Topology.SWITCH.sharing_hops_per_bit(1) == 0
+
+    def test_constant_average_distance(self):
+        # Any-to-any through the crossbar is always two traversals.
+        for n in (2, 4, 16):
+            assert Topology.SWITCH.average_distance(n) == 2.0
+
+    def test_port_limit(self):
+        assert Topology.SWITCH.max_chiplets() == 16
+        hw = build_hardware(16, 2, 8, 8, topology=Topology.SWITCH)
+        assert is_valid(hw)
+        too_big = build_hardware(32, 1, 8, 8, topology=Topology.SWITCH)
+        assert any("switch" in e for e in validation_errors(too_big))
+
+    def test_switch_maps_a_layer(self):
+        hw = build_hardware(4, 8, 8, 8, topology=Topology.SWITCH)
+        layer = ConvLayer("c", h=56, w=56, ci=64, co=256, kh=3, kw=3, padding=1)
+        result = Mapper(hw=hw, profile=SearchProfile.MINIMAL).search_layer(layer)
+        assert result.best.energy_pj > 0
+
+    def test_serializes_by_value(self):
+        assert Topology("switch") is Topology.SWITCH
+        assert Topology.SWITCH.value == "switch"
+
+
+class TestPluggableTopologyRegistry:
+    def test_register_topology_swaps_model(self):
+        from repro.arch.topology import RingModel, register_topology
+
+        class DoubleRing(RingModel):
+            def link_count(self, n_chiplets):
+                return 2 * super().link_count(n_chiplets)
+
+        previous = register_topology(Topology.RING, DoubleRing())
+        try:
+            assert Topology.RING.link_count(4) == 8
+        finally:
+            register_topology(Topology.RING, previous)
+        assert Topology.RING.link_count(4) == 4
+
+    def test_register_non_member_handle_rejected(self):
+        from repro.arch.topology import RingModel, register_topology
+
+        with pytest.raises(TypeError):
+            register_topology("torus", RingModel())

@@ -1,0 +1,101 @@
+"""Cost-model vs. simulator reconciliation for transformer workloads.
+
+The matmul/attention path reuses the conv C3P machinery, so the audit
+contract must hold for GEMM-shaped layers exactly as it does for convs:
+every sampled (layer, hardware, mapping) pair stays inside the agreement
+envelope, and uncontended single-iteration pairs agree with the analytical
+estimate exactly (ratio 1.000) -- on the ring and on the mesh alike.
+"""
+
+import pytest
+
+from repro.arch.config import build_hardware
+from repro.arch.topology import Topology
+from repro.audit import DEFAULT_ENVELOPE, cross_validate
+from repro.audit.runner import run_audit
+from repro.core.loopnest import LoopNest
+from repro.core.primitives import PartitionDim, RotationKind
+from repro.core.space import MappingSpace, SearchProfile
+from repro.workloads.layer import matmul
+from repro.workloads.transformer import bert_base, llm_decode
+
+
+def gemm_layers():
+    """Small-but-representative transformer GEMM shapes."""
+    return [
+        matmul("proj", m=64, k=256, n=256),
+        matmul("scores", m=64, k=256, n=4 * 64, heads=4),
+        matmul("gemv", m=1, k=1024, n=2048),
+    ]
+
+
+def hardware(topology=Topology.RING):
+    return build_hardware(4, 4, 8, 8, topology=topology)
+
+
+def sampled_mappings(layer, hw, limit=6):
+    """The first ``limit`` legal mappings of the minimal space."""
+    mappings = []
+    for mapping in MappingSpace(hw, SearchProfile.MINIMAL).unique_candidates(layer):
+        if LoopNest(layer=layer, hw=hw, mapping=mapping).is_valid():
+            mappings.append(mapping)
+        if len(mappings) >= limit:
+            break
+    return mappings
+
+
+def exact_agreement_mapping(layer, hw):
+    """An uncontended, single-iteration mapping: the pipeline cannot
+    overlap anything, so simulated == estimated cycles exactly."""
+    for mapping in MappingSpace(hw, SearchProfile.MINIMAL).unique_candidates(layer):
+        candidate = mapping.with_rotation(RotationKind.NONE)
+        if candidate.package_spatial.dim is not PartitionDim.CHANNEL:
+            continue
+        nest = LoopNest(layer=layer, hw=hw, mapping=candidate)
+        if nest.is_valid() and nest.chiplet_workloads() == 1:
+            return candidate
+    return None
+
+
+class TestEveryPairInsideEnvelope:
+    @pytest.mark.parametrize("topology", [Topology.RING, Topology.MESH])
+    @pytest.mark.parametrize(
+        "layer", gemm_layers(), ids=lambda layer: layer.name
+    )
+    def test_sampled_pairs_unflagged(self, layer, topology):
+        hw = hardware(topology)
+        mappings = sampled_mappings(layer, hw)
+        assert mappings, "minimal space produced no legal GEMM mapping"
+        for mapping in mappings:
+            result = cross_validate(layer, hw, mapping)
+            assert not result.flagged, result.describe()
+            if result.uncontended:
+                assert result.ratio <= 1.0 + DEFAULT_ENVELOPE
+
+
+class TestUncontendedExactAgreement:
+    @pytest.mark.parametrize(
+        "topology", [Topology.RING, Topology.MESH, Topology.SWITCH]
+    )
+    def test_single_iteration_ratio_is_one(self, topology):
+        hw = hardware(topology)
+        layer = matmul("proj", m=64, k=256, n=256)
+        mapping = exact_agreement_mapping(layer, hw)
+        assert mapping is not None, "no single-iteration uncontended mapping"
+        result = cross_validate(layer, hw, mapping)
+        assert result.uncontended
+        assert not result.flagged, result.describe()
+        assert result.ratio == pytest.approx(1.0)
+
+
+class TestModelLevelAudit:
+    @pytest.mark.parametrize("topology", [Topology.RING, Topology.MESH])
+    def test_bert_and_decode_audit_clean(self, topology):
+        hw = hardware(topology)
+        models = {
+            "bert_base": bert_base(),
+            "llm_decode": llm_decode(),
+        }
+        report = run_audit(models, hw, sample=2, max_layers=2)
+        assert report.checked > 0
+        assert report.ok, "\n".join(r.describe() for r in report.flagged)

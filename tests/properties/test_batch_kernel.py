@@ -21,6 +21,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.config import build_hardware
+from repro.arch.topology import Topology
 from repro.core import batch
 from repro.core.c3p import (
     analyze_activation_l1,
@@ -31,7 +32,8 @@ from repro.core.cost import InvalidMappingError, evaluate_mapping
 from repro.core.loopnest import LoopNest
 from repro.core.space import MappingSpace, SearchProfile
 from repro.core.traffic import weight_group_size
-from repro.workloads.layer import ConvLayer
+from repro.workloads.layer import ConvLayer, matmul
+from repro.workloads.transformer import AttentionLayer
 
 pytestmark = pytest.mark.skipif(
     not batch.numpy_available(), reason="numpy backend unavailable"
@@ -69,11 +71,71 @@ def layer_and_hw(draw):
     return layer, hw, profile
 
 
+@st.composite
+def transformer_layer_and_hw(draw):
+    """A random GEMM (dense, multi-head, or attention sublayer) on a
+    random machine with a random package topology."""
+    kind = draw(st.sampled_from(["dense", "multi_head", "gemv", "attention"]))
+    if kind == "attention":
+        attn = AttentionLayer(
+            name="prop_attn",
+            seq=draw(st.sampled_from([1, 8, 32])),
+            d_model=draw(st.sampled_from([32, 64, 128])),
+            heads=draw(st.sampled_from([2, 4])),
+            kv_seq=draw(st.sampled_from([None, 16, 64])),
+        )
+        layer = draw(st.sampled_from(list(attn.sublayers())))
+    elif kind == "multi_head":
+        heads = draw(st.sampled_from([2, 4]))
+        layer = matmul(
+            "prop_mh",
+            m=draw(st.sampled_from([8, 32, 64])),
+            k=heads * draw(st.sampled_from([8, 16])),
+            n=heads * draw(st.sampled_from([8, 32])),
+            heads=heads,
+        )
+    elif kind == "gemv":
+        layer = matmul(
+            "prop_gemv",
+            m=1,
+            k=draw(st.sampled_from([64, 256, 1024])),
+            n=draw(st.sampled_from([32, 256])),
+        )
+    else:
+        layer = matmul(
+            "prop_mm",
+            m=draw(st.sampled_from([8, 32, 128])),
+            k=draw(st.sampled_from([16, 64, 256])),
+            n=draw(st.sampled_from([16, 64])),
+            batch=draw(st.sampled_from([1, 1, 4])),
+        )
+    hw = build_hardware(
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([1, 2, 4])),
+        draw(st.sampled_from([4, 8])),
+        draw(st.sampled_from([4, 8])),
+        topology=draw(
+            st.sampled_from([Topology.RING, Topology.MESH, Topology.SWITCH])
+        ),
+    )
+    profile = draw(st.sampled_from([SearchProfile.MINIMAL, SearchProfile.FAST]))
+    return layer, hw, profile
+
+
 class TestBatchScalarDifferential:
     @given(layer_and_hw())
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
     def test_every_candidate_bit_identical(self, case):
-        layer, hw, profile = case
+        self._assert_bit_identical(*case)
+
+    @given(transformer_layer_and_hw())
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_transformer_candidates_bit_identical(self, case):
+        # GEMM layers (including grouped multi-head einsums and GEMVs) on
+        # every topology keep the same exact-equality contract.
+        self._assert_bit_identical(*case)
+
+    def _assert_bit_identical(self, layer, hw, profile):
         candidates = MappingSpace(hw, profile).unique_candidates(layer)
         if not candidates:
             return
@@ -141,7 +203,7 @@ class TestBatchScalarDifferential:
             assert int(result.cycles[i]) == report.cycles
             assert float(result.edp[i]) == report.edp(hw)
 
-    @given(layer_and_hw())
+    @given(st.one_of(layer_and_hw(), transformer_layer_and_hw()))
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
     def test_winner_matches_scalar_strict_less_scan(self, case):
         layer, hw, profile = case

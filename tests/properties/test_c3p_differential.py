@@ -42,7 +42,7 @@ from repro.core.c3p import (
 from repro.core.loopnest import LoopNest
 from repro.core.mapping import Mapping
 from repro.core.primitives import LoopOrder, SpatialPrimitive, TemporalPrimitive
-from repro.workloads.layer import ConvLayer
+from repro.workloads.layer import ConvLayer, matmul
 
 MAX_EXAMPLES = 200
 
@@ -82,6 +82,48 @@ def nests(draw, kernels=(1,), channels=(1, 2), lanes_options=(1, 2)):
         kw=k,
         stride=1,
         padding=k // 2,
+    )
+    hw = build_hardware(1, 1, lanes, 4)
+    mapping = Mapping(
+        package_spatial=SpatialPrimitive.channel(1),
+        package_temporal=TemporalPrimitive(
+            draw(ORDERS), core_h * h1, core_w * w1, lanes * c1
+        ),
+        chiplet_spatial=SpatialPrimitive.channel(1),
+        chiplet_temporal=TemporalPrimitive(draw(ORDERS), core_h, core_w, lanes),
+    )
+    nest = LoopNest(layer, hw, mapping)
+    assert (nest.c1, nest.w1, nest.h1) == (c1, w1, h1)
+    assert (nest.c2, nest.w2, nest.h2) == (c2, w2, h2)
+    return nest
+
+
+@st.composite
+def matmul_nests(draw):
+    """A GEMM nest with exactly-dividing loop extents.
+
+    The matmul embedding is 1x1-kernel and stride-1 by construction, so it
+    satisfies the activation walks' no-halo restriction automatically: the
+    same LRU oracles must agree on GEMM-shaped nests without any carve-out.
+    The GEMM's m rides H, its batch rides W, k rides CI, n rides CO.
+    """
+    lanes = draw(st.sampled_from([1, 2]))
+    core_h = draw(st.sampled_from([1, 2]))
+    core_w = draw(st.sampled_from([1, 2]))
+    c1 = draw(st.sampled_from([1, 2, 3]))
+    w1 = draw(st.sampled_from([1, 2]))
+    h1 = draw(st.sampled_from([1, 2]))
+    c2 = draw(st.sampled_from([1, 2]))
+    w2 = draw(st.sampled_from([1, 2]))
+    h2 = draw(st.sampled_from([1, 2]))
+    k_dim = draw(st.sampled_from([1, 2, 4]))
+
+    layer = matmul(
+        "gen_mm",
+        m=core_h * h1 * h2,
+        k=k_dim,
+        n=lanes * c1 * c2,
+        batch=core_w * w1 * w2,
     )
     hw = build_hardware(1, 1, lanes, 4)
     mapping = Mapping(
@@ -161,7 +203,12 @@ def element_bytes(nest) -> int:
 
 class TestWeightBufferDifferential:
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
-    @given(nests(kernels=(1, 3), channels=(1, 2), lanes_options=(1, 2)))
+    @given(
+        st.one_of(
+            nests(kernels=(1, 3), channels=(1, 2), lanes_options=(1, 2)),
+            matmul_nests(),
+        )
+    )
     def test_matches_lru_oracle(self, nest):
         data_bytes = element_bytes(nest)
         block_elems = int(nest.layer.weights_for(nest.core_co))
@@ -188,7 +235,12 @@ class TestWeightBufferDifferential:
 
 class TestActivationL1Differential:
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
-    @given(nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)))
+    @given(
+        st.one_of(
+            nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)),
+            matmul_nests(),
+        )
+    )
     def test_matches_lru_oracle(self, nest):
         data_bytes = element_bytes(nest)
         window_elems = nest.core_ho * nest.core_wo * nest.layer.ci
@@ -220,7 +272,12 @@ class TestActivationL1Differential:
 
 class TestActivationL2Differential:
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
-    @given(nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)))
+    @given(
+        st.one_of(
+            nests(kernels=(1,), channels=(1, 2), lanes_options=(1, 2)),
+            matmul_nests(),
+        )
+    )
     def test_matches_lru_oracle(self, nest):
         data_bytes = element_bytes(nest)
         window_elems = nest.tile_ho * nest.tile_wo * nest.layer.ci

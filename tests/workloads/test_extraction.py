@@ -1,7 +1,7 @@
 """Tests for representative-layer extraction and classification."""
 
 from repro.workloads.extraction import LayerKind, classify_layer, representative_layers
-from repro.workloads.layer import ConvLayer, fc_as_pointwise
+from repro.workloads.layer import ConvLayer, fc_as_pointwise, matmul
 
 
 class TestClassification:
@@ -13,8 +13,19 @@ class TestClassification:
         layer = ConvLayer("c", h=56, w=56, ci=64, co=64, kh=1, kw=1)
         assert classify_layer(layer) is LayerKind.POINTWISE
 
-    def test_fc_classified_pointwise(self):
-        assert classify_layer(fc_as_pointwise("fc", 4096, 1000)) is LayerKind.POINTWISE
+    def test_fc_classified_matmul(self):
+        # FC layers route through the native matmul path and classify as
+        # MATMUL (they are GEMVs), not as pointwise convolutions.
+        assert classify_layer(fc_as_pointwise("fc", 4096, 1000)) is LayerKind.MATMUL
+
+    def test_matmul_kind(self):
+        assert classify_layer(matmul("mm", m=128, k=768, n=768)) is LayerKind.MATMUL
+
+    def test_grouped_matmul_is_matmul_not_depthwise(self):
+        # A multi-head einsum uses groups=heads; it must classify as MATMUL
+        # even though groups > 1 would otherwise look depthwise.
+        layer = matmul("scores", m=128, k=768, n=1536, heads=12)
+        assert classify_layer(layer) is LayerKind.MATMUL
 
     def test_activation_intensive(self):
         layer = ConvLayer("c", h=224, w=224, ci=3, co=64, kh=3, kw=3, padding=1)
@@ -38,9 +49,12 @@ class TestClassification:
 class TestRepresentativeLayers:
     def test_all_five_paper_kinds_present(self):
         layers = representative_layers()
-        # The paper's five categories; DEPTHWISE is this repo's extension
-        # and has no dense representative layer.
-        assert set(layers) == set(LayerKind) - {LayerKind.DEPTHWISE}
+        # The paper's five categories; DEPTHWISE and MATMUL are this repo's
+        # extensions and have no dense conv representative layer.
+        assert set(layers) == set(LayerKind) - {
+            LayerKind.DEPTHWISE,
+            LayerKind.MATMUL,
+        }
 
     def test_paper_layer_choices(self):
         layers = representative_layers()

@@ -6,9 +6,10 @@ from repro.workloads.registry import get_model, list_models
 
 
 class TestRegistry:
-    def test_all_four_models_registered(self):
+    def test_all_registered_models_listed(self):
         assert list_models() == [
-            "alexnet", "darknet19", "mobilenetv2", "resnet50", "vgg16"
+            "alexnet", "bertbase", "darknet19", "llmdecode",
+            "mobilenetv2", "resnet50", "vgg16", "vitb16",
         ]
 
     def test_get_by_name(self):

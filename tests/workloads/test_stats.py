@@ -34,7 +34,7 @@ class TestModelStats:
         stats = ModelStats.of("vgg16", vgg16())
         assert stats.layers == 16
         assert stats.total_macs == pytest.approx(15.47e9, rel=0.02)
-        assert stats.kind_histogram[LayerKind.POINTWISE] == 3  # the FCs
+        assert stats.kind_histogram[LayerKind.MATMUL] == 3  # the FCs
 
     def test_resnet_has_many_pointwise(self):
         stats = ModelStats.of("resnet50", resnet50())

@@ -1,0 +1,204 @@
+"""Tests for native matmul/attention layers and the transformer builders."""
+
+import pytest
+
+from repro.arch.config import build_hardware
+from repro.core.mapper import Mapper
+from repro.core.space import SearchProfile
+from repro.workloads.io import layer_from_spec, layers_from_specs, save_model_file
+from repro.workloads.layer import ConvLayer, MatmulLayer, fc_as_pointwise, matmul
+from repro.workloads.registry import get_model
+from repro.workloads.transformer import (
+    AttentionLayer,
+    bert_base,
+    encoder_block,
+    llm_decode,
+    vit_b16,
+)
+
+
+class TestMatmulLayer:
+    def test_gemm_geometry(self):
+        layer = matmul("mm", m=128, k=768, n=3072)
+        assert isinstance(layer, MatmulLayer)
+        assert (layer.m, layer.k, layer.n) == (128, 768, 3072)
+        assert layer.batch == 1
+        assert layer.heads == 1
+        # The conv embedding: h=m, w=batch, ci=k, co=n, 1x1 kernel.
+        assert (layer.h, layer.w, layer.ci, layer.co) == (128, 1, 768, 3072)
+        assert (layer.kh, layer.kw, layer.groups) == (1, 1, 1)
+
+    def test_macs_match_gemm_arithmetic(self):
+        layer = matmul("mm", m=128, k=768, n=3072, batch=4)
+        assert layer.macs == 4 * 128 * 768 * 3072
+
+    def test_multi_head_reduces_per_head(self):
+        # groups=heads: each head reduces over k/heads and produces n/heads.
+        layer = matmul("scores", m=128, k=768, n=12 * 128, heads=12)
+        assert layer.macs == 12 * (128 * (768 // 12) * 128)
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            matmul("bad", m=8, k=10, n=16, heads=3)
+
+    def test_dims_must_be_positive(self):
+        with pytest.raises(ValueError):
+            matmul("bad", m=0, k=8, n=8)
+
+    def test_is_a_conv_layer(self):
+        # Everything downstream (C3P walks, cost model, DES) only sees
+        # ConvLayer; MatmulLayer must be substitutable.
+        assert isinstance(matmul("mm", m=4, k=4, n=4), ConvLayer)
+
+    def test_describe_in_gemm_terms(self):
+        # Per-head GEMM dims: (m x k/heads) @ (k/heads x n/heads).
+        text = matmul("mm", m=128, k=768, n=768, heads=12).describe()
+        assert "(128x64)@(64x64)" in text and "heads=12" in text
+
+
+class TestFcAsPointwise:
+    def test_batch_one_matches_legacy_geometry(self):
+        # The FC path used to build ConvLayer(h=1, w=1, ci=in, co=out); the
+        # native matmul route must preserve that geometry exactly so every
+        # existing FC pin (shape, macs, classification precedence) holds.
+        fc = fc_as_pointwise("fc", 4096, 1000)
+        legacy = ConvLayer("fc", h=1, w=1, ci=4096, co=1000, kh=1, kw=1)
+        assert (fc.h, fc.w, fc.ci, fc.co, fc.kh, fc.kw) == (
+            legacy.h, legacy.w, legacy.ci, legacy.co, legacy.kh, legacy.kw
+        )
+        assert fc.macs == legacy.macs
+
+    def test_batch_one_matches_legacy_cost(self):
+        # Regression for the FC batch handling: at batch=1 the native
+        # matmul route must cost identically to the old pointwise conv.
+        hw = build_hardware(2, 2, 8, 8)
+        mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
+        fc = mapper.search_layer(fc_as_pointwise("fc", 512, 1000))
+        legacy = mapper.search_layer(
+            ConvLayer("fc", h=1, w=1, ci=512, co=1000, kh=1, kw=1)
+        )
+        assert fc.best.energy_pj == legacy.best.energy_pj
+        assert fc.best.cycles == legacy.best.cycles
+
+    def test_batch_scales_macs(self):
+        # The bug the native route fixes: batch > 1 used to be
+        # unrepresentable (the pointwise embedding had nowhere to put it).
+        single = fc_as_pointwise("fc", 512, 1000)
+        batched = fc_as_pointwise("fc", 512, 1000, batch=8)
+        assert batched.macs == 8 * single.macs
+        # The batch rides the GEMM's m dimension: (batch x in) @ (in x out).
+        assert batched.m == 8
+
+
+class TestAttentionLayer:
+    def test_six_sublayers(self):
+        attn = AttentionLayer("enc0", seq=128, d_model=768, heads=12)
+        subs = attn.sublayers()
+        assert len(subs) == 6
+        assert [s.name for s in subs] == [
+            "enc0_q", "enc0_k", "enc0_v",
+            "enc0_scores", "enc0_context", "enc0_out",
+        ]
+        assert all(isinstance(s, MatmulLayer) for s in subs)
+
+    def test_macs_sum_of_sublayers(self):
+        attn = AttentionLayer("a", seq=128, d_model=768, heads=12)
+        assert attn.macs == sum(s.macs for s in attn.sublayers())
+
+    def test_projection_arithmetic(self):
+        # Each of q/k/v/out is seq x d x d.
+        attn = AttentionLayer("a", seq=128, d_model=768, heads=12)
+        q = attn.sublayers()[0]
+        assert q.macs == 128 * 768 * 768
+
+    def test_kv_cache_decode_shape(self):
+        # LLM decode: one query token against a 512-token KV cache.
+        attn = AttentionLayer("d", seq=1, d_model=4096, heads=32, kv_seq=512)
+        scores = next(s for s in attn.sublayers() if s.name == "d_scores")
+        assert scores.m == 1
+        assert scores.n == 32 * 512
+        assert scores.heads == 32
+
+    def test_heads_must_divide_d_model(self):
+        with pytest.raises(ValueError):
+            AttentionLayer("bad", seq=8, d_model=10, heads=3)
+
+
+class TestModelBuilders:
+    def test_bert_base_structure(self):
+        layers = bert_base()
+        # 12 encoder blocks x 8 GEMMs + pooler + classifier.
+        assert len(layers) == 12 * 8 + 2
+        assert sum(l.macs for l in layers) > 10e9
+        assert all(isinstance(l, ConvLayer) for l in layers)
+
+    def test_bert_resolution_reinterpreted_as_seq(self):
+        layers = bert_base(resolution=256)
+        q = next(l for l in layers if l.name == "enc0_attn_q")
+        assert q.m == 256
+
+    def test_vit_has_conv_patch_embedding(self):
+        layers = vit_b16()
+        assert layers[0].kh == 16 and layers[0].stride == 16
+        assert not isinstance(layers[0], MatmulLayer)
+        # seq = (224/16)^2 + 1 CLS token.
+        q = next(l for l in layers if l.name == "enc0_attn_q")
+        assert q.m == 14 * 14 + 1
+
+    def test_vit_rejects_indivisible_resolution(self):
+        with pytest.raises(ValueError):
+            vit_b16(resolution=225)
+
+    def test_llm_decode_is_gemv_dominated(self):
+        layers = llm_decode()
+        assert all(isinstance(l, ConvLayer) for l in layers)
+        ffn1 = next(l for l in layers if l.name == "dec0_ffn1")
+        assert ffn1.m == 1 and ffn1.k == 4096 and ffn1.n == 11008
+
+    def test_encoder_block_includes_ffn_pair(self):
+        layers = encoder_block("b", seq=64, d_model=256, heads=4, ffn=1024)
+        names = [l.name for l in layers]
+        assert "b_ffn1" in names and "b_ffn2" in names
+        assert len(layers) == 8
+
+    def test_registry_resolves_transformers(self):
+        assert len(get_model("bert_base")) == len(bert_base())
+        assert len(get_model("llm-decode")) == len(llm_decode())
+        assert len(get_model("vit_b16@160")) == len(vit_b16(resolution=160))
+
+
+class TestIoRoundTrip:
+    def test_matmul_spec(self):
+        layer = layer_from_spec({"name": "mm", "m": 64, "k": 128, "n": 256})
+        assert isinstance(layer, MatmulLayer)
+        assert (layer.m, layer.k, layer.n) == (64, 128, 256)
+
+    def test_attention_spec_expands(self):
+        layers = layers_from_specs(
+            [{"name": "enc", "attn_seq": 64, "attn_d": 256, "attn_heads": 4}]
+        )
+        assert len(layers) == 6
+
+    def test_attention_rejected_in_single_layer_hook(self):
+        with pytest.raises(ValueError):
+            layer_from_spec({"name": "enc", "attn_seq": 64, "attn_d": 256,
+                             "attn_heads": 4})
+
+    def test_fc_spec_accepts_batch(self):
+        layer = layer_from_spec(
+            {"name": "fc", "fc_in": 512, "fc_out": 100, "batch": 4}
+        )
+        assert layer.m == 4
+        assert layer.macs == 4 * 512 * 100
+
+    def test_save_load_preserves_matmul_type(self, tmp_path):
+        from repro.workloads.io import load_model_file
+
+        original = llm_decode()
+        path = tmp_path / "model.json"
+        save_model_file(original, path)
+        restored = load_model_file(path)
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert type(a) is type(b)
+            assert a == b
