@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report batch-parity ci faults guided lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report batch-parity ci faults faults-io guided lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -61,6 +61,44 @@ faults:
 	cmp "$$tmp/clean.json" "$$tmp/faulted.json" && \
 	echo "faulted sweep byte-identical to clean serial run"
 
+# I/O fault-injection gate (mirrors the CI io-faults step): the
+# durability/taxonomy/fuzz suites, then two end-to-end legs.  Leg 1: a
+# sweep with half of all sink writes failing ENOSPC must produce
+# byte-identical JSON to a clean run while reporting nonzero degraded.*
+# counters (full disk costs the checkpoint, never the answer).  Leg 2: a
+# guided search pointed at a corrupted --study file must quarantine it
+# as *.corrupt-* and finish.  See docs/robustness.md.
+faults-io:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/core/test_durable.py tests/core/test_errors.py \
+		tests/testing/test_faults.py tests/properties/test_input_fuzz.py
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--jobs 1 --json "$$tmp/clean.json" >/dev/null && \
+	REPRO_FAULTS='enospc:0.5@seed=3' \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--jobs 1 --checkpoint-dir "$$tmp/ckpt" \
+		--json "$$tmp/faulted.json" \
+		--metrics-out "$$tmp/metrics.json" >/dev/null 2>&1 && \
+	cmp "$$tmp/clean.json" "$$tmp/faulted.json" && \
+	python -c 'import json, sys; \
+counters = json.load(open(sys.argv[1]))["counters"]; \
+degraded = {k: v for k, v in counters.items() if k.startswith("degraded.")}; \
+assert degraded, f"no degraded.* counters in {sorted(counters)}"; \
+print("degraded sinks:", ", ".join(sorted(degraded)))' "$$tmp/metrics.json" && \
+	echo "enospc-faulted sweep byte-identical to clean run" && \
+	printf 'not a sqlite database' > "$$tmp/study.sqlite" && \
+	REPRO_FAULTS='corrupt-study' \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --profile minimal \
+		--strategy guided --trials 8 --seed 0 \
+		--study "$$tmp/study.sqlite" --jobs 1 \
+		--json "$$tmp/guided.json" >/dev/null 2>&1 && \
+	ls "$$tmp"/study.sqlite.corrupt-* >/dev/null && \
+	echo "corrupt study quarantined; guided search completed"
+
 # Guided-vs-exhaustive differential gate (mirrors the CI guided-dse job):
 # sweep the full Fig. 15 space as the oracle, run the seeded guided search
 # on a 1% trial budget, and require the exact same recommended point.
@@ -111,7 +149,13 @@ batch-parity:
 		--macs 512 --models bert_base --profile minimal \
 		--stride 997 --jobs 4 --json "$$tmp/bert-scalar.json" >/dev/null && \
 	cmp "$$tmp/bert-batch.json" "$$tmp/bert-scalar.json" && \
-	echo "batch kernel byte-identical on the transformer sweep (bert_base)"
+	echo "batch kernel byte-identical on the transformer sweep (bert_base)" && \
+	REPRO_BATCH_KERNEL=1 REPRO_BATCH_MAX_BYTES=16384 \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models bert_base --profile minimal \
+		--stride 997 --jobs 4 --json "$$tmp/bert-chunked.json" >/dev/null && \
+	cmp "$$tmp/bert-chunked.json" "$$tmp/bert-batch.json" && \
+	echo "chunked batch kernel (REPRO_BATCH_MAX_BYTES) byte-identical to one-shot"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -20,6 +20,17 @@ from repro.arch.config import (
 )
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
 from repro.arch.topology import Topology
+from repro.errors import DataError
+
+
+class HardwareSpecError(DataError, ValueError):
+    """A hardware description (JSON file or dict) is invalid.
+
+    Still a ``ValueError`` and now a :class:`repro.errors.DataError`
+    (code ``data``, exit 4).  Every error escaping this module's loaders
+    is of this type -- a missing field no longer leaks as a raw
+    ``KeyError``.
+    """
 
 
 def hardware_to_dict(hw: HardwareConfig) -> dict[str, Any]:
@@ -56,43 +67,64 @@ def hardware_from_dict(data: dict[str, Any]) -> HardwareConfig:
     """Deserialize a hardware configuration.
 
     Raises:
-        KeyError: When a required field is missing.
-        ValueError: When a field has an invalid value.
+        HardwareSpecError: When a required field is missing or any field
+            has an invalid value.
     """
-    unknown_tech = set(data.get("tech_overrides", {})) - set(
-        TechnologyParams.__dataclass_fields__
-    )
-    if unknown_tech:
-        raise ValueError(
-            f"unknown technology overrides: {', '.join(sorted(unknown_tech))}"
+    try:
+        unknown_tech = set(data.get("tech_overrides", {})) - set(
+            TechnologyParams.__dataclass_fields__
         )
-    tech = (
-        TechnologyParams(**data["tech_overrides"])
-        if data.get("tech_overrides")
-        else DEFAULT_TECHNOLOGY
-    )
-    package = PackageConfig(
-        chiplets=data["chiplets"],
-        chiplet=ChipletConfig(
-            cores=data["cores"],
-            core=CoreConfig(lanes=data["lanes"], vector_size=data["vector_size"]),
-        ),
-        topology=Topology(data.get("topology", "ring")),
-    )
-    memory = MemoryConfig(**data["memory"])
-    return HardwareConfig(
-        package=package,
-        memory=memory,
-        tech=tech,
-        name=data.get("name", ""),
-    )
+        if unknown_tech:
+            raise HardwareSpecError(
+                f"unknown technology overrides: {', '.join(sorted(unknown_tech))}"
+            )
+        tech = (
+            TechnologyParams(**data["tech_overrides"])
+            if data.get("tech_overrides")
+            else DEFAULT_TECHNOLOGY
+        )
+        package = PackageConfig(
+            chiplets=data["chiplets"],
+            chiplet=ChipletConfig(
+                cores=data["cores"],
+                core=CoreConfig(lanes=data["lanes"], vector_size=data["vector_size"]),
+            ),
+            topology=Topology(data.get("topology", "ring")),
+        )
+        memory = MemoryConfig(**data["memory"])
+        return HardwareConfig(
+            package=package,
+            memory=memory,
+            tech=tech,
+            name=data.get("name", ""),
+        )
+    except HardwareSpecError:
+        raise
+    except KeyError as exc:
+        raise HardwareSpecError(f"missing hardware field: {exc}") from exc
+    except (ValueError, TypeError, AttributeError) as exc:
+        raise HardwareSpecError(str(exc)) from exc
+
+
+def load_hardware(path: str | Path) -> HardwareConfig:
+    """Read a hardware configuration from a JSON file.
+
+    Raises:
+        HardwareSpecError: For undecodable JSON or an invalid description.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise HardwareSpecError(
+            f"hardware file {path}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise HardwareSpecError(
+            f"hardware file must contain a JSON object, got {type(data).__name__}"
+        )
+    return hardware_from_dict(data)
 
 
 def save_hardware(hw: HardwareConfig, path: str | Path) -> None:
     """Write a hardware configuration to a JSON file."""
     Path(path).write_text(json.dumps(hardware_to_dict(hw), indent=2) + "\n")
-
-
-def load_hardware(path: str | Path) -> HardwareConfig:
-    """Read a hardware configuration from a JSON file."""
-    return hardware_from_dict(json.loads(Path(path).read_text()))

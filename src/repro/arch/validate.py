@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from repro.arch.area import AreaModel
 from repro.arch.config import HardwareConfig
+from repro.errors import ConfigError
 
 
-class ConfigValidationError(ValueError):
-    """A hardware configuration violates a structural validity rule."""
+class ConfigValidationError(ConfigError, ValueError):
+    """A hardware configuration violates a structural validity rule.
+
+    Still a ``ValueError`` (the historical contract) and now a
+    :class:`repro.errors.ConfigError` (code ``config``, exit 3).
+    """
 
 
 def validation_errors(

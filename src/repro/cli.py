@@ -20,11 +20,19 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sqlite3
 import sys
 from pathlib import Path
 from typing import NoReturn
 
 from repro import obs
+from repro.errors import (
+    EXIT_INTERRUPT,
+    EXIT_USAGE,
+    ReproError,
+    error_code_for,
+    exit_code_for,
+)
 from repro.analysis.reporting import (
     format_failures,
     format_profile,
@@ -38,7 +46,6 @@ from repro.core.baton import NNBaton
 from repro.core.cache import MappingCache
 from repro.core.checkpoint import CHECKPOINT_DIR_ENV, SweepCheckpoint
 from repro.core.parallel import SweepStats, TaskPolicy
-from repro.core.search import StudyConfigError
 from repro.core.serialize import compiler_report
 from repro.core.space import SearchProfile
 from repro.simba import evaluate_simba_model
@@ -129,9 +136,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _fail(message: str) -> "NoReturn":
-    """Print a one-line error and exit with the argparse usage-error code."""
+    """Print a one-line error and exit with the usage-error code (2)."""
     print(f"repro: error: {message}", file=sys.stderr)
-    raise SystemExit(2)
+    raise SystemExit(EXIT_USAGE)
 
 
 def _get_model(name: str, resolution: int):
@@ -346,9 +353,6 @@ def cmd_explore(args: argparse.Namespace) -> int:
             study=args.study,
             seed=args.seed,
         )
-    except StudyConfigError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
-        return 2
     except KeyboardInterrupt:
         # explore() has already flushed the sweep checkpoint (or the guided
         # study) on its way out; report where the run can pick up and exit
@@ -1089,16 +1093,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point.
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected subcommand, recording observability when asked.
 
     Installs a live :mod:`repro.obs` recorder around the subcommand when
     observability output was requested (``--trace-out`` / ``--metrics-out``,
     or the always-recording ``profile`` command) and writes the exports
     after the command returns -- even a failing run keeps its trace.
     """
-    parser = build_parser()
-    args = parser.parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     if not (trace_out or metrics_out) and args.func is not cmd_profile:
@@ -1118,6 +1120,31 @@ def main(argv: list[str] | None = None) -> int:
             target = recorder.write_metrics(metrics_out)
             print(f"Wrote metrics to {target}")
     return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: parse, dispatch, and map errors to exit codes.
+
+    Every taxonomy error (:class:`repro.errors.ReproError`) escaping a
+    subcommand is printed as one ``repro: error [<code>]: <message>`` line
+    and mapped to its exit code in exactly one place: usage 2, config 3,
+    data 4, corrupt state 5, exhausted resources 6.  ``KeyboardInterrupt``
+    exits 130 (SIGINT convention) and a raw ``sqlite3.DatabaseError`` --
+    corrupt state that slipped past the quarantine -- exits 5.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        print()
+        print("Interrupted.", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except (ReproError, sqlite3.DatabaseError) as exc:
+        print(
+            f"repro: error [{error_code_for(exc)}]: {exc}", file=sys.stderr
+        )
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -44,14 +44,26 @@ try:  # numpy is a hard dependency of the package, but stay importable without i
 except ImportError:  # pragma: no cover - exercised via _set_numpy_for_tests
     np = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.arch.config import HardwareConfig
 from repro.arch.energy import EnergyModel
 from repro.core.mapping import Mapping
 from repro.core.primitives import PartitionDim, RotationKind
+from repro.errors import ConfigError, ResourceExhaustedError
 from repro.workloads.layer import ConvLayer
 
 #: Environment switch; default on, ``0/false/off/no`` disables.
 BATCH_KERNEL_ENV = "REPRO_BATCH_KERNEL"
+
+#: Environment variable capping the kernel's working-set size (bytes).
+#: When set, candidate lists are evaluated in chunks small enough to fit;
+#: the chunked winner scan is bit-identical to the single-shot one.
+BATCH_MAX_BYTES_ENV = "REPRO_BATCH_MAX_BYTES"
+
+#: Estimated peak bytes one candidate row costs across the kernel's
+#: intermediate and result columns (~60 float64/int64 arrays plus numpy
+#: overhead); deliberately generous so the cap errs toward smaller chunks.
+_BATCH_BYTES_PER_CANDIDATE = 1024
 
 #: Loop-kind codes used by the slot walk (order is cosmetic, values are not).
 _KIND_C, _KIND_W, _KIND_H = 0, 1, 2
@@ -61,8 +73,40 @@ _KIND_C, _KIND_W, _KIND_H = 0, 1, 2
 _INT64_SAFE_LIMIT = float(2**62)
 
 
-class BatchOverflowError(OverflowError):
-    """An int64 product left the exactness-guaranteed range; use scalar."""
+class BatchOverflowError(ResourceExhaustedError, OverflowError):
+    """An int64 product left the exactness-guaranteed range; use scalar.
+
+    Still an ``OverflowError`` (the historical contract) and now a
+    :class:`repro.errors.ResourceExhaustedError` (code
+    ``resource-exhausted``, exit 6) -- though callers normally absorb it
+    by falling back to the arbitrary-precision scalar path.
+    """
+
+
+def batch_chunk_candidates() -> int | None:
+    """The per-chunk candidate cap from ``REPRO_BATCH_MAX_BYTES``.
+
+    ``None`` when unset (evaluate every candidate in one shot).  The byte
+    budget divides by :data:`_BATCH_BYTES_PER_CANDIDATE`, floored at one
+    candidate per chunk so a tiny budget degrades to scalar-like batching
+    instead of failing.
+
+    Raises:
+        ConfigError: When the variable is set to anything but a
+            non-negative integer.
+    """
+    raw = os.environ.get(BATCH_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{BATCH_MAX_BYTES_ENV} must be a byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"{BATCH_MAX_BYTES_ENV} must be >= 0, got {value}")
+    return max(1, value // _BATCH_BYTES_PER_CANDIDATE)
 
 
 def numpy_available() -> bool:
@@ -574,16 +618,48 @@ def search_batch(
     Returns ``None`` when the kernel cannot guarantee bit-identity for this
     call (unknown objective, empty candidate list, numpy missing, or the
     int64 exactness guard tripping) -- callers then run the scalar loop.
+
+    When ``REPRO_BATCH_MAX_BYTES`` caps the working set, the list is
+    evaluated in chunks.  Chunking cannot change any per-candidate value
+    (every output row of :func:`evaluate_batch` is an elementwise function
+    of that row alone), and the cross-chunk winner scan uses the same
+    strict-``<`` update as the scalar loop, so the first-in-enumeration
+    winner -- and therefore the whole sweep output -- is byte-identical at
+    every chunk size.
     """
     scorer = BATCH_OBJECTIVES.get(objective)
     if scorer is None or np is None or not candidates:
         return None
-    try:
-        result = evaluate_batch(layer, hw, candidates)
-    except BatchOverflowError:
-        return None
+    chunk = batch_chunk_candidates()
+    if chunk is None or chunk >= len(candidates):
+        try:
+            result = evaluate_batch(layer, hw, candidates)
+        except BatchOverflowError:
+            return None
+        return BatchSearchOutcome(
+            best_index=result.best_index(scorer),
+            evaluated=result.evaluated,
+            invalid=result.invalid,
+        )
+    best_index: int | None = None
+    best_score = float("inf")
+    evaluated = invalid = n_chunks = 0
+    for start in range(0, len(candidates), chunk):
+        try:
+            result = evaluate_batch(layer, hw, candidates[start : start + chunk])
+        except BatchOverflowError:
+            return None
+        n_chunks += 1
+        evaluated += result.evaluated
+        invalid += result.invalid
+        local = result.best_index(scorer)
+        if local is None:
+            continue
+        score = float(result.scores(scorer)[local])
+        if score < best_score:  # strict <: ties keep the earlier chunk's winner
+            best_score = score
+            best_index = start + local
+    obs.count("mapper.batch.chunks", n_chunks)
     return BatchSearchOutcome(
-        best_index=result.best_index(scorer),
-        evaluated=result.evaluated,
-        invalid=result.invalid,
+        best_index=best_index, evaluated=evaluated, invalid=invalid
     )

@@ -45,15 +45,19 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-from repro import obs
+from repro import durable, obs
 from repro.arch.config import HardwareConfig
 from repro.core import parallel
 from repro.core.serialize import hardware_digest, mapping_from_dict
+from repro.errors import ConfigError
 
 logger = logging.getLogger("repro.cache")
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable capping the on-disk store size (bytes, LRU evicted).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: Default directory name for the on-disk store (under the working dir).
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
@@ -65,6 +69,29 @@ CACHE_FORMAT_VERSION = 1
 # Monotonic flush counter consulted by the corrupt-cache fault injector
 # (process-local, so injected corruption is deterministic per run).
 _flush_index = 0
+
+
+def _max_cache_bytes() -> int | None:
+    """The ``REPRO_CACHE_MAX_BYTES`` budget, or ``None`` when uncapped.
+
+    Raises:
+        ConfigError: When the variable is set to anything but a
+            non-negative integer.
+    """
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{CACHE_MAX_BYTES_ENV} must be a byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(
+            f"{CACHE_MAX_BYTES_ENV} must be >= 0, got {value}"
+        )
+    return value
 
 
 @contextmanager
@@ -81,7 +108,9 @@ def _digest_lock(path: Path) -> Iterator[None]:
     lock_path = path.with_name(path.name + ".lock")
     try:
         handle = open(lock_path, "a+")
-    except OSError:
+    except OSError as exc:
+        if durable.is_resource_error(exc):
+            durable.record_sink_failure("cache", exc)
         yield
         return
     try:
@@ -242,7 +271,14 @@ class MappingCache:
         path = self._path_for(digest)
         try:
             text = path.read_text()
-        except OSError:
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            # A missing file is a clean miss; a failing device is not --
+            # count it so persistent EIO degrades the sink instead of
+            # masquerading as an empty cache forever.
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("cache", exc)
             return
         try:
             payload = json.loads(text)
@@ -258,6 +294,10 @@ class MappingCache:
             return
         for key, record in entries.items():
             self._disk.setdefault(key, record)
+        try:
+            os.utime(path)  # refresh LRU recency: this file just got used
+        except OSError:
+            pass
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Set aside an unusable cache file instead of deleting it."""
@@ -266,7 +306,11 @@ class MappingCache:
         )
         try:
             path.replace(target)
-        except OSError:
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("cache", exc)
             return
         self.corrupt_files += 1
         obs.count("cache.corrupt_files")
@@ -289,7 +333,11 @@ class MappingCache:
                 continue
             try:
                 tmp.unlink()
-            except OSError:
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                if durable.is_resource_error(exc):
+                    durable.record_sink_failure("cache", exc)
                 continue
             obs.count("cache.stale_tmp_removed")
             logger.warning("removed stale cache temp file %s", tmp.name)
@@ -307,48 +355,103 @@ class MappingCache:
         return text if corrupted is None else corrupted
 
     def save(self) -> None:
-        """Flush dirty entries to disk (merge + atomic rename per digest).
+        """Flush dirty entries to disk (merge + atomic durable write per digest).
 
         Each digest's read-merge-write runs under an exclusive ``fcntl``
         lock file, so entries written by other processes since the last
         load are merged back in -- concurrent sweeps extend, never
         truncate, the store.  Stale ``.tmp.<pid>`` files whose writers have
-        died are swept first.
+        died are swept first.  Writes go through
+        :func:`repro.durable.atomic_write` (fsync'd temp + rename), so a
+        ``kill -9`` at any instant leaves either the old file or the new
+        one, never a torn mix.
+
+        A flush that hits a full or failing disk (ENOSPC/EIO/...) degrades
+        the cache sink -- one warning, the ``degraded.cache`` counter --
+        and the sweep continues without persistence; the cache is an
+        accelerator, never an input.  When ``REPRO_CACHE_MAX_BYTES`` is
+        set, least-recently-used digest files are evicted after the flush
+        until the store fits the budget.
         """
         if self.directory is None or not self._dirty_digests:
             return
+        if not durable.sink_enabled("cache"):
+            return
         obs.count("cache.saves")
         obs.count("cache.digests_flushed", len(self._dirty_digests))
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._sweep_stale_tmp()
-        for digest in sorted(self._dirty_digests):
-            path = self._path_for(digest)
-            with _digest_lock(path):
-                entries: dict[str, Any] = {}
-                try:
-                    payload = json.loads(path.read_text())
-                    if payload.get("version") == CACHE_FORMAT_VERSION:
-                        entries.update(payload.get("entries", {}))
-                except (OSError, ValueError, AttributeError):
-                    pass
-                entries.update(
-                    {
-                        key: record
-                        for key, record in self._disk.items()
-                        if self._digest_of(key) == digest
-                    }
-                )
-                text = self._maybe_corrupt(
-                    json.dumps(
-                        {"version": CACHE_FORMAT_VERSION, "entries": entries},
-                        indent=None,
-                        sort_keys=True,
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_tmp()
+            for digest in sorted(self._dirty_digests):
+                path = self._path_for(digest)
+                with _digest_lock(path):
+                    entries: dict[str, Any] = {}
+                    try:
+                        payload = json.loads(path.read_text())
+                        if payload.get("version") == CACHE_FORMAT_VERSION:
+                            entries.update(payload.get("entries", {}))
+                    except (OSError, ValueError, AttributeError):
+                        pass
+                    entries.update(
+                        {
+                            key: record
+                            for key, record in self._disk.items()
+                            if self._digest_of(key) == digest
+                        }
                     )
-                )
-                tmp = path.with_suffix(f".tmp.{os.getpid()}")
-                tmp.write_text(text)
-                tmp.replace(path)
+                    text = self._maybe_corrupt(
+                        json.dumps(
+                            {"version": CACHE_FORMAT_VERSION, "entries": entries},
+                            indent=None,
+                            sort_keys=True,
+                        )
+                    )
+                    durable.atomic_write(path, text, sink="cache")
+        except OSError as exc:
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("cache", exc)
+                return
+            raise
         self._dirty_digests.clear()
+        self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        """Evict least-recently-used digest files past ``REPRO_CACHE_MAX_BYTES``.
+
+        Recency is file mtime: loads touch the file (:meth:`_ensure_loaded`)
+        and writes refresh it naturally, so eviction order tracks actual
+        use.  Eviction is size-based and best-effort -- a file that cannot
+        be unlinked is skipped, never fatal.
+        """
+        budget = _max_cache_bytes()
+        if budget is None or self.directory is None:
+            return
+        files = []
+        for path in self.directory.glob("mappings-*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _mtime, size, _path in files)
+        if total <= budget:
+            return
+        for _mtime, size, path in sorted(files):
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            obs.count("cache.evictions")
+            logger.warning(
+                "evicted cache file %s (%d B) to fit %s=%d B",
+                path.name,
+                size,
+                CACHE_MAX_BYTES_ENV,
+                budget,
+            )
 
     # --- instrumentation -------------------------------------------------------
 
@@ -394,6 +497,7 @@ def rebuild_record(
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "CACHE_MAX_BYTES_ENV",
     "DEFAULT_CACHE_DIRNAME",
     "MappingCache",
     "cache_key",

@@ -33,7 +33,7 @@ import os
 from pathlib import Path
 from typing import Any
 
-from repro import obs
+from repro import durable, obs
 
 logger = logging.getLogger("repro.checkpoint")
 
@@ -147,7 +147,13 @@ class SweepCheckpoint:
         self.corrupt_lines = 0
         try:
             text = self.path.read_text()
-        except OSError:
+        except FileNotFoundError:
+            return {}
+        except OSError as exc:
+            # No checkpoint is a clean cold start; an unreadable device is
+            # not -- count it so persistent EIO degrades the sink.
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("checkpoint", exc)
             return {}
         records: dict[str, dict[str, Any]] = {}
         version_ok = False
@@ -192,7 +198,11 @@ class SweepCheckpoint:
         target = self.path.with_name(self.path.name + f".corrupt-{os.getpid()}")
         try:
             self.path.replace(target)
-        except OSError:
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("checkpoint", exc)
             return
         obs.count("checkpoint.set_aside")
         logger.warning(
@@ -205,8 +215,14 @@ class SweepCheckpoint:
     # --- writing ---------------------------------------------------------------
 
     def reset(self) -> None:
-        """Start a fresh checkpoint (truncate + header)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Start a fresh checkpoint (truncate + header, atomic + fsync'd).
+
+        A full or failing disk degrades the checkpoint sink exactly like
+        :meth:`flush` -- the sweep proceeds without resumability rather
+        than dying before the first point.
+        """
+        if not durable.sink_enabled("checkpoint"):
+            return
         header = json.dumps(
             {
                 "kind": "header",
@@ -215,7 +231,14 @@ class SweepCheckpoint:
             },
             sort_keys=True,
         )
-        self.path.write_text(header + "\n")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            durable.atomic_write(self.path, header + "\n", sink="checkpoint")
+        except OSError as exc:
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("checkpoint", exc)
+                return
+            raise
         self._buffer.clear()
         self._header_written = True
 
@@ -233,20 +256,35 @@ class SweepCheckpoint:
     def flush(self) -> None:
         """Append every buffered record in one atomic-enough write.
 
-        The payload goes out as a single ``write`` call on an ``O_APPEND``
-        descriptor; a crash mid-write can tear at most the final line,
-        which :meth:`load` tolerates.
+        The payload goes out as a single ``write`` on an ``O_APPEND``
+        descriptor and is fsync'd (:func:`repro.durable.durable_append`);
+        a crash mid-write can tear at most the final line, which
+        :meth:`load` tolerates, and a flush that returned cannot be lost
+        to a power cut.
+
+        A full or failing disk (ENOSPC/EIO/...) degrades the checkpoint
+        sink -- one warning, the ``degraded.checkpoint`` counter -- and
+        the sweep continues without resumability; results are unaffected.
         """
         if not self._buffer:
             return
-        if not self._header_written:
-            if self.path.exists():
-                self._header_written = True
-            else:
-                self.reset()
-        payload = "".join(line + "\n" for line in self._buffer)
-        with open(self.path, "a") as handle:
-            handle.write(payload)
+        if not durable.sink_enabled("checkpoint"):
+            self._buffer.clear()
+            return
+        try:
+            if not self._header_written:
+                if self.path.exists():
+                    self._header_written = True
+                else:
+                    self.reset()
+            payload = "".join(line + "\n" for line in self._buffer)
+            durable.durable_append(self.path, payload, sink="checkpoint")
+        except OSError as exc:
+            if durable.is_resource_error(exc):
+                durable.record_sink_failure("checkpoint", exc)
+                self._buffer.clear()
+                return
+            raise
         obs.count("checkpoint.flushes")
         obs.count("checkpoint.points_flushed", len(self._buffer))
         self._buffer.clear()

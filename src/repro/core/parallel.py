@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro import obs
+from repro.errors import ReproError
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -83,14 +84,21 @@ _WORKER_CAPTURE = False
 _IN_WORKER = False
 
 
-class TransientTaskError(RuntimeError):
+class TransientTaskError(ReproError, RuntimeError):
     """A crash-like task fault that merits a bounded retry.
 
     Raise (or subclass) this from a worker function for failures that are
     expected to vanish on a re-run -- lost connections, injected crashes.
     Every other exception type is treated as deterministic and is never
     retried.
+
+    Still a ``RuntimeError`` (the historical contract) and a
+    :class:`repro.errors.ReproError` with its own ``transient`` code; it
+    is normally consumed by the retry machinery and never reaches the
+    exit-code mapping.
     """
+
+    code = "transient"
 
 
 class TaskError(RuntimeError):

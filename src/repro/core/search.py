@@ -33,6 +33,7 @@ the CI counter gate checks.
 
 from __future__ import annotations
 
+import logging
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -48,10 +49,13 @@ from repro.arch.topology import Topology
 from repro.arch.validate import validation_errors
 from repro.core.checkpoint import sweep_digest, task_key
 from repro.core.cost import intrinsic_compute_energy_pj
+from repro import durable
+from repro.errors import ConfigError, StateCorruptionError
 from repro.core.parallel import (
     SweepStats,
     TaskFailure,
     TaskPolicy,
+    _fault_plan,
     is_picklable,
     resolve_jobs,
     run_tasks,
@@ -61,6 +65,8 @@ from repro.core.space import SearchProfile
 from repro.workloads.layer import ConvLayer
 
 KB = 1024
+
+logger = logging.getLogger("repro.search")
 
 #: Consecutive sampler collisions before falling back to a canonical scan.
 _MAX_SAMPLER_MISSES = 64
@@ -490,8 +496,12 @@ class GuidedStrategy(SearchStrategy):
 # --- the sqlite study --------------------------------------------------------------
 
 
-class StudyConfigError(ValueError):
-    """The study file was created under different search parameters."""
+class StudyConfigError(ConfigError, ValueError):
+    """The study file was created under different search parameters.
+
+    Still a ``ValueError`` (the historical contract) and now a
+    :class:`repro.errors.ConfigError` (code ``config``, exit 3).
+    """
 
 
 class Study:
@@ -503,16 +513,26 @@ class Study:
     resumed run re-proposes the same trajectory (the sampler is seeded)
     and answers already-stored trials from here instead of re-evaluating,
     so interruption costs nothing but the lost in-flight batch.
+
+    Durability: the database opens in WAL journal mode with
+    ``synchronous=FULL``, so a committed trial survives ``kill -9`` at any
+    instant.  A file that fails sqlite's ``quick_check`` (truncated,
+    overwritten, not a database at all) is quarantined as
+    ``<file>.corrupt-<ts>`` -- exactly like the mapping cache -- and the
+    search restarts from a fresh study instead of dying on a raw
+    ``sqlite3.DatabaseError``.
     """
 
     SCHEMA_VERSION = 1
 
     def __init__(self, path: str | Path, digest: str, meta: dict[str, Any]):
-        import sqlite3
-
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
+        self.quarantined: Path | None = None
+        plan = _fault_plan()
+        if plan is not None:
+            plan.corrupt_study_file(self.path)
+        self._conn = self._open_verified()
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
         )
@@ -547,6 +567,59 @@ class Study:
             )
             self._conn.commit()
 
+    def _open_verified(self):
+        """Connect in WAL mode, quarantining a corrupt file on the way.
+
+        A truncated or garbage study file fails ``PRAGMA journal_mode`` or
+        ``PRAGMA quick_check``; it is renamed ``<file>.corrupt-<ts>`` (the
+        ``study.corrupt_files`` counter records it, one warning is logged)
+        and a fresh database takes its place.
+
+        Raises:
+            StateCorruptionError: When the corrupt file cannot even be
+                renamed out of the way -- there is no healthy path left.
+        """
+        import sqlite3
+        import time
+
+        for attempt in range(2):
+            conn = None
+            try:
+                conn = sqlite3.connect(str(self.path))
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=FULL")
+                row = conn.execute("PRAGMA quick_check").fetchone()
+                if row is None or str(row[0]).lower() != "ok":
+                    raise sqlite3.DatabaseError(
+                        f"quick_check: {row[0] if row else 'no result'}"
+                    )
+                return conn
+            except sqlite3.DatabaseError as exc:
+                if conn is not None:
+                    conn.close()
+                if attempt:  # the freshly created replacement failed too
+                    raise
+                target = self.path.with_name(
+                    f"{self.path.name}.corrupt-{int(time.time() * 1000)}"
+                )
+                try:
+                    self.path.replace(target)
+                except OSError as rename_exc:
+                    raise StateCorruptionError(
+                        f"study {self.path} is corrupt ({exc}) and could "
+                        f"not be quarantined: {rename_exc}"
+                    ) from exc
+                self.quarantined = target
+                obs.count("study.corrupt_files")
+                logger.warning(
+                    "set aside corrupt study %s (%s) -> %s; starting a "
+                    "fresh study",
+                    self.path,
+                    exc,
+                    target.name,
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def load(self) -> dict[str, dict[str, Any]]:
         """Stored trial records keyed by task key."""
         import json
@@ -562,20 +635,39 @@ class Study:
         return records
 
     def record(self, key: str, record: dict[str, Any]) -> None:
-        """Insert-or-replace one completed trial (commit via :meth:`flush`)."""
-        import json
+        """Insert-or-replace one completed trial (commit via :meth:`flush`).
 
-        self._conn.execute(
-            "INSERT INTO trials (key, record) VALUES (?, ?) "
-            "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
-            (key, json.dumps(record, sort_keys=True)),
-        )
+        A write that fails because the disk is full (or the device is
+        erroring) degrades the study sink -- one warning, the
+        ``degraded.study`` counter -- instead of killing the search; the
+        run completes, it just cannot be resumed from this study.
+        """
+        import json
+        import sqlite3
+
+        if not durable.sink_enabled("study"):
+            return
+        try:
+            self._conn.execute(
+                "INSERT INTO trials (key, record) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
+                (key, json.dumps(record, sort_keys=True)),
+            )
+        except (sqlite3.OperationalError, sqlite3.DatabaseError) as exc:
+            durable.record_sink_failure("study", exc)
 
     def flush(self) -> None:
-        self._conn.commit()
+        import sqlite3
+
+        if not durable.sink_enabled("study"):
+            return
+        try:
+            self._conn.commit()
+        except (sqlite3.OperationalError, sqlite3.DatabaseError) as exc:
+            durable.record_sink_failure("study", exc)
 
     def close(self) -> None:
-        self._conn.commit()
+        self.flush()
         self._conn.close()
 
 

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro import obs
+from repro import durable, obs
 
 #: Environment variable the ``repro bench`` CLI sets so the
 #: ``record_bench`` fixture knows where to append its JSON fragments.
@@ -176,7 +176,9 @@ class BenchCapture:
     ) -> None:
         """Record a reproduced table/figure: ``.txt`` + echo, plus values."""
         self.results_dir.mkdir(exist_ok=True)
-        (self.results_dir / f"{name}.txt").write_text(text + "\n")
+        durable.atomic_write(
+            self.results_dir / f"{name}.txt", text + "\n", sink="bench"
+        )
         print(f"\n{text}\n")
         self.artifacts.append(f"{name}.txt")
         if values:
@@ -186,7 +188,9 @@ class BenchCapture:
         """Persist a JSON artifact under results/ (mirrors ``record_json``)."""
         self.results_dir.mkdir(exist_ok=True)
         target = self.results_dir / f"{name}.json"
-        target.write_text(json.dumps(payload, indent=2) + "\n")
+        durable.atomic_write(
+            target, json.dumps(payload, indent=2) + "\n", sink="bench"
+        )
         self.artifacts.append(f"{name}.json")
         return target
 
@@ -235,8 +239,9 @@ class BenchCapture:
         assert self.record_dir is not None
         self.record_dir.mkdir(parents=True, exist_ok=True)
         line = json.dumps(self.fragment(), sort_keys=True) + "\n"
-        with open(self.record_dir / FRAGMENTS_NAME, "a") as handle:
-            handle.write(line)
+        durable.durable_append(
+            self.record_dir / FRAGMENTS_NAME, line, sink="bench"
+        )
 
 
 def load_fragments(record_dir: str | Path) -> dict[str, dict[str, Any]]:
@@ -347,7 +352,9 @@ def write_record(record: dict[str, Any], path: str | Path) -> Path:
     if problems:
         raise ValueError("invalid bench record: " + "; ".join(problems))
     target = Path(path)
-    target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    durable.atomic_write(
+        target, json.dumps(record, indent=2, sort_keys=True) + "\n", sink="bench"
+    )
     return target
 
 
@@ -371,15 +378,15 @@ def append_history(record: dict[str, Any], path: str | Path) -> Path:
     """Append one record as a single JSONL line (one ``O_APPEND`` write).
 
     Mirrors :meth:`repro.core.checkpoint.SweepCheckpoint.flush`: the
-    whole line goes out in one ``write`` on an append-mode descriptor,
-    so a killed writer can at worst tear the final line -- which
-    :func:`load_history` tolerates.
+    whole line goes out in one fsync'd ``write`` on an append-mode
+    descriptor (:func:`repro.durable.durable_append`), so a killed writer
+    can at worst tear the final line -- which :func:`load_history`
+    tolerates -- and an append that returned survives ``kill -9``.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     line = json.dumps(record, sort_keys=True) + "\n"
-    with open(target, "a") as handle:
-        handle.write(line)
+    durable.durable_append(target, line, sink="history")
     obs.count("bench.history_appends")
     return target
 

@@ -20,12 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import DataError
+
 #: Absolute tolerance for floating-point comparisons of cycle counts.
 TIME_EPS = 1e-6
 
 
-class ResourceInvariantError(RuntimeError):
-    """A bandwidth server violated one of its accounting invariants."""
+class ResourceInvariantError(DataError, RuntimeError):
+    """A bandwidth server violated one of its accounting invariants.
+
+    Still a ``RuntimeError`` (the historical contract) and now a
+    :class:`repro.errors.DataError` (code ``data``, exit 4): the
+    simulation produced internally inconsistent numbers, so its output
+    cannot be trusted as data.
+    """
 
 
 @dataclass(frozen=True)

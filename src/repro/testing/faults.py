@@ -19,7 +19,7 @@ Grammar (specs joined by ``,``; params joined by ``&``)::
 
     spec   := kind [":" rate] ["@" param ("&" param)*]
     param  := "seed=" int | "attempts=" int | "indices=" int (";" int)*
-            | "sleep=" float
+            | "sleep=" float | "sink=" name
 
 Kinds:
 
@@ -44,6 +44,22 @@ Kinds:
     Corrupt the next mapping-cache flush
     (:meth:`FaultPlan.corrupt_text`, consulted by
     :meth:`repro.core.cache.MappingCache.save`).
+``enospc`` / ``eio``
+    Raise ``OSError(ENOSPC)`` / ``OSError(EIO)`` at a persistent-sink
+    write boundary (:meth:`FaultPlan.before_io`, consulted by
+    :mod:`repro.durable` before every :func:`~repro.durable.atomic_write`
+    and :func:`~repro.durable.durable_append`).  Indices count writes per
+    sink, so ``enospc:0.5@seed=3`` deterministically fails ~half of a
+    sink's flushes; ``sink=cache`` restricts the fault to one sink
+    (``cache``, ``checkpoint``, ``history``, ``bench``...).
+``slow-disk``
+    Sleep ``sleep`` seconds before a sink write -- models a saturated or
+    dying disk without failing the write (pair it with ``sleep=``).
+``corrupt-study``
+    Garble the guided-search sqlite study file just before it is opened
+    (:meth:`FaultPlan.corrupt_study_file`, consulted by
+    :class:`repro.core.search.Study`), driving the quarantine-and-restart
+    recovery path deterministically.
 
 ``attempts=N`` fires the fault only on attempts ``< N`` (default 1, so a
 retried task succeeds -- the retry-then-recover path); ``attempts=0`` fires
@@ -67,8 +83,11 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Fault kinds that act at task boundaries (see :meth:`FaultPlan.before_task`).
 TASK_KINDS = ("crash", "exc", "hang", "kill", "interrupt")
 
+#: Fault kinds that act at sink-write boundaries (see :meth:`FaultPlan.before_io`).
+IO_KINDS = ("enospc", "eio", "slow-disk")
+
 #: Every recognised fault kind.
-KNOWN_KINDS = TASK_KINDS + ("corrupt-cache",)
+KNOWN_KINDS = TASK_KINDS + IO_KINDS + ("corrupt-cache", "corrupt-study")
 
 
 class InjectedCrashError(TransientTaskError):
@@ -96,7 +115,9 @@ class FaultSpec:
         attempts: Fire only on attempts ``< attempts``; ``0`` means every
             attempt.
         indices: Explicit task indices (overrides ``rate``).
-        sleep_s: Sleep duration of the ``hang`` kind.
+        sleep_s: Sleep duration of the ``hang`` and ``slow-disk`` kinds.
+        sink: I/O kinds only -- restrict the fault to writes of one named
+            sink (``None`` hits every sink).
     """
 
     kind: str
@@ -105,6 +126,7 @@ class FaultSpec:
     attempts: int = 1
     indices: tuple[int, ...] | None = None
     sleep_s: float = 30.0
+    sink: str | None = None
 
     def fires(self, index: int, attempt: int = 0) -> bool:
         """Whether this fault fires for (task ``index``, ``attempt``)."""
@@ -158,6 +180,10 @@ def parse_fault_specs(text: str) -> tuple[FaultSpec, ...]:
                     fields["attempts"] = int(value)
                 elif key == "sleep":
                     fields["sleep_s"] = float(value)
+                elif key == "sink":
+                    if not value:
+                        raise ValueError("empty sink name")
+                    fields["sink"] = value
                 elif key == "indices":
                     fields["indices"] = tuple(
                         int(v) for v in value.split(";") if v
@@ -212,6 +238,60 @@ class FaultPlan:
                     f"injected kill (inline) at task {index}"
                 )
 
+    def before_io(self, sink: str, index: int) -> None:
+        """Inject any I/O fault scheduled for write ``index`` of ``sink``.
+
+        Called by :mod:`repro.durable` immediately before each
+        atomic-write/durable-append on the named sink; ``index`` counts
+        that sink's writes from 0, so rate draws are deterministic per
+        (seed, sink write index).
+        """
+        import errno
+
+        for spec in self.specs:
+            if spec.kind not in IO_KINDS:
+                continue
+            if spec.sink is not None and spec.sink != sink:
+                continue
+            if not spec.fires(index):
+                continue
+            obs.count(f"faults.injected.{spec.kind}")
+            if spec.kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected ENOSPC at {sink} write {index}",
+                )
+            if spec.kind == "eio":
+                raise OSError(
+                    errno.EIO, f"injected EIO at {sink} write {index}"
+                )
+            if spec.kind == "slow-disk":
+                time.sleep(spec.sleep_s)
+
+    def corrupt_study_file(self, path, index: int = 0) -> bool:
+        """Garble the study file at ``path`` when a ``corrupt-study`` fires.
+
+        Consulted by :class:`repro.core.search.Study` before opening its
+        sqlite file.  An existing file is truncated mid-byte (the
+        signature of a torn writer); a missing one is filled with
+        non-sqlite garbage.  Returns whether corruption was injected.
+        """
+        from pathlib import Path
+
+        for spec in self.specs:
+            if spec.kind != "corrupt-study" or not spec.fires(index):
+                continue
+            obs.count("faults.injected.corrupt-study")
+            target = Path(path)
+            if target.exists():
+                data = target.read_bytes()
+                target.write_bytes(data[: max(1, len(data) // 2)] + b"\xff")
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_bytes(b"this is not a sqlite database\n")
+            return True
+        return False
+
     def corrupt_text(self, text: str, index: int) -> str | None:
         """The corrupted replacement for flush ``index``, or ``None``.
 
@@ -260,6 +340,7 @@ __all__ = [
     "FaultSpec",
     "InjectedCrashError",
     "InjectedTaskError",
+    "IO_KINDS",
     "KNOWN_KINDS",
     "TASK_KINDS",
     "active_plan",

@@ -29,8 +29,19 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.errors import DataError
 from repro.workloads.layer import ConvLayer, MatmulLayer, fc_as_pointwise, matmul
 from repro.workloads.transformer import AttentionLayer
+
+
+class WorkloadSpecError(DataError, ValueError):
+    """A workload description (JSON file or spec dict) is invalid.
+
+    Still a ``ValueError`` (the historical contract) and now a
+    :class:`repro.errors.DataError` (code ``data``, exit 4).  Every error
+    escaping this module's loaders is of this type, with the offending
+    layer index or file named in the message.
+    """
 
 #: Accepted convolution keys (everything else is rejected loudly).
 _CONV_KEYS = {"name", "h", "w", "ci", "co", "kh", "kw", "stride", "padding", "groups"}
@@ -127,11 +138,11 @@ def layers_from_specs(specs: list[dict[str, Any]]) -> list[ConvLayer]:
     Attention entries expand in place into their six GEMM sublayers.
 
     Raises:
-        ValueError: For an empty list (with the index of any bad entry
-            prepended to its error).
+        WorkloadSpecError: For an empty list (with the index of any bad
+            entry prepended to its error).
     """
     if not specs:
-        raise ValueError("model description is empty")
+        raise WorkloadSpecError("model description is empty")
     layers: list[ConvLayer] = []
     for index, spec in enumerate(specs):
         try:
@@ -139,16 +150,24 @@ def layers_from_specs(specs: list[dict[str, Any]]) -> list[ConvLayer]:
                 layers.extend(_attention_from_spec(spec).sublayers())
             else:
                 layers.append(layer_from_spec(spec))
-        except (ValueError, KeyError, TypeError) as exc:
-            raise ValueError(f"layer {index}: {exc}") from exc
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            raise WorkloadSpecError(f"layer {index}: {exc}") from exc
     return layers
 
 
 def load_model_file(path: str | Path) -> list[ConvLayer]:
-    """Load a model from a JSON file (a list of layer dictionaries)."""
-    data = json.loads(Path(path).read_text())
+    """Load a model from a JSON file (a list of layer dictionaries).
+
+    Raises:
+        WorkloadSpecError: For undecodable JSON or a top-level shape that
+            is not a list (the file path is named in the message).
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise WorkloadSpecError(f"model file {path}: invalid JSON: {exc}") from exc
     if not isinstance(data, list):
-        raise ValueError(
+        raise WorkloadSpecError(
             f"model file must contain a JSON list of layers, got {type(data).__name__}"
         )
     return layers_from_specs(data)

@@ -58,9 +58,11 @@ class TestRoundTrip:
             hardware_from_dict(data)
 
     def test_missing_field_raises(self):
+        from repro.arch.io import HardwareSpecError
+
         data = hardware_to_dict(case_study_hardware())
         del data["memory"]
-        with pytest.raises(KeyError):
+        with pytest.raises(HardwareSpecError, match="memory"):
             hardware_from_dict(data)
 
     def test_topology_defaults_to_ring(self):

@@ -185,3 +185,92 @@ class TestMapperIntegration:
         mapper = Mapper(hw=hw, profile=SearchProfile.MINIMAL)
         with pytest.raises(InvalidMappingError):
             mapper.search_layer(layer)
+
+
+class TestChunkedBatch:
+    """REPRO_BATCH_MAX_BYTES bounds batch size without changing winners."""
+
+    def _candidates(self):
+        hw = case_study_hardware()
+        layer = small_layer()
+        mapper = Mapper(hw=hw, profile=SearchProfile.FAST)
+        return layer, hw, mapper._space.unique_candidates(layer)
+
+    def test_budget_parses_to_chunk_size(self, monkeypatch):
+        monkeypatch.delenv(batch.BATCH_MAX_BYTES_ENV, raising=False)
+        assert batch.batch_chunk_candidates() is None
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "4096")
+        assert batch.batch_chunk_candidates() == 4
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "1")  # floors at one
+        assert batch.batch_chunk_candidates() == 1
+
+    def test_bad_budget_is_config_error(self, monkeypatch):
+        from repro.errors import ConfigError
+
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "plenty")
+        with pytest.raises(ConfigError, match=batch.BATCH_MAX_BYTES_ENV):
+            batch.batch_chunk_candidates()
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "-1")
+        with pytest.raises(ConfigError, match=">= 0"):
+            batch.batch_chunk_candidates()
+
+    def test_chunked_outcome_is_identical(self, monkeypatch):
+        from repro import obs
+
+        layer, hw, candidates = self._candidates()
+        assert len(candidates) >= 8
+        monkeypatch.delenv(batch.BATCH_MAX_BYTES_ENV, raising=False)
+        whole = batch.search_batch(layer, hw, candidates)
+        # A budget forcing >= 4 chunks must pick the same winner and counts.
+        budget = max(1, len(candidates) // 4) * 1024
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, str(budget))
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            chunked = batch.search_batch(layer, hw, candidates)
+        assert chunked == whole
+        assert recorder.metrics.counters()["mapper.batch.chunks"] >= 4
+
+    def test_single_candidate_chunks(self, monkeypatch):
+        layer, hw, candidates = tied_pair()
+        monkeypatch.delenv(batch.BATCH_MAX_BYTES_ENV, raising=False)
+        whole = batch.search_batch(layer, hw, candidates)
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "1")
+        assert batch.search_batch(layer, hw, candidates) == whole
+
+    def test_cross_chunk_tie_keeps_first(self, monkeypatch):
+        """A chunk boundary between exact ties must not flip the winner."""
+        layer, hw, candidates = tied_pair()
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "1024")  # 1 per chunk
+        outcome = batch.search_batch(layer, hw, candidates)
+        assert outcome is not None and outcome.best_index == 0
+
+    def test_overflow_mid_chunk_falls_back(self, monkeypatch):
+        layer = ConvLayer(
+            "huge", h=2**22, w=2**22, ci=2**20, co=8, kh=1, kw=1
+        )
+        hw = build_hardware(1, 1, 8, 8)
+        mapping = Mapping(
+            package_spatial=SpatialPrimitive.channel(1),
+            package_temporal=TemporalPrimitive(
+                LoopOrder.CHANNEL_PRIORITY, 2**22, 2**22, 8
+            ),
+            chiplet_spatial=SpatialPrimitive.channel(1),
+            chiplet_temporal=TemporalPrimitive(
+                LoopOrder.CHANNEL_PRIORITY, 2**22, 2**22, 8
+            ),
+        )
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "1024")
+        assert batch.search_batch(layer, hw, [mapping, mapping]) is None
+
+    def test_mapper_end_to_end_parity(self, monkeypatch):
+        hw = case_study_hardware()
+        layer = small_layer()
+        monkeypatch.delenv(batch.BATCH_MAX_BYTES_ENV, raising=False)
+        whole = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        monkeypatch.setenv(batch.BATCH_MAX_BYTES_ENV, "8192")
+        chunked = Mapper(hw=hw, profile=SearchProfile.FAST).search_layer(layer)
+        assert chunked.mapping == whole.mapping
+        assert chunked.best.energy_pj == whole.best.energy_pj
+        assert chunked.best.cycles == whole.best.cycles
+        assert chunked.candidates_evaluated == whole.candidates_evaluated
+        assert chunked.candidates_invalid == whole.candidates_invalid

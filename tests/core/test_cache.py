@@ -409,3 +409,108 @@ class TestQuarantineAndSweep:
         ).search_model(small_layers())
         assert len(results) == len(small_layers())
         assert fresh.corrupt_files == 1
+
+
+def _put_digest(directory, digest, index=0, pad=0):
+    """Save one entry under ``digest``; pad the record to inflate file size."""
+    cache = MappingCache(directory)
+    record = {"mapping": {"i": index}, "pad": "x" * pad}
+    cache.put(f"s{index}|{digest}|minimal|o", object(), record=record)
+    cache.save()
+
+
+class TestCacheGovernance:
+    """REPRO_CACHE_MAX_BYTES: LRU-by-mtime eviction of digest files."""
+
+    def test_unset_budget_never_evicts(self, tmp_path, monkeypatch):
+        from repro.core.cache import CACHE_MAX_BYTES_ENV
+
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV, raising=False)
+        for n in range(3):
+            _put_digest(tmp_path, f"{n:x}" * 64, index=n, pad=4096)
+        assert len(list(tmp_path.glob("mappings-*.json"))) == 3
+
+    def test_oldest_files_evicted_first(self, tmp_path, monkeypatch):
+        from repro import obs
+        from repro.core.cache import CACHE_MAX_BYTES_ENV
+
+        digests = [f"{n:x}" * 64 for n in range(1, 4)]
+        for n, digest in enumerate(digests):
+            _put_digest(tmp_path, digest, index=n, pad=4096)
+        # Make mtime order unambiguous: file 0 oldest, file 2 newest.
+        for age, digest in enumerate(reversed(digests)):
+            path = tmp_path / f"mappings-{digest[:16]}.json"
+            os.utime(path, (1_000_000 + 100 * age, 1_000_000 + 100 * age))
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "10000")
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            _put_digest(tmp_path, digests[2], index=9, pad=4096)
+        survivors = {p.name for p in tmp_path.glob("mappings-*.json")}
+        # The two least-recently-touched files (digests[2] was just written,
+        # so digests[1] then digests[0] by our synthetic mtimes) shrink the
+        # store under budget; the newest write always survives.
+        assert f"mappings-{digests[2][:16]}.json" in survivors
+        assert len(survivors) < 3
+        assert recorder.metrics.counters()["cache.evictions"] >= 1
+
+    def test_load_refreshes_recency(self, tmp_path):
+        digest = "ab" * 32
+        _put_digest(tmp_path, digest, pad=128)
+        path = tmp_path / f"mappings-{digest[:16]}.json"
+        os.utime(path, (1_000_000, 1_000_000))
+        before = path.stat().st_mtime
+        cache = MappingCache(tmp_path)
+        assert cache.contains(f"s0|{digest}|minimal|o")
+        assert path.stat().st_mtime > before
+
+    def test_bad_budget_value_is_config_error(self, tmp_path, monkeypatch):
+        import pytest
+
+        from repro.core.cache import CACHE_MAX_BYTES_ENV
+        from repro.errors import ConfigError
+
+        _put_digest(tmp_path, "cd" * 32)
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "lots")
+        cache = MappingCache(tmp_path)
+        cache.put("s1|" + "cd" * 32 + "|minimal|o", object(), record={"m": 1})
+        with pytest.raises(ConfigError, match=CACHE_MAX_BYTES_ENV):
+            cache.save()
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "-5")
+        cache.put("s2|" + "cd" * 32 + "|minimal|o", object(), record={"m": 2})
+        with pytest.raises(ConfigError, match=">= 0"):
+            cache.save()
+
+
+class TestCacheDegradedMode:
+    """A full disk disables the cache sink; the sweep itself continues."""
+
+    def test_enospc_degrades_and_search_completes(self, tmp_path):
+        from repro import durable, obs
+        from repro.testing.faults import (
+            FaultPlan,
+            install_plan,
+            parse_fault_specs,
+        )
+
+        hw = case_study_hardware()
+        install_plan(FaultPlan(parse_fault_specs("enospc@sink=cache")))
+        durable.reset_degraded()
+        recorder = obs.Recorder()
+        try:
+            with obs.use(recorder):
+                cache = MappingCache(tmp_path)
+                results = Mapper(
+                    hw=hw, profile=SearchProfile.MINIMAL, cache=cache
+                ).search_model(small_layers())
+        finally:
+            install_plan(None)
+        assert len(results) == len(small_layers())  # sweep unharmed
+        assert not durable.sink_enabled("cache")
+        counters = recorder.metrics.counters()
+        assert counters["degraded.cache"] == 1
+        assert counters["resource.enospc"] >= 1
+        assert not list(tmp_path.glob("mappings-*.json"))
+        # Later saves are silent no-ops, not repeated failures.
+        cache.put("s|" + "ef" * 32 + "|minimal|o", object(), record={"m": 1})
+        cache.save()
+        durable.reset_degraded()

@@ -251,3 +251,67 @@ class TestExploreResume:
             models, checkpoint_dir=tmp_path, resume=True, **self.kwargs()
         )
         assert all(p.valid for p in resumed)
+
+
+class TestCheckpointDegradedMode:
+    """A failing disk disables the checkpoint sink; the sweep continues."""
+
+    def test_enospc_on_flush_degrades_once(self, tmp_path, caplog):
+        import logging
+
+        from repro import durable, obs
+
+        durable.reset_degraded()
+        install_plan(FaultPlan(parse_fault_specs("enospc@sink=checkpoint")))
+        recorder = obs.Recorder()
+        try:
+            with obs.use(recorder), caplog.at_level(
+                logging.WARNING, "repro.durable"
+            ):
+                ckpt = SweepCheckpoint(tmp_path, "a" * 64, flush_every=1)
+                ckpt.record("k1", {"x": 1})  # auto-flush hits injected ENOSPC
+                ckpt.record("k2", {"x": 2})  # degraded: silent no-op
+        finally:
+            install_plan(None)
+        assert not durable.sink_enabled("checkpoint")
+        counters = recorder.metrics.counters()
+        assert counters["degraded.checkpoint"] == 1
+        # Both the header write and the buffered append hit the fault.
+        assert counters["resource.enospc"] == 2
+        assert len([r for r in caplog.records if "disabled" in r.message]) == 1
+        durable.reset_degraded()
+
+    def test_degraded_flush_does_not_grow_buffer(self, tmp_path):
+        from repro import durable
+
+        durable.reset_degraded()
+        durable.record_sink_failure("checkpoint", OSError(28, "full"))
+        try:
+            ckpt = SweepCheckpoint(tmp_path, "b" * 64, flush_every=1)
+            for n in range(100):
+                ckpt.record(f"k{n}", {"x": n})
+            assert ckpt._buffer == []  # cleared, not accumulating forever
+            assert not ckpt.path.exists()
+        finally:
+            durable.reset_degraded()
+
+    def test_explore_completes_with_checkpoint_sink_down(self, tmp_path):
+        from repro import durable
+
+        kwargs = dict(
+            models={"alexnet": alexnet()[:2]},
+            required_macs=32,
+            space=SMALL_SPACE,
+            profile=SearchProfile.MINIMAL,
+            jobs=1,
+        )
+        clean = explore(**kwargs)
+        durable.reset_degraded()
+        install_plan(FaultPlan(parse_fault_specs("enospc@sink=checkpoint")))
+        try:
+            faulted = explore(checkpoint_dir=tmp_path, **kwargs)
+        finally:
+            install_plan(None)
+            durable.reset_degraded()
+        assert [p.label for p in faulted] == [p.label for p in clean]
+        assert [p.energy_pj for p in faulted] == [p.energy_pj for p in clean]

@@ -1,0 +1,141 @@
+"""Crash-safe write helpers, fault injection at sink boundaries, degradation.
+
+``atomic_write``/``durable_append`` are the only way bytes reach a
+persistent sink, so these tests pin their rename/append semantics, the
+deterministic I/O fault hook, and the degrade-once contract that keeps a
+full disk from killing (or spamming) a sweep.
+"""
+
+import errno
+import logging
+
+import pytest
+
+from repro import durable, obs
+from repro.testing.faults import FaultPlan, FaultSpec, install_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    previous = install_plan(None)
+    durable.reset_degraded()
+    yield
+    install_plan(previous)
+    durable.reset_degraded()
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.json"
+        durable.atomic_write(target, "one")
+        assert target.read_text() == "one"
+        durable.atomic_write(target, "two")
+        assert target.read_text() == "two"
+        # No temp debris left behind.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failed_write_leaves_old_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        install_plan(FaultPlan([FaultSpec(kind="enospc", sink="t", indices=(1,))]))
+        durable.atomic_write(target, "old", sink="t")  # write 0: clean
+        with pytest.raises(OSError) as exc:
+            durable.atomic_write(target, "new", sink="t")
+        assert exc.value.errno == errno.ENOSPC
+        assert target.read_text() == "old"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_fsync_opt_out_keeps_atomicity(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(durable.DURABLE_FSYNC_ENV, "0")
+        assert not durable.fsync_enabled()
+        target = tmp_path / "out.json"
+        durable.atomic_write(target, "content")
+        assert target.read_text() == "content"
+
+
+class TestDurableAppend:
+    def test_appends(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        durable.durable_append(target, "a\n")
+        durable.durable_append(target, "b\n")
+        assert target.read_text() == "a\nb\n"
+
+    def test_injected_eio(self, tmp_path):
+        install_plan(FaultPlan([FaultSpec(kind="eio")]))
+        with pytest.raises(OSError) as exc:
+            durable.durable_append(tmp_path / "log", "x\n", sink="s")
+        assert exc.value.errno == errno.EIO
+        assert not (tmp_path / "log").exists()
+
+
+class TestFaultDeterminism:
+    def test_per_sink_indices_are_independent(self, tmp_path):
+        """``indices=0`` hits the first write of EACH sink, not globally."""
+        install_plan(FaultPlan([FaultSpec(kind="enospc", indices=(0,))]))
+        with pytest.raises(OSError):
+            durable.atomic_write(tmp_path / "a", "x", sink="alpha")
+        # alpha's write 1 succeeds; beta's write 0 fails.
+        durable.atomic_write(tmp_path / "a", "x", sink="alpha")
+        with pytest.raises(OSError):
+            durable.atomic_write(tmp_path / "b", "x", sink="beta")
+
+    def test_sink_filter(self, tmp_path):
+        install_plan(FaultPlan([FaultSpec(kind="enospc", sink="cache")]))
+        durable.atomic_write(tmp_path / "ok", "x", sink="checkpoint")
+        with pytest.raises(OSError):
+            durable.atomic_write(tmp_path / "no", "x", sink="cache")
+
+    def test_rate_draw_is_deterministic(self, tmp_path):
+        spec = FaultSpec(kind="enospc", rate=0.5, seed=3)
+        fires = [spec.fires(i) for i in range(64)]
+        assert fires == [spec.fires(i) for i in range(64)]
+        assert 10 <= sum(fires) <= 54  # ~50% of 64, loosely
+
+    def test_slow_disk_does_not_fail_the_write(self, tmp_path):
+        install_plan(
+            FaultPlan([FaultSpec(kind="slow-disk", sleep_s=0.01, indices=(0,))])
+        )
+        target = durable.atomic_write(tmp_path / "out", "x", sink="s")
+        assert target.read_text() == "x"
+
+
+class TestDegradedMode:
+    def test_first_failure_disables_sink_with_one_warning(self, caplog):
+        recorder = obs.Recorder()
+        exc = OSError(errno.ENOSPC, "disk full")
+        with obs.use(recorder), caplog.at_level(logging.WARNING, "repro.durable"):
+            assert durable.sink_enabled("cache")
+            durable.record_sink_failure("cache", exc)
+            durable.record_sink_failure("cache", exc)
+            durable.record_sink_failure("cache", exc)
+        assert not durable.sink_enabled("cache")
+        assert durable.sink_enabled("checkpoint")
+        assert "cache" in durable.degraded_sinks()
+        counters = recorder.metrics.counters()
+        assert counters["degraded.cache"] == 1  # degrade counted once
+        assert counters["resource.enospc"] == 3  # every failure counted
+        warnings = [r for r in caplog.records if "disabled" in r.message]
+        assert len(warnings) == 1
+
+    def test_is_resource_error(self):
+        assert durable.is_resource_error(OSError(errno.ENOSPC, "full"))
+        assert durable.is_resource_error(OSError(errno.EIO, "bad"))
+        assert durable.is_resource_error(OSError(errno.EDQUOT, "quota"))
+        assert not durable.is_resource_error(OSError(errno.ENOENT, "missing"))
+        assert not durable.is_resource_error(ValueError("nope"))
+
+    def test_non_osexc_counts_as_unknown(self):
+        import sqlite3
+
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            durable.record_sink_failure("study", sqlite3.OperationalError("full"))
+        counters = recorder.metrics.counters()
+        assert counters["resource.unknown"] == 1
+        assert counters["degraded.study"] == 1
+
+    def test_reset_degraded(self):
+        durable.record_sink_failure("cache", OSError(errno.EIO, "x"))
+        assert not durable.sink_enabled("cache")
+        durable.reset_degraded()
+        assert durable.sink_enabled("cache")
+        assert durable.degraded_sinks() == {}

@@ -266,6 +266,72 @@ class TestStudyResume:
             Study(path, "digest-b", meta={"strategy": "guided"})
 
 
+class TestStudyCorruption:
+    """A damaged --study file is quarantined, never a raw DatabaseError."""
+
+    def test_garbage_file_is_quarantined(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "study.sqlite"
+        path.write_bytes(b"this is not a sqlite database\n")
+        recorder = obs.Recorder()
+        with obs.use(recorder):
+            store = Study(path, "digest-a", meta={"strategy": "guided"})
+        try:
+            assert store.quarantined is not None
+            assert store.quarantined.name.startswith("study.sqlite.corrupt-")
+            assert store.quarantined.exists()
+            # The fresh replacement works normally.
+            store.record("k1", {"label": "p1"})
+            store.flush()
+            assert store.load() == {"k1": {"label": "p1"}}
+        finally:
+            store.close()
+        assert recorder.metrics.counters()["study.corrupt_files"] == 1
+
+    def test_truncated_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "study.sqlite"
+        first = Study(path, "digest-a", meta={"strategy": "guided"})
+        first.record("k1", {"label": "p1"})
+        first.flush()
+        first.close()
+        # Chop the committed database in half: quick_check must fail.
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        store = Study(path, "digest-a", meta={"strategy": "guided"})
+        try:
+            assert store.quarantined is not None
+            assert store.load() == {}  # fresh study, old trials set aside
+        finally:
+            store.close()
+
+    def test_corrupt_study_fault_kind(self, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultSpec, install_plan
+
+        path = tmp_path / "study.sqlite"
+        previous = install_plan(FaultPlan([FaultSpec(kind="corrupt-study")]))
+        try:
+            store = Study(path, "digest-a", meta={"strategy": "guided"})
+        finally:
+            install_plan(previous)
+        try:
+            # The injected garbage file was quarantined on open.
+            assert store.quarantined is not None
+            store.record("k1", {"label": "p1"})
+            store.flush()
+            assert store.load() == {"k1": {"label": "p1"}}
+        finally:
+            store.close()
+
+    def test_guided_explore_survives_corrupt_study(self, tmp_path):
+        study = tmp_path / "study.sqlite"
+        baseline = _tiny_guided(trials=10, study=None)
+        study.write_bytes(b"\xff" * 64)
+        points = _tiny_guided(trials=10, study=study)
+        assert _fingerprint(points) == _fingerprint(baseline)
+        assert list(tmp_path.glob("study.sqlite.corrupt-*"))
+
+
 class TestExploreDispatch:
     def test_guided_requires_trials(self):
         with pytest.raises(ValueError, match="trials"):

@@ -556,3 +556,55 @@ class TestBenchCLI:
         assert payload["counters"]["mapper.candidates.evaluated"] > 0
         span = payload["spans"]["mapper.search_model"]
         assert span["calls"] == 1 and span["total_ns"] > 0
+
+
+class TestTaxonomyExitCodes:
+    """The taxonomy -> exit-code mapping, through the single main() handler."""
+
+    def test_data_error_model_file_exits_4(self, tmp_path, capsys):
+        bad = tmp_path / "model.json"
+        bad.write_text("{not json")
+        code = main(["map", "--model-file", str(bad), "--profile", "minimal"])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error [data]:")
+        assert "invalid JSON" in err
+
+    def test_data_error_hw_file_exits_4(self, tmp_path, capsys):
+        bad = tmp_path / "machine.json"
+        bad.write_text(json.dumps({"chiplets": 2}))  # missing every other field
+        code = main(
+            ["map", "alexnet", "--hw-file", str(bad), "--profile", "minimal"]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "repro: error [data]:" in err
+        assert "missing hardware field" in err
+
+    def test_config_error_mismatched_study_exits_3(self, tmp_path, capsys):
+        study = tmp_path / "study.sqlite"
+        argv = [
+            "explore",
+            "--macs", "32",
+            "--models", "alexnet",
+            "--strategy", "guided",
+            "--trials", "4",
+            "--study", str(study),
+            "--profile", "minimal",
+            "--jobs", "1",
+        ]
+        assert main(argv + ["--seed", "0"]) == 0
+        capsys.readouterr()
+        code = main(argv + ["--seed", "1"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "repro: error [config]:" in err
+        assert "seed" in err
+
+    def test_data_error_subprocess_no_traceback(self, tmp_path):
+        bad = tmp_path / "model.json"
+        bad.write_text("[[1,2,3]]")
+        proc = _run_cli("map", "--model-file", str(bad))
+        assert proc.returncode == 4
+        assert "Traceback" not in proc.stderr
+        assert proc.stderr.startswith("repro: error [data]:")

@@ -183,3 +183,68 @@ class TestRealSigint:
         lines = checkpoint_file.read_text().splitlines()
         assert len(lines) >= 10
         assert json.loads(lines[0])["kind"] == "header"
+
+
+class TestRealSigkill:
+    def test_sigkill_mid_sweep_leaves_resumable_state(
+        self, tmp_path, clean_bytes
+    ):
+        """``kill -9`` a live sweep; the survivor state must load cleanly.
+
+        The durability contract (docs/robustness.md): every checkpoint
+        append is a single fsync'd ``O_APPEND`` write, so an uncatchable
+        SIGKILL can tear at most the final line -- which ``load()``
+        tolerates -- and a ``--resume`` run completes byte-identical to a
+        clean one with no unquarantined corrupt state left behind.
+        """
+        import os
+
+        ckpt = tmp_path / "ckpt"
+        env = {
+            **dict(os.environ),
+            "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+            # Park the sweep on its final point so the kill lands after
+            # most checkpoint writes happened.
+            FAULTS_ENV: f"hang:@indices={SWEEP_POINTS - 1}&sleep=120",
+        }
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"]
+            + SWEEP_ARGS
+            + [
+                "--jobs", "1",
+                "--checkpoint-dir", str(ckpt),
+                "--checkpoint-every", "1",
+                "--json", str(tmp_path / "killed.json"),
+            ],
+            env=env,
+            cwd=tmp_path,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            grown = False
+            while time.monotonic() < deadline:
+                files = list(ckpt.glob("sweep-*.jsonl"))
+                if files and len(files[0].read_text().splitlines()) >= 10:
+                    grown = True
+                    break
+                time.sleep(0.05)
+            assert grown, "checkpoint never grew"
+            proc.kill()  # SIGKILL: no handler, no flush, no cleanup
+            proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == -signal.SIGKILL
+        assert not (tmp_path / "killed.json").exists()
+        resumed = run_cli(
+            tmp_path,
+            "after-kill",
+            ["--jobs", "1", "--checkpoint-dir", str(ckpt), "--resume"],
+        )
+        assert resumed == clean_bytes
+        # Nothing was set aside: the killed writer's file loaded as-is.
+        assert not list(ckpt.glob("*.corrupt-*"))

@@ -1,0 +1,150 @@
+"""Fuzzing the input boundary: hostile specs never escape the taxonomy.
+
+The workload and hardware loaders are the surface that touches
+user-authored JSON.  Whatever a mutated spec looks like -- wrong types,
+missing fields, negative sizes, junk keys, nested garbage -- the only
+exception allowed out of :mod:`repro.workloads.io` and
+:mod:`repro.arch.io` is the matching :class:`repro.errors.DataError`
+subclass (``WorkloadSpecError`` / ``HardwareSpecError``), carrying enough
+context to name the offending entry.  A raw ``KeyError`` or
+``TypeError`` reaching the CLI is a bug this suite exists to catch.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import case_study_hardware
+from repro.arch.io import HardwareSpecError, hardware_from_dict, hardware_to_dict
+from repro.errors import DataError, ReproError
+from repro.workloads.io import WorkloadSpecError, layers_from_specs, load_model_file
+
+# Junk values that exercise type confusion in every field position.
+junk_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+    st.lists(st.integers(0, 4), max_size=3),
+    st.dictionaries(st.text(max_size=4), st.integers(0, 4), max_size=3),
+)
+
+field_names = st.one_of(
+    st.sampled_from(
+        [
+            "name", "h", "w", "ci", "co", "kh", "kw", "stride", "padding",
+            "groups", "m", "k", "n", "batch", "heads", "fc_in", "fc_out",
+            "attn_seq", "attn_d", "attn_heads", "attn_kv",
+            "chiplets", "cores", "lanes", "vector_size", "topology",
+            "memory", "tech_overrides",
+            "a_l1_bytes", "w_l1_bytes", "o_l1_bytes", "a_l2_bytes",
+            "o_l2_bytes",
+        ]
+    ),
+    st.text(max_size=12),
+)
+
+
+def _valid_conv_spec():
+    return {"name": "c", "h": 8, "w": 8, "ci": 4, "co": 4, "kh": 3, "kw": 3}
+
+
+@st.composite
+def mutated_layer_specs(draw):
+    """A mostly-valid conv spec with fields dropped, replaced, or added."""
+    spec = _valid_conv_spec()
+    for _ in range(draw(st.integers(1, 4))):
+        action = draw(st.sampled_from(["drop", "replace", "add"]))
+        if action == "drop" and spec:
+            del spec[draw(st.sampled_from(sorted(spec)))]
+        elif action == "replace" and spec:
+            spec[draw(st.sampled_from(sorted(spec)))] = draw(junk_values)
+        else:
+            spec[draw(field_names)] = draw(junk_values)
+    return spec
+
+
+@st.composite
+def mutated_hardware_dicts(draw):
+    data = hardware_to_dict(case_study_hardware())
+    for _ in range(draw(st.integers(1, 4))):
+        action = draw(st.sampled_from(["drop", "replace", "add", "nest"]))
+        if action == "drop":
+            del data[draw(st.sampled_from(sorted(data)))]
+        elif action == "replace":
+            data[draw(st.sampled_from(sorted(data)))] = draw(junk_values)
+        elif action == "nest" and isinstance(data.get("memory"), dict):
+            key = draw(field_names)
+            data["memory"] = dict(data["memory"], **{key: draw(junk_values)})
+        else:
+            data[draw(field_names)] = draw(junk_values)
+    return data
+
+
+class TestWorkloadFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(mutated_layer_specs(), min_size=0, max_size=4))
+    def test_layers_from_specs_raises_only_workload_spec_error(self, specs):
+        try:
+            layers = layers_from_specs(specs)
+        except WorkloadSpecError as exc:
+            assert isinstance(exc, (DataError, ValueError))
+            assert str(exc)  # never an empty message
+        else:
+            # A mutation can still be legal; then we must get real layers.
+            assert layers and all(hasattr(l, "macs") for l in layers)
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk_values)
+    def test_non_dict_entries_are_rejected(self, entry):
+        if isinstance(entry, dict):
+            entry = [entry]  # force a non-dict spec into the list
+        with pytest.raises(ReproError):
+            layers_from_specs([_valid_conv_spec(), entry, _valid_conv_spec()])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=64))
+    def test_garbage_model_file(self, tmp_path_factory, text):
+        path = tmp_path_factory.mktemp("fuzz") / "model.json"
+        path.write_text(text)
+        try:
+            json.loads(text)
+        except ValueError:
+            with pytest.raises(WorkloadSpecError, match="model file"):
+                load_model_file(path)
+            return
+        try:
+            load_model_file(path)
+        except ReproError:
+            pass  # decodable JSON but an invalid model: still taxonomy-typed
+
+    def test_error_names_the_layer_index(self):
+        specs = [_valid_conv_spec(), {"h": 8}]
+        with pytest.raises(WorkloadSpecError, match="layer 1"):
+            layers_from_specs(specs)
+
+
+class TestHardwareFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(mutated_hardware_dicts())
+    def test_hardware_from_dict_raises_only_hardware_spec_error(self, data):
+        try:
+            hw = hardware_from_dict(data)
+        except HardwareSpecError as exc:
+            assert isinstance(exc, (DataError, ValueError))
+            assert str(exc)
+        else:
+            assert hw.n_chiplets >= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(junk_values)
+    def test_top_level_junk(self, data):
+        try:
+            hardware_from_dict(data)  # type: ignore[arg-type]
+        except ReproError:
+            pass
+        except Exception as exc:  # pragma: no cover - the failure we hunt
+            pytest.fail(f"non-taxonomy escape: {type(exc).__name__}: {exc}")

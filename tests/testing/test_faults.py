@@ -131,6 +131,77 @@ class TestPlan:
         assert time.monotonic() - start >= 0.05
 
 
+class TestIoKinds:
+    """The sink-write fault kinds: enospc, eio, slow-disk, corrupt-study."""
+
+    def test_parse_sink_param(self):
+        (spec,) = parse_fault_specs("enospc:0.5@seed=3&sink=cache")
+        assert spec.kind == "enospc"
+        assert spec.rate == 0.5
+        assert spec.sink == "cache"
+
+    def test_parse_empty_sink_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fault_specs("eio@sink=")
+
+    def test_before_io_enospc_and_eio(self):
+        import errno
+
+        plan = FaultPlan(parse_fault_specs("enospc:@indices=0, eio:@indices=1"))
+        with pytest.raises(OSError) as exc:
+            plan.before_io("cache", 0)
+        assert exc.value.errno == errno.ENOSPC
+        with pytest.raises(OSError) as exc:
+            plan.before_io("cache", 1)
+        assert exc.value.errno == errno.EIO
+        plan.before_io("cache", 2)  # no fault scheduled
+
+    def test_before_io_sink_filter(self):
+        plan = FaultPlan(parse_fault_specs("enospc@sink=cache"))
+        plan.before_io("checkpoint", 0)  # other sinks untouched
+        with pytest.raises(OSError):
+            plan.before_io("cache", 0)
+
+    def test_slow_disk_sleeps_without_failing(self):
+        import time
+
+        plan = FaultPlan(parse_fault_specs("slow-disk:@indices=0&sleep=0.05"))
+        start = time.monotonic()
+        plan.before_io("bench", 0)
+        assert time.monotonic() - start >= 0.05
+
+    def test_task_kinds_ignore_io_hook_and_vice_versa(self):
+        plan = FaultPlan(parse_fault_specs("crash:@indices=0, enospc:@indices=0"))
+        # before_io never raises the task fault; before_task never the I/O one.
+        with pytest.raises(OSError):
+            plan.before_io("cache", 0)
+        with pytest.raises(InjectedCrashError):
+            plan.before_task(0)
+
+    def test_corrupt_study_truncates_existing_file(self, tmp_path):
+        plan = FaultPlan(parse_fault_specs("corrupt-study"))
+        target = tmp_path / "study.sqlite"
+        target.write_bytes(b"A" * 100)
+        assert plan.corrupt_study_file(target)
+        blob = target.read_bytes()
+        assert len(blob) < 100
+        assert blob.endswith(b"\xff")
+
+    def test_corrupt_study_writes_garbage_for_missing_file(self, tmp_path):
+        plan = FaultPlan(parse_fault_specs("corrupt-study"))
+        target = tmp_path / "fresh" / "study.sqlite"
+        assert plan.corrupt_study_file(target)
+        assert target.exists()
+        # Not a valid sqlite header -- quick_check will reject it.
+        assert not target.read_bytes().startswith(b"SQLite format 3\x00")
+
+    def test_corrupt_study_respects_indices(self, tmp_path):
+        plan = FaultPlan(parse_fault_specs("corrupt-study:@indices=1"))
+        target = tmp_path / "study.sqlite"
+        assert not plan.corrupt_study_file(target, index=0)
+        assert not target.exists()
+
+
 class TestActivePlan:
     def test_none_without_env_or_install(self, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)
