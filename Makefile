@@ -1,6 +1,6 @@
 # Convenience targets for the NN-Baton reproduction.
 
-.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report batch-parity ci faults faults-io guided lint coverage profile examples clean
+.PHONY: install test audit bench bench-full bench-smoke bench-record bench-report batch-parity ci faults faults-io obs-telemetry guided lint coverage profile examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -98,6 +98,45 @@ print("degraded sinks:", ", ".join(sorted(degraded)))' "$$tmp/metrics.json" && \
 		--json "$$tmp/guided.json" >/dev/null 2>&1 && \
 	ls "$$tmp"/study.sqlite.corrupt-* >/dev/null && \
 	echo "corrupt study quarantined; guided search completed"
+
+# Run-telemetry gate (mirrors the CI obs-telemetry job): the event-log/
+# progress/export suites, then two end-to-end legs.  Leg 1: a sweep with
+# --progress piped (auto-off; no TTY) must leave the result payload
+# byte-identical to a --no-progress run.  Leg 2: a --jobs 4 sweep's event
+# set and histogram counts must equal the serial run's.  See
+# docs/observability.md.
+obs-telemetry:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest -q \
+		tests/obs/test_events.py tests/obs/test_progress.py \
+		tests/obs/test_export.py tests/obs/test_worker_capture.py
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--progress --json "$$tmp/with.json" \
+		--events-out "$$tmp/run-j1" --metrics-out "$$tmp/m-j1.json" \
+		>/dev/null && \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--no-progress --json "$$tmp/without.json" >/dev/null && \
+	cmp "$$tmp/with.json" "$$tmp/without.json" && \
+	echo "piped --progress leaves the payload byte-identical" && \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro dse \
+		--macs 512 --models alexnet --stride 997 --profile minimal \
+		--jobs 4 --json "$$tmp/j4.json" \
+		--events-out "$$tmp/run-j4" --metrics-out "$$tmp/m-j4.json" \
+		>/dev/null && \
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -c 'import json, sys; \
+from repro.obs.events import canonical_event, load_events, schema_errors; \
+j1, c1 = load_events(sys.argv[1]); j4, c4 = load_events(sys.argv[2]); \
+assert j1 and not c1 and not schema_errors(j1), "bad serial log"; \
+assert j4 and not c4 and not schema_errors(j4), "bad parallel log"; \
+assert sorted(map(canonical_event, j1)) == sorted(map(canonical_event, j4)); \
+h1 = json.load(open(sys.argv[3]))["histograms"]; \
+h4 = json.load(open(sys.argv[4]))["histograms"]; \
+assert {k: v["count"] for k, v in h1.items()} == \
+	{k: v["count"] for k, v in h4.items()}; \
+print(f"jobs-4 telemetry equals serial: {len(j1)} events, {len(h1)} histograms")' \
+		"$$tmp/run-j1" "$$tmp/run-j4" "$$tmp/m-j1.json" "$$tmp/m-j4.json"
 
 # Guided-vs-exhaustive differential gate (mirrors the CI guided-dse job):
 # sweep the full Fig. 15 space as the oracle, run the seeded guided search

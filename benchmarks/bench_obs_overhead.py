@@ -51,6 +51,8 @@ class HookTally:
         self.spans = 0
         self.counts = 0
         self.gauges = 0
+        self.histograms = 0
+        self.events = 0
 
     def span(self, name, **args):
         self.spans += 1
@@ -62,9 +64,18 @@ class HookTally:
     def gauge(self, name, value):
         self.gauges += 1
 
+    def histogram(self, name, value):
+        self.histograms += 1
+
+    def event(self, name, **fields):
+        self.events += 1
+
     @property
     def total(self) -> int:
-        return self.spans + self.counts + self.gauges
+        return (
+            self.spans + self.counts + self.gauges
+            + self.histograms + self.events
+        )
 
 
 def sweep() -> None:
@@ -104,7 +115,22 @@ def null_hook_costs_ns() -> dict[str, float]:
             obs.count("calibrate", 1)
         count_ns = (time.perf_counter() - start) * 1e9 / CALIBRATION_LOOPS
 
-    return {"span_ns": span_ns, "count_ns": count_ns}
+        start = time.perf_counter()
+        for _ in range(CALIBRATION_LOOPS):
+            obs.histogram("calibrate", 1.0)
+        histogram_ns = (time.perf_counter() - start) * 1e9 / CALIBRATION_LOOPS
+
+        start = time.perf_counter()
+        for _ in range(CALIBRATION_LOOPS):
+            obs.event("calibrate", n=1)
+        event_ns = (time.perf_counter() - start) * 1e9 / CALIBRATION_LOOPS
+
+    return {
+        "span_ns": span_ns,
+        "count_ns": count_ns,
+        "histogram_ns": histogram_ns,
+        "event_ns": event_ns,
+    }
 
 
 def test_disabled_overhead_under_two_percent(record_bench):
@@ -123,6 +149,8 @@ def test_disabled_overhead_under_two_percent(record_bench):
     hook_s = (
         tally.spans * costs["span_ns"]
         + (tally.counts + tally.gauges) * costs["count_ns"]
+        + tally.histograms * costs["histogram_ns"]
+        + tally.events * costs["event_ns"]
     ) / 1e9
     disabled_overhead_pct = 100.0 * hook_s / disabled_s
     enabled_overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
@@ -134,6 +162,8 @@ def test_disabled_overhead_under_two_percent(record_bench):
             "spans": tally.spans,
             "counts": tally.counts,
             "gauges": tally.gauges,
+            "histograms": tally.histograms,
+            "events": tally.events,
         },
         "null_hook_cost_ns": {k: round(v, 1) for k, v in costs.items()},
         "disabled_s": round(disabled_s, 4),
@@ -151,9 +181,12 @@ def test_disabled_overhead_under_two_percent(record_bench):
     record_bench(
         "obs_overhead",
         "Observability overhead (alexnet mapping sweep)\n"
-        f"  hook crossings      : {tally.spans} spans, {tally.counts} counts\n"
+        f"  hook crossings      : {tally.spans} spans, {tally.counts} counts, "
+        f"{tally.histograms} histograms, {tally.events} events\n"
         f"  null hook cost      : {costs['span_ns']:.0f} ns/span, "
-        f"{costs['count_ns']:.0f} ns/count\n"
+        f"{costs['count_ns']:.0f} ns/count, "
+        f"{costs['histogram_ns']:.0f} ns/histogram, "
+        f"{costs['event_ns']:.0f} ns/event\n"
         f"  disabled sweep      : {disabled_s * 1e3:.1f} ms "
         f"(hook bound {disabled_overhead_pct:.4f}% of runtime)\n"
         f"  enabled sweep       : {enabled_s * 1e3:.1f} ms "

@@ -141,17 +141,41 @@ def format_failures(failures, traceback_lines: int = 0) -> str:
     return text
 
 
-def format_profile(recorder, top: int = 15) -> str:
+#: ``repro profile --sort`` orders: key function over (path, (count, ns)).
+_PROFILE_SORTS = {
+    "time": lambda item: (-item[1][1], item[0]),
+    "count": lambda item: (-item[1][0], item[0]),
+    "name": lambda item: item[0],
+}
+
+
+def format_profile(recorder, top: int = 15, sort: str = "time") -> str:
     """Render a :class:`repro.obs.Recorder`'s profile as plain text.
 
-    A span table (call path, count, total/mean milliseconds) hottest-first,
-    followed by every counter and gauge.  ``top`` caps the span rows shown;
-    the cut is reported so a truncated profile never reads as complete.
+    A span table (call path, count, total/mean milliseconds), followed by
+    every counter and gauge, then a histogram summary table when any
+    histogram observations were recorded.  ``top`` caps the span rows
+    shown; the cut is reported so a truncated profile never reads as
+    complete.  ``sort`` orders the span table: ``time`` (cumulative time
+    descending, the default), ``count`` (call count descending) or
+    ``name`` (span path); ties always break on the path, so the table is
+    deterministic for every sort.
     """
+    if sort not in _PROFILE_SORTS:
+        raise ValueError(
+            f"unknown profile sort {sort!r}; expected one of "
+            f"{', '.join(sorted(_PROFILE_SORTS))}"
+        )
+    titles = {
+        "time": "Spans (hottest first)",
+        "count": "Spans (most called first)",
+        "name": "Spans (by path)",
+    }
     lines: list[str] = []
     aggregated = recorder.aggregate_spans()
     if aggregated:
-        shown = list(aggregated.items())[:top]
+        ordered = sorted(aggregated.items(), key=_PROFILE_SORTS[sort])
+        shown = ordered[:top]
         rows = [
             [
                 path,
@@ -165,7 +189,7 @@ def format_profile(recorder, top: int = 15) -> str:
             format_table(
                 ["Span path", "Calls", "Total ms", "Mean ms"],
                 rows,
-                title="Spans (hottest first)",
+                title=titles[sort],
             )
         )
         hidden = len(aggregated) - len(shown)
@@ -180,6 +204,30 @@ def format_profile(recorder, top: int = 15) -> str:
         rows += [[name, f"{value:g}"] for name, value in gauges.items()]
         lines.append("")
         lines.append(format_table(["Counter", "Value"], rows, title="Counters"))
+    histograms = recorder.metrics.histograms()
+    if histograms:
+        rows = []
+        for name in histograms:
+            stats = recorder.metrics.histogram_stats(name)
+            rows.append(
+                [
+                    name,
+                    f"{stats['count']:g}",
+                    f"{stats['min']:.3g}",
+                    f"{stats['p50']:.3g}",
+                    f"{stats['p90']:.3g}",
+                    f"{stats['p99']:.3g}",
+                    f"{stats['max']:.3g}",
+                ]
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["Histogram", "Count", "Min", "p50", "p90", "p99", "Max"],
+                rows,
+                title="Histograms (log2 buckets)",
+            )
+        )
     return "\n".join(lines)
 
 

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import NoReturn
 
 from repro import obs
+from repro.obs.progress import progress_enabled
 from repro.errors import (
     EXIT_INTERRUPT,
     EXIT_USAGE,
@@ -334,6 +335,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    meter = None
+    if progress_enabled(getattr(args, "progress", None)):
+        from repro.obs.progress import ProgressMeter
+
+        meter = ProgressMeter(
+            total=args.trials if guided else None,
+            label="guided" if guided else "explore",
+        )
     try:
         result = baton.pre_design(
             models,
@@ -352,6 +361,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             trials=args.trials,
             study=args.study,
             seed=args.seed,
+            progress=meter,
         )
     except KeyboardInterrupt:
         # explore() has already flushed the sweep checkpoint (or the guided
@@ -372,6 +382,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 130
+    finally:
+        if meter is not None:
+            meter.finish()
     print(
         f"Swept {result.swept} design points; "
         f"{len(result.valid_points)} valid evaluated."
@@ -518,7 +531,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{energy.total_pj / 1e9:.2f} mJ, {int(cycles):,} cycles"
     )
     print()
-    print(format_profile(recorder, top=args.top))
+    print(format_profile(recorder, top=args.top, sort=args.sort))
     if args.json:
         payload = {
             "model": model_name,
@@ -532,12 +545,88 @@ def cmd_profile(args: argparse.Namespace) -> int:
             },
             "counters": recorder.metrics.counters(),
             "gauges": recorder.metrics.gauges(),
+            "histograms": recorder.metrics.as_dict()["histograms"],
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"Wrote profile JSON to {args.json}")
     return 0
+
+
+def _format_event_line(event: dict, t0: float) -> str:
+    """One human timeline line: offset, event name, payload fields."""
+    t = event.get("t")
+    offset = f"+{t - t0:9.3f}s" if isinstance(t, (int, float)) else " " * 11
+    fields = " ".join(
+        f"{key}={event[key]}"
+        for key in sorted(event)
+        if key not in ("v", "run", "seq", "pid", "t", "event")
+    )
+    name = str(event.get("event", "?"))
+    return f"{offset}  {name:<18} {fields}".rstrip()
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Render a run's event log as a human timeline (optionally following)."""
+    import time as time_mod
+
+    from repro.obs.events import load_events, resolve_events_path
+
+    path = resolve_events_path(args.target)
+    if not path.exists() and not args.follow:
+        _fail(f"no event log at {path}")
+    events, corrupt = load_events(path)
+    if events:
+        run_id = events[0].get("run", "?")
+        print(f"run {run_id} -- {len(events)} event(s) from {path}")
+    else:
+        print(f"empty event log at {path}")
+    if corrupt:
+        print(
+            f"warning: tolerated {corrupt} undecodable line(s) "
+            "(torn tail or foreign schema)",
+            file=sys.stderr,
+        )
+    t0 = next(
+        (e["t"] for e in events if isinstance(e.get("t"), (int, float))), 0.0
+    )
+    for event in events:
+        print(_format_event_line(event, t0))
+    if not args.follow:
+        return 0
+    # Follow mode: poll for complete new lines (a torn tail stays pending
+    # until its newline arrives), like `tail -f`.  Ctrl-C exits cleanly.
+    import json as json_mod
+
+    offset = path.stat().st_size if path.exists() else 0
+    pending = ""
+    try:
+        while True:
+            time_mod.sleep(args.poll_interval)
+            if not path.exists():
+                continue
+            size = path.stat().st_size
+            if size <= offset:
+                continue
+            with open(path, "r") as handle:
+                handle.seek(offset)
+                pending += handle.read()
+            offset = size
+            while "\n" in pending:
+                line, pending = pending.split("\n", 1)
+                try:
+                    event = json_mod.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    if not events:
+                        t0 = event.get("t", 0.0)
+                    events.append(event)
+                    print(_format_event_line(event, t0), flush=True)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 0
 
 
 def _repo_root() -> Path:
@@ -673,15 +762,18 @@ def _compare_bench(args: argparse.Namespace) -> int:
         new = bench_mod.load_record(args.new)
     except (OSError, ValueError) as exc:
         _fail(str(exc))
-    report = bench_mod.compare_records(
-        old,
-        new,
-        k=args.k,
-        rel_floor=args.rel_floor,
-        min_delta_s=args.min_delta_s,
-        fidelity_tol=args.fidelity_tol,
-        gate_counters=args.gate_counter,
-    )
+    try:
+        report = bench_mod.compare_records(
+            old,
+            new,
+            k=args.k,
+            rel_floor=args.rel_floor,
+            min_delta_s=args.min_delta_s,
+            fidelity_tol=args.fidelity_tol,
+            gate_counters=args.gate_counter,
+        )
+    except ValueError as exc:
+        _fail(str(exc))
     print(report.summary())
     if not report.fidelity_ok:
         return 1
@@ -742,7 +834,16 @@ def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
     )
     cmd.add_argument(
         "--metrics-out",
-        help="write the run's counters and gauges as JSON",
+        help="write the run's counters, gauges and histograms as JSON",
+    )
+    cmd.add_argument(
+        "--metrics-prom",
+        help="write the run's metrics in Prometheus text exposition format",
+    )
+    cmd.add_argument(
+        "--events-out",
+        help="stream the run's lifecycle event log (schema-versioned "
+        "JSONL) to this file or directory; read it with `repro tail`",
     )
 
 
@@ -899,6 +1000,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip points already answered by the sweep checkpoint "
         "(implies --checkpoint)",
     )
+    explore.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="live stderr progress meter (done/total, rate, ETA); "
+        "renders only on a TTY and never touches stdout "
+        "(--no-progress forces it off)",
+    )
     _add_obs_flags(explore)
     explore.set_defaults(func=cmd_explore)
 
@@ -966,6 +1075,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="span paths shown in the profile table",
     )
     profile_cmd.add_argument(
+        "--sort", choices=["time", "count", "name"], default="time",
+        help="span table order: cumulative time descending (default), "
+        "call count descending, or span path",
+    )
+    profile_cmd.add_argument(
         "--cache-dir",
         help="persist the mapping cache under this directory (default: a "
         "fresh in-memory cache, so the profile shows real search cost)",
@@ -977,6 +1091,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(profile_cmd)
     profile_cmd.set_defaults(func=cmd_profile)
+
+    tail = sub.add_parser(
+        "tail",
+        help="render a run's event log (--events-out JSONL) as a timeline",
+        allow_abbrev=False,
+    )
+    tail.add_argument(
+        "target",
+        help="an events.jsonl file, or a run directory containing one",
+    )
+    tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling for new events until interrupted (like tail -f)",
+    )
+    tail.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between polls with --follow (default: 0.5)",
+    )
+    tail.set_defaults(func=cmd_tail)
 
     bench = sub.add_parser(
         "bench",
@@ -1065,7 +1198,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument(
         "--gate-counter", action="append", default=[], metavar="NAME",
         help="obs counter that must be exactly equal between the records "
-        "in every bench (repeatable); any drift fails the compare",
+        "in every bench (repeatable); any drift fails the compare. "
+        "Histogram names are rejected -- timing distributions are never "
+        "exactly equal",
     )
 
     bench_report = bench_sub.add_parser(
@@ -1103,9 +1238,16 @@ def _dispatch(args: argparse.Namespace) -> int:
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not (trace_out or metrics_out) and args.func is not cmd_profile:
+    metrics_prom = getattr(args, "metrics_prom", None)
+    events_out = getattr(args, "events_out", None)
+    wants_obs = trace_out or metrics_out or metrics_prom or events_out
+    if not wants_obs and args.func is not cmd_profile:
         return args.func(args)
     recorder = obs.Recorder()
+    if events_out:
+        from repro.obs.events import EventLog, resolve_events_path
+
+        recorder.attach_event_log(EventLog(resolve_events_path(events_out)))
     try:
         with obs.use(recorder):
             code = args.func(args)
@@ -1119,6 +1261,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         if metrics_out:
             target = recorder.write_metrics(metrics_out)
             print(f"Wrote metrics to {target}")
+        if metrics_prom:
+            from repro.obs.export import write_prometheus
+
+            target = write_prometheus(recorder.metrics, metrics_prom)
+            print(f"Wrote Prometheus metrics to {target}")
+        if events_out and recorder.event_log is not None:
+            print(f"Wrote event log to {recorder.event_log.path}")
     return code
 
 
@@ -1140,6 +1289,14 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print("Interrupted.", file=sys.stderr)
         return EXIT_INTERRUPT
+    except BrokenPipeError:
+        # `repro tail run | head` closes stdout early; die quietly with
+        # the SIGPIPE convention instead of a traceback.  Redirecting
+        # stdout to devnull stops the interpreter's exit-time flush from
+        # raising the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
     except (ReproError, sqlite3.DatabaseError) as exc:
         print(
             f"repro: error [{error_code_for(exc)}]: {exc}", file=sys.stderr

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from repro.arch.config import HardwareConfig
 from repro.arch.technology import DEFAULT_TECHNOLOGY, TechnologyParams
@@ -136,6 +137,7 @@ class NNBaton:
         trials: int | None = None,
         study: str | Path | None = None,
         seed: int = 0,
+        progress: Any | None = None,
     ) -> PreDesignResult:
         """Explore the design space and recommend a configuration.
 
@@ -168,6 +170,8 @@ class NNBaton:
             trials: Guided only -- the full-evaluation budget.
             study: Guided only -- sqlite study path for persistence/resume.
             seed: Guided only -- sampler seed.
+            progress: Optional :class:`repro.obs.progress.ProgressMeter`
+                updated as the sweep completes points (stderr only).
         """
         if not models:
             raise ValueError("models must be non-empty")
@@ -195,6 +199,7 @@ class NNBaton:
             study=study,
             seed=seed,
             primary_model=model,
+            progress=progress,
         )
         recommended = best_point(
             points,

@@ -269,6 +269,7 @@ class MappingCache:
             return
         self._loaded_digests.add(digest)
         path = self._path_for(digest)
+        load_start = time.perf_counter()
         try:
             text = path.read_text()
         except FileNotFoundError:
@@ -294,6 +295,9 @@ class MappingCache:
             return
         for key, record in entries.items():
             self._disk.setdefault(key, record)
+        obs.histogram(
+            "cache.load_ms", (time.perf_counter() - load_start) * 1e3
+        )
         try:
             os.utime(path)  # refresh LRU recency: this file just got used
         except OSError:
@@ -379,6 +383,7 @@ class MappingCache:
             return
         obs.count("cache.saves")
         obs.count("cache.digests_flushed", len(self._dirty_digests))
+        save_start = time.perf_counter()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._sweep_stale_tmp()
@@ -412,6 +417,9 @@ class MappingCache:
                 durable.record_sink_failure("cache", exc)
                 return
             raise
+        obs.histogram(
+            "cache.save_ms", (time.perf_counter() - save_start) * 1e3
+        )
         self._dirty_digests.clear()
         self._evict_lru()
 

@@ -287,6 +287,7 @@ class SweepCheckpoint:
             raise
         obs.count("checkpoint.flushes")
         obs.count("checkpoint.points_flushed", len(self._buffer))
+        obs.event("checkpoint.flush", points=len(self._buffer))
         self._buffer.clear()
 
 

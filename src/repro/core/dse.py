@@ -22,9 +22,10 @@ interpretation.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.arch.area import AreaModel
@@ -48,6 +49,11 @@ from repro.core.space import SearchProfile
 from repro.workloads.layer import ConvLayer
 
 KB = 1024
+
+#: Completed points per ``point.batch`` event.  Emitted parent-side per
+#: fixed batch of completions (never per worker chunk), so the event set
+#: of a ``--jobs N`` sweep equals the serial run's.
+POINT_BATCH_EVERY = 16
 
 
 @dataclass(frozen=True)
@@ -201,6 +207,7 @@ def _make_point(
     hits = misses = 0
     structural = point.valid
     if point.valid:
+        eval_start = time.perf_counter()
         try:
             point.energy_pj, point.cycles, (hits, misses) = _evaluate_point(
                 hw, models, profile
@@ -208,6 +215,9 @@ def _make_point(
         except InvalidMappingError as exc:
             point.valid = False
             point.errors = (str(exc),)
+        obs.histogram(
+            "dse.point_eval_ms", (time.perf_counter() - eval_start) * 1e3
+        )
     return point, structural, hits, misses
 
 
@@ -468,6 +478,7 @@ def explore(
     study: str | Path | None = None,
     seed: int = 0,
     primary_model: str | None = None,
+    progress: Any | None = None,
 ) -> list[DesignPoint]:
     """The Figure 15 full design-space exploration.
 
@@ -518,6 +529,8 @@ def explore(
         seed: Guided only -- sampler seed (same seed, same trajectory).
         primary_model: Guided only -- the model whose EDP the search
             minimizes (defaults to the first ``models`` entry).
+        progress: Optional :class:`repro.obs.progress.ProgressMeter`
+            updated per completed point (stderr only; never stdout).
     """
     if strategy not in ("exhaustive", "guided"):
         raise ValueError(
@@ -557,6 +570,7 @@ def explore(
             jobs=jobs,
             stats=stats,
             policy=policy,
+            progress=progress,
         )
     if trials is not None or study is not None:
         raise ValueError(
@@ -616,7 +630,36 @@ def explore(
     pending = [index for index in range(len(tasks)) if index not in resumed]
     pending_tasks = [tasks[index] for index in pending]
 
+    obs.event("run.start", op="explore", points=len(tasks))
+
+    if progress is not None and getattr(progress, "total", None) is None:
+        # The CLI cannot know the sweep size before the space is built.
+        progress.total = len(pending_tasks)
+
+    # Completion telemetry, parent-side so the event set is identical at
+    # every --jobs N: one point.batch per POINT_BATCH_EVERY completions
+    # (fields depend only on the completion *count*, not on order), plus
+    # the live progress meter when one is attached.
+    done = 0
+    live_hits = 0
+    live_misses = 0
+
+    def _note_done(outcome: Any) -> None:
+        nonlocal done, live_hits, live_misses
+        done += 1
+        if not isinstance(outcome, TaskFailure):
+            _, _, hits, misses = outcome
+            live_hits += hits
+            live_misses += misses
+        if done % POINT_BATCH_EVERY == 0 or done == len(pending_tasks):
+            obs.event("point.batch", done=done, total=len(pending_tasks))
+        if progress is not None:
+            lookups = live_hits + live_misses
+            extra = {"cache": live_hits / lookups} if lookups else {}
+            progress.update(done, **extra)
+
     def _on_result(local_index: int, outcome) -> None:
+        _note_done(outcome)
         if checkpoint is None or isinstance(outcome, TaskFailure):
             return
         checkpoint.record(
@@ -634,7 +677,7 @@ def explore(
             and checkpoint is None
         ):
             pending_outcomes = _explore_serial_capped(
-                pending_tasks, context, max_valid_points
+                pending_tasks, context, max_valid_points, on_done=_note_done
             )
         else:
             pending_outcomes = run_tasks(
@@ -647,12 +690,14 @@ def explore(
                 on_result=_on_result,
             )
     finally:
-        if checkpoint is not None:
-            # Flush whatever completed -- also on KeyboardInterrupt/SIGINT,
-            # so an interrupted sweep can resume from here.
-            checkpoint.flush()
         if timer:
             timer.__exit__(None, None, None)
+        if checkpoint is not None:
+            # Flush whatever completed -- also on KeyboardInterrupt/SIGINT,
+            # so an interrupted sweep can resume from here.  After the
+            # stage timer: the flush is recovery I/O, not search time, and
+            # an interrupted run's event log ends on ``checkpoint.flush``.
+            checkpoint.flush()
     _label_failures(stats, fail_start, pending, keys)
 
     outcomes: list[Any] = [None] * len(tasks)
@@ -699,6 +744,9 @@ def explore(
     obs.count("dse.points.total", len(points))
     obs.count("dse.points.evaluated", evaluated)
     obs.count("dse.points.invalid", sum(1 for p in points if not p.valid))
+    obs.event(
+        "run.finish", op="explore", points=len(points), evaluated=evaluated
+    )
     return points
 
 
@@ -706,6 +754,7 @@ def _explore_serial_capped(
     tasks: Sequence[tuple[int, int, int, int, MemoryConfig]],
     context: tuple,
     max_valid_points: int,
+    on_done: Callable[[Any], None] | None = None,
 ) -> list[tuple[DesignPoint, bool, int, int]]:
     """Serial sweep that stops evaluating once the cap is reached.
 
@@ -748,6 +797,8 @@ def _explore_serial_capped(
             # canonical "skipped" record; leave the point unevaluated.
             pass
         outcomes.append((point, structural, hits, misses))
+        if on_done is not None:
+            on_done(outcomes[-1])
     return outcomes
 
 

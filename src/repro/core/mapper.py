@@ -16,6 +16,7 @@ runs; unique shapes can also fan out over worker processes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -213,6 +214,7 @@ class Mapper:
         best_score = float("inf")
         evaluated = 0
         invalid = 0
+        search_start = time.perf_counter()
         with obs.span("mapper.search_fresh", layer=layer.name):
             candidates = self._space.unique_candidates(layer)
             outcome = None
@@ -244,6 +246,9 @@ class Mapper:
         obs.count("mapper.candidates.evaluated", evaluated)
         obs.count("mapper.candidates.invalid", invalid)
         obs.count("mapper.searches.fresh")
+        obs.histogram(
+            "mapper.search_ms", (time.perf_counter() - search_start) * 1e3
+        )
         if best is None:
             raise InvalidMappingError(
                 f"no legal mapping for layer {layer.name!r} on {self.hw.label()}"

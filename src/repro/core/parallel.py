@@ -351,6 +351,7 @@ class _Run:
 
     def record_retry(self, count: int = 1) -> None:
         obs.count("parallel.retries", count)
+        obs.event("task.retry", count=count)
         if self.stats is not None:
             self.stats.retries += count
 
@@ -750,6 +751,9 @@ class _StageTimer:
     def __enter__(self) -> "_StageTimer":
         self._span = obs.span(f"stage.{self._name}")
         self._span.__enter__()
+        # The event carries the phase name only -- no duration or timing
+        # fields -- so the event *set* stays identical across --jobs N.
+        obs.event("phase.start", phase=self._name)
         self._start = time.perf_counter()
         return self
 
@@ -758,6 +762,7 @@ class _StageTimer:
         self._stats.stage_s[self._name] = (
             self._stats.stage_s.get(self._name, 0.0) + elapsed
         )
+        obs.event("phase.finish", phase=self._name)
         if self._span is not None:
             self._span.__exit__(None, None, None)
             self._span = None

@@ -691,6 +691,7 @@ def guided_explore(
     stats: SweepStats | None = None,
     policy: TaskPolicy | None = None,
     strategy: SearchStrategy | None = None,
+    progress: Any | None = None,
 ) -> list:
     """Run an ask/tell search over the Table II space; return its points.
 
@@ -722,6 +723,8 @@ def guided_explore(
         policy: Timeout/retry/on-error contract for the batch fan-outs.
         strategy: Injected strategy (defaults to a fresh
             :class:`GuidedStrategy`); mainly for tests.
+        progress: Optional :class:`repro.obs.progress.ProgressMeter`
+            updated per ask/tell round (stderr only; never stdout).
     """
     from repro.core.dse import (
         DesignPoint,
@@ -776,6 +779,8 @@ def guided_explore(
     points: list[DesignPoint] = []
     incumbent_edp = float("inf")
     n_evaluated = n_pruned = n_invalid = n_resumed = 0
+
+    obs.event("run.start", op="guided_explore", trials=trials)
 
     timer = stats.stage("guided") if stats else None
     if timer:
@@ -874,6 +879,13 @@ def guided_explore(
             # Tell in proposal order so the trajectory is jobs-independent.
             batch_trials = [by_key[cand.key] for cand in candidates]
             engine.tell(batch_trials)
+            # Per-round, parent-side: fields track the (jobs-independent)
+            # proposal count, so the event set equals the serial run's.
+            obs.event(
+                "point.batch",
+                done=len(points) + len(batch_trials),
+                total=trials,
+            )
             for trial in batch_trials:
                 points.append(trial.point)
                 if trial.status == "evaluated":
@@ -888,6 +900,16 @@ def guided_explore(
                     incumbent_edp = trial.edp
             if store is not None:
                 store.flush()
+            if progress is not None:
+                progress.update(
+                    len(points),
+                    pruned=n_pruned,
+                    deduped=(
+                        engine.deduped
+                        if isinstance(engine, GuidedStrategy)
+                        else 0
+                    ),
+                )
     finally:
         if store is not None:
             store.close()
@@ -910,6 +932,12 @@ def guided_explore(
     obs.count("dse.points.deduped", deduped)
     if n_resumed:
         obs.count("dse.points.resumed", n_resumed)
+    obs.event(
+        "run.finish",
+        op="guided_explore",
+        points=len(points),
+        evaluated=n_evaluated + n_resumed,
+    )
     return points
 
 

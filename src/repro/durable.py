@@ -224,6 +224,10 @@ def record_sink_failure(sink: str, exc: BaseException) -> None:
         return
     _degraded[sink] = str(exc)
     obs.count(f"degraded.{sink}")
+    # Emitted *after* the sink is marked degraded: when the failing sink
+    # is the event log itself, EventLog.append sees it disabled and the
+    # event stays in recorder memory only -- no recursion, no re-failure.
+    obs.event("degraded.enter", sink=sink, error=_errno_name(exc))
     logger.warning(
         "%s sink disabled after write failure (%s); results are "
         "unaffected, but this run's %s output will be incomplete",

@@ -86,6 +86,18 @@ def gauge(name: str, value: float) -> None:
     _current.gauge(name, value)
 
 
+def histogram(name: str, value: float) -> None:
+    """Record a histogram observation on the current recorder (no-op when
+    disabled)."""
+    _current.histogram(name, value)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Record a run lifecycle event on the current recorder (no-op when
+    disabled)."""
+    _current.event(name, **fields)
+
+
 __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
@@ -94,8 +106,10 @@ __all__ = [
     "SpanEvent",
     "count",
     "enabled",
+    "event",
     "gauge",
     "get_recorder",
+    "histogram",
     "set_recorder",
     "span",
     "use",

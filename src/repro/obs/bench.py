@@ -233,6 +233,7 @@ class BenchCapture:
         if self._recorder is not None:
             payload["counters"] = self._recorder.metrics.counters()
             payload["gauges"] = self._recorder.metrics.gauges()
+            payload["histograms"] = self._recorder.metrics.histograms()
         return payload
 
     def _append_fragment(self) -> None:
@@ -305,6 +306,8 @@ def assemble_record(
             entry["counters"] = last["counters"]
         if "gauges" in last:
             entry["gauges"] = last["gauges"]
+        if "histograms" in last:
+            entry["histograms"] = last["histograms"]
         benches[name] = entry
     return {
         "schema": BENCH_SCHEMA,
@@ -635,9 +638,25 @@ def compare_records(
 
     if gate_counters:
         for name in sorted(set(old_benches) | set(new_benches)):
-            old_counters = old_benches.get(name, {}).get("counters", {})
-            new_counters = new_benches.get(name, {}).get("counters", {})
+            old_bench = old_benches.get(name, {})
+            new_bench = new_benches.get(name, {})
+            old_counters = old_bench.get("counters", {})
+            new_counters = new_bench.get("counters", {})
             for counter in gate_counters:
+                if (
+                    counter in old_bench.get("histograms", {})
+                    or counter in new_bench.get("histograms", {})
+                ):
+                    # Histograms carry timing distributions -- their sums
+                    # vary run to run by construction, so "exactly equal"
+                    # gating would always fail.  Refuse loudly instead of
+                    # silently reporting the name as missing.
+                    raise ValueError(
+                        f"--gate-counter {counter!r} names a histogram in "
+                        f"bench {name!r}; histograms are not gateable "
+                        "(gate a counter, or compare histogram counts "
+                        "in the record directly)"
+                    )
                 old_value = old_counters.get(counter)
                 new_value = new_counters.get(counter)
                 if old_value is None and new_value is None:

@@ -1,0 +1,113 @@
+"""Prometheus text-exposition export of a :class:`MetricsRegistry`.
+
+Renders the registry into Prometheus' text format (version 0.0.4):
+counters become ``counter`` samples, gauges become ``gauge`` samples, and
+log-bucketed histograms become native Prometheus histograms -- cumulative
+``_bucket{le="..."}`` series (upper bound ``2**exponent`` per bucket, plus
+the mandatory ``+Inf``), ``_sum`` and ``_count``.
+
+Dotted metric names (``mapper.candidates.evaluated``) are sanitised to the
+Prometheus charset by replacing every illegal character with ``_``
+(``mapper_candidates_evaluated``), with a ``repro_`` namespace prefix so a
+scrape of several exporters stays collision-free.  Output is
+deterministic: one global name-sorted pass, matching the flat-text
+exporter's ordering contract.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, bucket_upper_bound
+
+#: Prefix namespacing every exported metric.
+METRIC_PREFIX = "repro_"
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """The Prometheus-legal, ``repro_``-prefixed form of a dotted name."""
+    sanitised = _ILLEGAL.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return METRIC_PREFIX + sanitised
+
+
+def _format_value(value: float) -> str:
+    """A float rendered the way Prometheus parsers expect (no ``1e+06``)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """The registry rendered as Prometheus text exposition format.
+
+    Families are emitted in one global name-sorted order; every family
+    gets its ``# TYPE`` line.  Histogram buckets are cumulative over the
+    name-sorted exponents, so the output is identical for any arrival
+    order of the underlying observations.
+    """
+    families: list[tuple[str, list[str]]] = []
+    for name, value in metrics.counters().items():
+        pname = prometheus_name(name)
+        families.append(
+            (
+                pname,
+                [
+                    f"# TYPE {pname} counter",
+                    f"{pname} {_format_value(value)}",
+                ],
+            )
+        )
+    for name, value in metrics.gauges().items():
+        pname = prometheus_name(name)
+        families.append(
+            (
+                pname,
+                [
+                    f"# TYPE {pname} gauge",
+                    f"{pname} {_format_value(value)}",
+                ],
+            )
+        )
+    for name, state in metrics.histograms().items():
+        pname = prometheus_name(name)
+        lines = [f"# TYPE {pname} histogram"]
+        cumulative = 0
+        for exponent in sorted(state["buckets"]):
+            cumulative += state["buckets"][exponent]
+            upper = _format_value(bucket_upper_bound(exponent))
+            lines.append(f'{pname}_bucket{{le="{upper}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {state["count"]}')
+        lines.append(f"{pname}_sum {_format_value(state['sum'])}")
+        lines.append(f"{pname}_count {state['count']}")
+        families.append((pname, lines))
+    families.sort(key=lambda item: item[0])
+    out: list[str] = []
+    for _, lines in families:
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_prometheus(metrics: MetricsRegistry, path: str | Path) -> Path:
+    """Write the Prometheus text exposition; returns the path written."""
+    target = Path(path)
+    target.write_text(prometheus_text(metrics))
+    return target
+
+
+__all__ = [
+    "METRIC_PREFIX",
+    "prometheus_name",
+    "prometheus_text",
+    "write_prometheus",
+]

@@ -1,0 +1,149 @@
+"""A throttled stderr progress meter with sliding-window rate and ETA.
+
+The meter exists to watch long sweeps in flight without touching any
+stdout byte-identity contract: it writes **only** to its stream (stderr
+by default), repaints in place with a carriage return, throttles repaints
+to one per :attr:`min_interval` seconds, and estimates the rate from a
+sliding window of recent ``(time, done)`` samples so the ETA tracks the
+*current* throughput rather than the lifetime average (which misleads
+badly when a warm cache front-loads the fast points).
+
+Enablement policy (see :func:`progress_enabled`): progress renders only
+when the stream is a TTY **and** the user did not pass ``--no-progress``.
+An explicit ``--progress`` cannot force rendering into a pipe -- CI
+pipes stdout+stderr and relies on the auto-off, and a pipe full of
+``\\r`` repaints helps nobody.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, TextIO
+
+
+def progress_enabled(flag: bool | None, stream: TextIO | None = None) -> bool:
+    """Whether progress should render: not opted out, and a real TTY.
+
+    Args:
+        flag: The tri-state CLI value -- ``True`` (``--progress``),
+            ``False`` (``--no-progress``), ``None`` (unset, the default).
+        stream: The stream progress would write to (stderr by default).
+    """
+    if flag is False:
+        return False
+    stream = stream if stream is not None else sys.stderr
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+def format_eta(seconds: float) -> str:
+    """``h:mm:ss`` (or ``m:ss``) for a duration; ``--:--`` when unknown."""
+    if seconds != seconds or seconds < 0 or seconds == float("inf"):
+        return "--:--"
+    whole = int(seconds + 0.5)
+    hours, rem = divmod(whole, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressMeter:
+    """An in-place, throttled progress line for one sweep.
+
+    Attributes:
+        total: Total work items, or ``None`` when unknown (no ETA then).
+        label: Short prefix naming the sweep (``explore``, ``guided``...).
+        min_interval: Minimum seconds between repaints (final repaint in
+            :meth:`finish` is never throttled).
+    """
+
+    def __init__(
+        self,
+        total: int | None,
+        label: str = "sweep",
+        stream: TextIO | None = None,
+        min_interval: float = 0.1,
+        window_s: float = 5.0,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.min_interval = min_interval
+        self._stream = stream if stream is not None else sys.stderr
+        self._now = now
+        self._window_s = window_s
+        self._samples: deque[tuple[float, int]] = deque()
+        self._last_paint = float("-inf")
+        self._last_line_len = 0
+        self._done = 0
+        self._stats: dict[str, Any] = {}
+        self._started = now()
+        self._finished = False
+
+    # --- state ----------------------------------------------------------------
+
+    def update(self, done: int, **stats: Any) -> None:
+        """Record progress; repaint if the throttle interval has elapsed."""
+        t = self._now()
+        self._done = done
+        self._stats.update(stats)
+        self._samples.append((t, done))
+        while self._samples and t - self._samples[0][0] > self._window_s:
+            self._samples.popleft()
+        if t - self._last_paint >= self.min_interval:
+            self._paint(t)
+
+    def finish(self) -> None:
+        """Final unthrottled repaint, then move to a fresh line."""
+        if self._finished:
+            return
+        self._finished = True
+        self._paint(self._now())
+        self._stream.write("\n")
+        self._stream.flush()
+
+    # --- rendering ------------------------------------------------------------
+
+    def rate(self) -> float:
+        """Items per second over the sliding window (0.0 when unknown)."""
+        if len(self._samples) < 2:
+            return 0.0
+        (t0, d0), (t1, d1) = self._samples[0], self._samples[-1]
+        if t1 <= t0:
+            return 0.0
+        return (d1 - d0) / (t1 - t0)
+
+    def render(self) -> str:
+        """The current progress line (no carriage return / padding)."""
+        parts: list[str] = []
+        if self.total:
+            pct = 100.0 * self._done / self.total
+            parts.append(f"{self._done}/{self.total} {pct:3.0f}%")
+        else:
+            parts.append(f"{self._done} done")
+        rate = self.rate()
+        if rate > 0:
+            parts.append(f"{rate:.1f} pts/s")
+            if self.total:
+                remaining = max(self.total - self._done, 0)
+                parts.append(f"eta {format_eta(remaining / rate)}")
+        for key, value in self._stats.items():
+            if isinstance(value, float):
+                parts.append(f"{key} {value:.0%}" if value <= 1 else f"{key} {value:g}")
+            else:
+                parts.append(f"{key} {value}")
+        return f"[{self.label}] " + " | ".join(parts)
+
+    def _paint(self, t: float) -> None:
+        line = self.render()
+        pad = " " * max(self._last_line_len - len(line), 0)
+        self._stream.write("\r" + line + pad)
+        self._stream.flush()
+        self._last_paint = t
+        self._last_line_len = len(line)
+
+
+__all__ = ["ProgressMeter", "format_eta", "progress_enabled"]

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.obs.events import make_event
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -91,6 +92,12 @@ class NullRecorder:
     def gauge(self, name: str, value: float) -> None:
         """Discard a gauge write."""
 
+    def histogram(self, name: str, value: float) -> None:
+        """Discard a histogram observation."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Discard a run event."""
+
 
 class _Span:
     """A live span: context manager recording into its :class:`Recorder`."""
@@ -141,6 +148,8 @@ class Recorder:
 
     def __post_init__(self) -> None:
         self._events: list[SpanEvent] = []
+        self._run_events: list[dict[str, Any]] = []
+        self._event_log: Any = None
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._t0_ns = time.perf_counter_ns()
@@ -187,6 +196,40 @@ class Recorder:
         """Set the gauge ``name``."""
         self.metrics.gauge(name, value)
 
+    def histogram(self, name: str, value: float) -> None:
+        """Record one observation in the histogram ``name``."""
+        self.metrics.histogram(name, value)
+
+    # --- run events -----------------------------------------------------------
+
+    def attach_event_log(self, event_log: Any) -> None:
+        """Stream this recorder's run events to ``event_log``.
+
+        Events already buffered (and worker events merged later) flow
+        through :meth:`event`/:meth:`merge_snapshot`; attaching is meant
+        to happen before the run starts, on the parent recorder only --
+        worker recorders ship their events home via :meth:`snapshot`.
+        """
+        self._event_log = event_log
+
+    @property
+    def event_log(self) -> Any:
+        """The attached event log, or ``None``."""
+        return self._event_log
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record one run lifecycle event (and stream it, when attached)."""
+        record = make_event(name, fields)
+        with self._lock:
+            self._run_events.append(record)
+        if self._event_log is not None:
+            self._event_log.append(record)
+
+    def run_events(self) -> list[dict[str, Any]]:
+        """Every run event recorded so far, in arrival order."""
+        with self._lock:
+            return list(self._run_events)
+
     # --- worker capture -------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -199,17 +242,30 @@ class Recorder:
         return {
             "counters": self.metrics.counters(),
             "gauges": self.metrics.gauges(),
+            "histograms": self.metrics.histograms(),
             "events": self.events(),
+            "run_events": self.run_events(),
         }
 
     def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
-        """Fold a worker snapshot in: counters sum, gauges keep their max
-        (high-water, order-independent), span events append (keeping the
-        worker's pid/tid)."""
-        self.metrics.merge(snapshot.get("counters"), snapshot.get("gauges"))
+        """Fold a worker snapshot in: counters and histograms sum, gauges
+        keep their max (high-water, order-independent), span events append
+        (keeping the worker's pid/tid), and run events append -- streaming
+        to the attached event log, so worker-side lifecycle events (e.g.
+        ``fault.injected``) land in the same JSONL as the parent's."""
+        self.metrics.merge(
+            snapshot.get("counters"),
+            snapshot.get("gauges"),
+            snapshot.get("histograms"),
+        )
         events = snapshot.get("events") or []
+        run_events = snapshot.get("run_events") or []
         with self._lock:
             self._events.extend(events)
+            self._run_events.extend(run_events)
+        if self._event_log is not None:
+            for record in run_events:
+                self._event_log.append(record)
 
     # --- export ---------------------------------------------------------------
 

@@ -138,9 +138,10 @@ class TilePipelineModel:
             chiplets=self.n_chiplets,
             iterations=self.iterations,
         ):
-            cycles, events = self._run()
+            cycles, events, peak_depth = self._run()
         obs.count("sim.runs")
         obs.count("sim.events", events)
+        obs.histogram("sim.queue_depth", peak_depth)
         obs.count(
             "sim.dram.bits_served",
             sum(ch.bits_served for ch in self.dram_channels),
@@ -159,7 +160,7 @@ class TilePipelineModel:
         )
         return cycles
 
-    def _run(self) -> tuple[float, int]:
+    def _run(self) -> tuple[float, int, int]:
         sim = Simulator()
         states = [_ChipletState(i) for i in range(self.n_chiplets)]
         needs_ring = self.ring_bits > 0 and self.n_chiplets > 1
@@ -303,4 +304,4 @@ class TilePipelineModel:
         for state in states:
             try_start_load(state)
         sim.run()
-        return max(end_time, sim.now), sim.events_processed
+        return max(end_time, sim.now), sim.events_processed, sim.peak_queue_depth

@@ -72,6 +72,7 @@ class Simulator:
         self.queue = EventQueue()
         self.now = 0.0
         self.events_processed = 0
+        self.peak_queue_depth = 0
 
     def at(self, time: float, action: Action) -> Event:
         """Schedule ``action`` at absolute ``time`` (not before ``now``)."""
@@ -90,6 +91,9 @@ class Simulator:
             The final simulation time.
         """
         while self.queue:
+            depth = len(self.queue)
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
             event = self.queue.pop()
             if horizon is not None and event.time > horizon:
                 self.now = horizon

@@ -217,6 +217,7 @@ class FaultPlan:
             if spec.kind not in TASK_KINDS or not spec.fires(index, attempt):
                 continue
             obs.count(f"faults.injected.{spec.kind}")
+            obs.event("fault.injected", kind=spec.kind, site="task")
             if spec.kind == "crash":
                 raise InjectedCrashError(
                     f"injected crash at task {index} (attempt {attempt})"
@@ -256,6 +257,7 @@ class FaultPlan:
             if not spec.fires(index):
                 continue
             obs.count(f"faults.injected.{spec.kind}")
+            obs.event("fault.injected", kind=spec.kind, site="io")
             if spec.kind == "enospc":
                 raise OSError(
                     errno.ENOSPC,
@@ -282,6 +284,7 @@ class FaultPlan:
             if spec.kind != "corrupt-study" or not spec.fires(index):
                 continue
             obs.count("faults.injected.corrupt-study")
+            obs.event("fault.injected", kind="corrupt-study", site="study")
             target = Path(path)
             if target.exists():
                 data = target.read_bytes()
@@ -301,6 +304,7 @@ class FaultPlan:
         for spec in self.specs:
             if spec.kind == "corrupt-cache" and spec.fires(index):
                 obs.count("faults.injected.corrupt-cache")
+                obs.event("fault.injected", kind="corrupt-cache", site="cache")
                 return text[: max(1, len(text) // 2)] + '{"truncated":'
         return None
 

@@ -333,9 +333,10 @@ class TestObservabilityFlags:
             == 0
         )
         metrics = json.loads(metrics_path.read_text())
-        assert set(metrics) == {"counters", "gauges"}
+        assert set(metrics) == {"counters", "gauges", "histograms"}
         assert metrics["counters"]["mapper.layers.searched"] == 8
         assert metrics["counters"]["mapper.searches.fresh"] > 0
+        assert metrics["histograms"]["mapper.search_ms"]["count"] > 0
 
     def test_audit_trace_out(self, tmp_path, capsys):
         trace_path = tmp_path / "t.json"
@@ -378,6 +379,104 @@ class TestObservabilityFlags:
         assert main(["map", "alexnet", "--profile", "minimal"]) == 0
         assert obs.get_recorder() is obs.NULL_RECORDER
         capsys.readouterr()
+
+
+class TestRunTelemetryCLI:
+    """--events-out / --metrics-prom / --progress / tail / profile --sort."""
+
+    SWEEP = [
+        "explore",
+        "--macs", "512",
+        "--models", "alexnet",
+        "--stride", "997",
+        "--profile", "minimal",
+    ]
+
+    def test_events_out_and_metrics_prom(self, tmp_path, capsys):
+        from repro.obs.events import load_events, schema_errors
+
+        run_dir = tmp_path / "run1"
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            self.SWEEP
+            + ["--events-out", str(run_dir), "--metrics-prom", str(prom_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Wrote Prometheus metrics" in out
+        assert "Wrote event log" in out
+        events, corrupt = load_events(run_dir)
+        assert corrupt == 0 and schema_errors(events) == []
+        names = [e["event"] for e in events]
+        assert names[0] == "run.start" and names[-1] == "run.finish"
+        prom = prom_path.read_text()
+        assert "# TYPE repro_dse_points_evaluated counter" in prom
+        assert 'repro_dse_point_eval_ms_bucket{le="+Inf"} 50' in prom
+
+    def test_progress_into_a_pipe_leaves_stdout_identical(
+        self, tmp_path, capsys
+    ):
+        # capsys streams are not TTYs, so --progress auto-disables; the
+        # result payload must be byte-identical either way and no meter
+        # bytes may reach stdout or stderr.
+        with_progress = tmp_path / "with.json"
+        without = tmp_path / "without.json"
+        assert (
+            main(self.SWEEP + ["--progress", "--json", str(with_progress)])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "\r" not in captured.out and "\r" not in captured.err
+        assert (
+            main(self.SWEEP + ["--no-progress", "--json", str(without)]) == 0
+        )
+        capsys.readouterr()
+        assert with_progress.read_bytes() == without.read_bytes()
+
+    def test_tail_renders_the_timeline(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        assert main(["tail", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "event(s) from" in out.splitlines()[0]
+        assert "run.start" in out and "op=explore" in out
+        assert "point.batch" in out and "done=16" in out
+
+    def test_tail_missing_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tail", str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+        assert "no event log" in capsys.readouterr().err
+
+    def test_tail_warns_about_torn_tail(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        with open(events_path, "a") as handle:
+            handle.write('{"v": 1, "torn')
+        assert main(["tail", str(events_path)]) == 0
+        assert "tolerated 1 undecodable" in capsys.readouterr().err
+
+    def test_profile_sort_orders(self, capsys):
+        for sort in ("time", "count", "name"):
+            assert (
+                main(
+                    [
+                        "profile",
+                        "alexnet",
+                        "--profile", "minimal",
+                        "--sort", sort,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "Histograms (log2 buckets)" in out
+            assert "mapper.search_ms" in out
+        # --sort name lists span paths alphabetically.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "alexnet", "--sort", "pid"])
 
 
 class TestBenchCLI:

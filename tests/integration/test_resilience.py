@@ -22,7 +22,9 @@ from pathlib import Path
 
 import pytest
 
+from repro import durable
 from repro.cli import main
+from repro.obs.events import load_events, schema_errors
 from repro.testing.faults import FAULTS_ENV
 
 SWEEP_ARGS = [
@@ -47,6 +49,9 @@ def run_cli(tmp_path: Path, tag: str, extra: list[str], expect: int = 0):
 @pytest.fixture(autouse=True)
 def _clean_faults(monkeypatch):
     monkeypatch.delenv(FAULTS_ENV, raising=False)
+    durable.reset_degraded()
+    yield
+    durable.reset_degraded()
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +135,70 @@ class TestInterruptAndResume:
             if '"kind": "point"' in line
         ]
         assert len(point_lines) >= int(0.4 * SWEEP_POINTS)
+
+
+class TestEventLogDurability:
+    """The run event log is an observer: it degrades, never participates."""
+
+    def test_enospc_on_events_sink_degrades_once_answers_identical(
+        self, tmp_path, monkeypatch, clean_bytes, caplog
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "enospc:@indices=0&sink=events")
+        events_path = tmp_path / "events.jsonl"
+        faulted = run_cli(
+            tmp_path,
+            "events-enospc",
+            ["--jobs", "1", "--events-out", str(events_path)],
+        )
+        assert faulted == clean_bytes
+        # Exactly one degradation warning, not one per dropped event.
+        warnings = [
+            r for r in caplog.records if "sink disabled" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "events" in warnings[0].getMessage()
+        # The sink died on the very first append, so the log is empty (or
+        # at worst holds nothing corrupt).
+        events, corrupt = load_events(events_path)
+        assert events == [] and corrupt == 0
+
+    def test_eio_on_events_sink_keeps_the_sweep_alive(
+        self, tmp_path, monkeypatch, clean_bytes
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "eio:@sink=events")
+        faulted = run_cli(
+            tmp_path,
+            "events-eio",
+            ["--jobs", "1", "--events-out", str(tmp_path / "ev.jsonl")],
+        )
+        assert faulted == clean_bytes
+
+    def test_interrupt_leaves_loadable_log_ending_in_checkpoint_flush(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            FAULTS_ENV, f"interrupt:@indices={SWEEP_POINTS // 2}"
+        )
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            SWEEP_ARGS
+            + [
+                "--jobs", "1",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--events-out", str(events_path),
+                "--json", str(tmp_path / "interrupted.json"),
+            ]
+        )
+        assert code == 130
+        events, corrupt = load_events(events_path)
+        assert corrupt == 0
+        assert schema_errors(events) == []
+        names = [e["event"] for e in events]
+        assert names[0] == "run.start"
+        assert "run.finish" not in names  # the sweep never completed
+        # The KeyboardInterrupt path flushes the checkpoint on its way
+        # out, and that flush is the last thing the log records.
+        assert names[-1] == "checkpoint.flush"
 
 
 class TestRealSigint:

@@ -348,6 +348,30 @@ class TestCounterGate:
         new = self.record_with_counters({"dse.points.pruned": 999})
         assert compare_records(old, new).counters_ok
 
+    def test_gating_a_histogram_name_is_a_clear_error(self):
+        # A histogram's sum is timing-shaped and never exactly equal
+        # between runs, so gating one would always fail (or worse,
+        # silently pass as absent-from-both); the compare refuses loudly.
+        old = self.record_with_counters({})
+        new = self.record_with_counters({})
+        new["benches"]["b"]["histograms"] = {
+            "dse.point_eval_ms": {
+                "count": 3, "sum": 1.5, "min": 0.1, "max": 1.0,
+                "buckets": {"0": 3},
+            }
+        }
+        with pytest.raises(ValueError, match="not gateable"):
+            compare_records(
+                old, new, gate_counters=["dse.point_eval_ms"]
+            )
+
+    def test_histogram_on_the_old_side_also_rejected(self):
+        old = self.record_with_counters({})
+        old["benches"]["b"]["histograms"] = {"h": {"count": 1}}
+        new = self.record_with_counters({})
+        with pytest.raises(ValueError, match="histogram"):
+            compare_records(old, new, gate_counters=["h"])
+
 
 class TestReport:
     def _history(self):

@@ -1,0 +1,193 @@
+"""Tests for the structured run event log (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro import durable, obs
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENTS_FILENAME,
+    EventLog,
+    canonical_event,
+    load_events,
+    make_event,
+    new_run_id,
+    resolve_events_path,
+    schema_errors,
+)
+from repro.testing.faults import FaultPlan, FaultSpec, install_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    previous = install_plan(None)
+    durable.reset_degraded()
+    yield
+    install_plan(previous)
+    durable.reset_degraded()
+
+
+class TestMakeEvent:
+    def test_envelope_fields(self):
+        record = make_event("run.start", {"op": "explore", "points": 3})
+        assert record["v"] == EVENT_SCHEMA_VERSION
+        assert record["event"] == "run.start"
+        assert record["op"] == "explore" and record["points"] == 3
+        assert isinstance(record["seq"], int)
+        assert isinstance(record["pid"], int)
+        assert isinstance(record["t"], float)
+
+    def test_sequence_is_monotonic(self):
+        first = make_event("a", {})
+        second = make_event("b", {})
+        assert second["seq"] > first["seq"]
+
+    def test_envelope_collision_rejected(self):
+        for key in ("v", "run", "seq", "pid", "t", "event"):
+            with pytest.raises(ValueError, match="collides"):
+                make_event("x", {key: 1})
+
+    def test_run_ids_are_fresh_and_short(self):
+        a, b = new_run_id(), new_run_id()
+        assert a != b
+        assert len(a) == 12 and int(a, 16) >= 0
+
+
+class TestResolveEventsPath:
+    def test_jsonl_path_is_the_file(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        assert resolve_events_path(target) == target
+
+    def test_other_paths_are_run_directories(self, tmp_path):
+        target = tmp_path / "run1"
+        assert resolve_events_path(target) == target / EVENTS_FILENAME
+
+    def test_existing_directory_even_with_jsonl_suffix(self, tmp_path):
+        target = tmp_path / "weird.jsonl"
+        target.mkdir()
+        assert resolve_events_path(target) == target / EVENTS_FILENAME
+
+
+class TestEventLog:
+    def test_append_stamps_run_id_and_creates_parents(self, tmp_path):
+        log = EventLog(tmp_path / "deep" / "run" / "events.jsonl")
+        log.append(make_event("run.start", {"op": "explore"}))
+        events, corrupt = load_events(log.path)
+        assert corrupt == 0
+        assert [e["event"] for e in events] == ["run.start"]
+        assert events[0]["run"] == log.run_id
+
+    def test_degrades_once_on_enospc_answers_unaffected(self, tmp_path):
+        install_plan(FaultPlan([FaultSpec(kind="enospc", sink="events")]))
+        log = EventLog(tmp_path / "events.jsonl")
+        log.append(make_event("run.start", {}))
+        log.append(make_event("run.finish", {}))
+        assert "events" in durable.degraded_sinks()
+        # Degrading bumped the counter exactly once and the log file holds
+        # nothing the failed append could have half-written.
+        events, corrupt = load_events(log.path)
+        assert events == [] and corrupt == 0
+
+    def test_appends_stop_after_degrade(self, tmp_path):
+        durable.record_sink_failure("events", OSError(28, "No space left"))
+        log = EventLog(tmp_path / "events.jsonl")
+        log.append(make_event("run.start", {}))
+        assert not log.path.exists()
+
+    def test_degrade_event_does_not_recurse(self, tmp_path):
+        # A rate-1.0 I/O fault on the events sink fires on every append,
+        # including any append triggered *by* handling the failure; the
+        # reentrancy guard plus sink degradation must terminate the run
+        # with the sink cleanly degraded.
+        install_plan(FaultPlan([FaultSpec(kind="eio", sink="events")]))
+        recorder = obs.Recorder()
+        log = EventLog(tmp_path / "events.jsonl")
+        recorder.attach_event_log(log)
+        with obs.use(recorder):
+            recorder.event("run.start", op="explore")
+        assert "events" in durable.degraded_sinks()
+        names = [e["event"] for e in recorder.run_events()]
+        assert "run.start" in names and "degraded.enter" in names
+
+
+class TestLoadEvents:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_events(tmp_path / "nope.jsonl") == ([], 0)
+
+    def test_torn_tail_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps(make_event("run.start", {}) | {"run": "abc"})
+        path.write_text(good + "\n" + '{"v": 1, "run": "abc", "se')
+        events, corrupt = load_events(path)
+        assert len(events) == 1 and corrupt == 1
+
+    def test_wrong_schema_version_counted_corrupt(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record = make_event("run.start", {}) | {"run": "abc"}
+        record["v"] = EVENT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record) + "\n")
+        assert load_events(path) == ([], 1)
+
+    def test_non_object_lines_counted_corrupt(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('[1, 2]\n"text"\n')
+        assert load_events(path) == ([], 2)
+
+    def test_run_directory_target(self, tmp_path):
+        log = EventLog(resolve_events_path(tmp_path / "run1"))
+        log.append(make_event("run.start", {}))
+        events, _ = load_events(tmp_path / "run1")
+        assert [e["event"] for e in events] == ["run.start"]
+
+
+class TestSchemaErrors:
+    def _valid(self, name, **fields):
+        return make_event(name, fields) | {"run": "abc123"}
+
+    def test_valid_log_has_no_errors(self):
+        events = [
+            self._valid("run.start", op="explore"),
+            self._valid("point.batch", done=16, total=50),
+            self._valid("run.finish", op="explore"),
+        ]
+        assert schema_errors(events) == []
+
+    def test_missing_field_reported(self):
+        event = self._valid("run.start")
+        del event["pid"]
+        assert any("pid" in e for e in schema_errors([event]))
+
+    def test_mixed_run_ids_reported(self):
+        events = [self._valid("a"), self._valid("b") | {"run": "other"}]
+        assert any("multiple run ids" in e for e in schema_errors(events))
+
+    def test_duplicate_run_start_reported(self):
+        events = [self._valid("run.start"), self._valid("run.start")]
+        assert any("run.start" in e for e in schema_errors(events))
+
+    def test_run_start_must_lead_the_parent_process(self):
+        events = [self._valid("phase.start"), self._valid("run.start")]
+        assert any("first parent-process" in e for e in schema_errors(events))
+
+    def test_bad_types_reported(self):
+        event = self._valid("run.start")
+        event["seq"] = "seventeen"
+        assert any("'seq'" in e for e in schema_errors([event]))
+
+
+class TestCanonicalEvent:
+    def test_drops_only_the_volatile_envelope(self):
+        a = make_event("point.batch", {"done": 16, "total": 50}) | {"run": "x"}
+        b = make_event("point.batch", {"done": 16, "total": 50}) | {"run": "y"}
+        assert a != b
+        assert canonical_event(a) == canonical_event(b)
+
+    def test_distinguishes_payloads(self):
+        a = make_event("point.batch", {"done": 16, "total": 50})
+        b = make_event("point.batch", {"done": 32, "total": 50})
+        assert canonical_event(a) != canonical_event(b)
+
+    def test_hashable_for_set_comparison(self):
+        events = {canonical_event(make_event("a", {"n": i})) for i in range(3)}
+        assert len(events) == 3

@@ -1,0 +1,94 @@
+"""Tests for the Prometheus text exporter (repro.obs.export)."""
+
+from repro.obs.export import (
+    _format_value,
+    prometheus_name,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert (
+            prometheus_name("mapper.candidates.evaluated")
+            == "repro_mapper_candidates_evaluated"
+        )
+
+    def test_arbitrary_illegal_chars_sanitised(self):
+        assert prometheus_name("a-b c/d%e") == "repro_a_b_c_d_e"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("4chiplet.count") == "repro__4chiplet_count"
+
+    def test_colons_survive(self):
+        assert prometheus_name("a:b") == "repro_a:b"
+
+
+class TestFormatValue:
+    def test_integers_render_without_exponent(self):
+        assert _format_value(1_000_000.0) == "1000000"
+        assert _format_value(-3.0) == "-3"
+
+    def test_fractions_keep_full_precision(self):
+        assert _format_value(0.1) == "0.1"
+        assert float(_format_value(1 / 3)) == 1 / 3
+
+    def test_specials(self):
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+
+
+class TestPrometheusText:
+    def test_empty_registry_is_empty_output(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_counters_and_gauges_with_type_lines(self):
+        metrics = MetricsRegistry()
+        metrics.count("cache.hits", 3)
+        metrics.gauge("sweep.points", 42)
+        text = prometheus_text(metrics)
+        assert "# TYPE repro_cache_hits counter\nrepro_cache_hits 3\n" in text
+        assert "# TYPE repro_sweep_points gauge\nrepro_sweep_points 42" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 1.5, 3.0, 3.5):  # buckets 2^0=1, 2^1=2, 2^2=4 (x2)
+            metrics.histogram("eval.ms", value)
+        text = prometheus_text(metrics)
+        assert 'repro_eval_ms_bucket{le="1"} 1' in text
+        assert 'repro_eval_ms_bucket{le="2"} 2' in text
+        assert 'repro_eval_ms_bucket{le="4"} 4' in text
+        assert 'repro_eval_ms_bucket{le="+Inf"} 4' in text
+        assert "repro_eval_ms_sum 9" in text
+        assert "repro_eval_ms_count 4" in text
+        assert "# TYPE repro_eval_ms histogram" in text
+
+    def test_one_global_name_sorted_ordering(self):
+        metrics = MetricsRegistry()
+        metrics.count("zz.last", 1)
+        metrics.histogram("mm.middle", 1.0)
+        metrics.gauge("aa.first", 1)
+        text = prometheus_text(metrics)
+        first = text.index("repro_aa_first")
+        middle = text.index("repro_mm_middle")
+        last = text.index("repro_zz_last")
+        assert first < middle < last
+
+    def test_deterministic_for_any_observation_order(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        values = [0.1, 2.0, 300.0, 4.5, 0.7]
+        for v in values:
+            forward.histogram("h", v)
+        for v in reversed(values):
+            backward.histogram("h", v)
+        assert prometheus_text(forward) == prometheus_text(backward)
+
+    def test_write_prometheus_round_trip(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.count("cache.hits", 7)
+        target = write_prometheus(metrics, tmp_path / "metrics.prom")
+        assert target.read_text() == prometheus_text(metrics)
+        assert target.read_text().endswith("\n")

@@ -1,11 +1,16 @@
-"""Tests for the counters/gauges registry."""
+"""Tests for the counters/gauges/histograms registry."""
 
 import json
+import random
 import threading
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    bucket_exponent,
+    bucket_upper_bound,
+)
 
 
 class TestCounters:
@@ -100,12 +105,106 @@ class TestMerge:
         assert forward.gauges()["peak"] == 100
 
 
+class TestHistograms:
+    def test_bucket_exponent_is_ceil_log2(self):
+        assert bucket_exponent(1.0) == 0
+        assert bucket_exponent(2.0) == 1
+        assert bucket_exponent(2.1) == 2
+        assert bucket_exponent(1000.0) == 10
+
+    def test_nonpositive_values_underflow(self):
+        assert bucket_exponent(0.0) == bucket_exponent(-5.0)
+        assert bucket_upper_bound(bucket_exponent(0.0)) == 0.0
+
+    def test_exact_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("lat", v)
+        stats = reg.histogram_stats("lat")
+        assert stats["count"] == 4
+        assert stats["sum"] == pytest.approx(10.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", 3.0)
+        stats = reg.histogram_stats("lat")
+        assert stats["p50"] == 3.0
+        assert stats["p99"] == 3.0
+
+    def test_quantiles_are_ordered(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.histogram("lat", float(v))
+        stats = reg.histogram_stats("lat")
+        assert stats["min"] <= stats["p50"] <= stats["p90"] <= stats["p99"]
+        assert stats["p99"] <= stats["max"]
+
+    def test_missing_histogram_is_none(self):
+        assert MetricsRegistry().histogram_stats("nope") is None
+
+    def test_merge_is_order_independent(self):
+        # The jobs-parity property: folding worker histogram snapshots in
+        # any order produces the identical buckets/count/min/max -- and so
+        # identical quantile estimates.  The float sum agrees only to
+        # rounding (float addition is not associative).
+        rng = random.Random(7)
+        parts = []
+        for _ in range(4):
+            part = MetricsRegistry()
+            for _ in range(50):
+                part.histogram("lat", rng.uniform(0.01, 500.0))
+            parts.append(part)
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for part in parts:
+            forward.merge(histograms=part.histograms())
+        for part in reversed(parts):
+            backward.merge(histograms=part.histograms())
+        f, b = forward.histograms()["lat"], backward.histograms()["lat"]
+        assert f["buckets"] == b["buckets"]
+        assert (f["count"], f["min"], f["max"]) == (b["count"], b["min"], b["max"])
+        assert f["sum"] == pytest.approx(b["sum"], rel=1e-12)
+        fs = forward.histogram_stats("lat")
+        bs = backward.histogram_stats("lat")
+        assert (fs["p50"], fs["p90"], fs["p99"]) == (bs["p50"], bs["p90"], bs["p99"])
+        assert fs["count"] == 200
+
+    def test_merge_with_json_string_bucket_keys(self):
+        # as_dict() stringifies bucket exponents for JSON; merge must
+        # accept them back (the bench-record reload path).
+        reg = MetricsRegistry()
+        reg.histogram("lat", 3.0)
+        reloaded = json.loads(json.dumps(reg.histograms()))
+        other = MetricsRegistry()
+        other.merge(histograms=reloaded)
+        assert other.histograms() == reg.histograms()
+
+    def test_len_counts_histograms(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.histogram("h", 1.0)
+        assert len(reg) == 2
+
+    def test_clear_drops_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", 1.0)
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.histogram_stats("h") is None
+
+
 class TestExport:
     def test_as_dict_shape(self):
         reg = MetricsRegistry()
         reg.count("a", 2)
         reg.gauge("g", 1.5)
-        assert reg.as_dict() == {"counters": {"a": 2}, "gauges": {"g": 1.5}}
+        assert reg.as_dict() == {
+            "counters": {"a": 2},
+            "gauges": {"g": 1.5},
+            "histograms": {},
+        }
 
     def test_to_json_round_trips(self):
         reg = MetricsRegistry()
@@ -119,6 +218,32 @@ class TestExport:
         lines = reg.to_text().splitlines()
         assert lines[0].startswith("a ")
         assert lines[1].startswith("b ")
+
+    def test_to_text_is_globally_name_sorted(self):
+        # Regression: counters, gauges and histogram summary lines must
+        # interleave in ONE sorted order (not counters-then-gauges), so
+        # text diffs across runs stay stable as the metric mix shifts.
+        reg = MetricsRegistry()
+        reg.gauge("a.gauge", 1.0)
+        reg.count("z.counter", 2)
+        reg.histogram("m.lat", 4.0)
+        reg.count("a.counter", 1)
+        lines = reg.to_text().splitlines()
+        names = [line.split(" ", 1)[0] for line in lines]
+        assert names == sorted(names)
+        assert names[0] == "a.counter"
+        assert names[-1] == "z.counter"
+        assert "m.lat.p99" in names and "m.lat.count" in names
+
+    def test_as_dict_includes_histogram_summary_and_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", 3.0)
+        reg.histogram("lat", 100.0)
+        payload = reg.as_dict()["histograms"]["lat"]
+        assert payload["count"] == 2
+        assert payload["sum"] == pytest.approx(103.0)
+        assert set(payload["buckets"]) == {"2", "7"}
+        assert json.loads(json.dumps(payload)) == payload
 
     def test_clear(self):
         reg = MetricsRegistry()

@@ -1,0 +1,137 @@
+"""Tests for the throttled stderr progress meter (repro.obs.progress)."""
+
+import io
+
+from repro.obs.progress import ProgressMeter, format_eta, progress_enabled
+
+
+class _TTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class _FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestProgressEnabled:
+    def test_no_progress_always_wins(self):
+        assert progress_enabled(False, _TTY()) is False
+
+    def test_default_renders_only_on_a_tty(self):
+        assert progress_enabled(None, _TTY()) is True
+        assert progress_enabled(None, io.StringIO()) is False
+
+    def test_explicit_progress_cannot_force_a_pipe(self):
+        # CI pipes stderr and relies on the auto-off: a pipe full of \r
+        # repaints helps nobody, so --progress into a pipe stays silent.
+        assert progress_enabled(True, io.StringIO()) is False
+        assert progress_enabled(True, _TTY()) is True
+
+    def test_stream_without_isatty_is_off(self):
+        assert progress_enabled(None, object()) is False
+
+
+class TestFormatEta:
+    def test_minutes_seconds(self):
+        assert format_eta(0) == "0:00"
+        assert format_eta(65) == "1:05"
+        assert format_eta(59.6) == "1:00"
+
+    def test_hours(self):
+        assert format_eta(3600) == "1:00:00"
+        assert format_eta(3725) == "1:02:05"
+
+    def test_unknown_durations(self):
+        assert format_eta(float("nan")) == "--:--"
+        assert format_eta(float("inf")) == "--:--"
+        assert format_eta(-1) == "--:--"
+
+
+class TestProgressMeter:
+    def test_writes_only_to_its_stream(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        meter = ProgressMeter(total=10, stream=stream, now=clock)
+        meter.update(5)
+        meter.finish()
+        assert stream.getvalue()  # the meter painted
+        assert "\r" in stream.getvalue()
+
+    def test_render_shows_fraction_rate_and_eta(self):
+        clock = _FakeClock()
+        meter = ProgressMeter(
+            total=100, label="explore", stream=io.StringIO(), now=clock
+        )
+        meter.update(10)
+        clock.t = 1.0
+        meter.update(20)
+        line = meter.render()
+        assert line.startswith("[explore] 20/100")
+        assert "10.0 pts/s" in line
+        assert "eta 0:08" in line  # 80 remaining at 10/s
+
+    def test_rate_uses_sliding_window(self):
+        clock = _FakeClock()
+        meter = ProgressMeter(
+            total=None, stream=io.StringIO(), window_s=5.0, now=clock
+        )
+        meter.update(0)
+        clock.t = 1.0
+        meter.update(100)  # 100/s burst...
+        clock.t = 10.0
+        meter.update(110)  # ...aged out of the 5 s window
+        assert meter.rate() < 50
+
+    def test_unknown_total_renders_done_count(self):
+        meter = ProgressMeter(total=None, stream=io.StringIO(), now=_FakeClock())
+        meter.update(7)
+        assert "7 done" in meter.render()
+        assert "%" not in meter.render()
+
+    def test_throttles_repaints(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        meter = ProgressMeter(
+            total=100, stream=stream, min_interval=1.0, now=clock
+        )
+        for i in range(10):
+            clock.t = i * 0.01
+            meter.update(i)
+        assert stream.getvalue().count("\r") == 1  # only the first painted
+
+    def test_finish_is_unthrottled_and_newline_terminated(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        meter = ProgressMeter(
+            total=100, stream=stream, min_interval=1e9, now=clock
+        )
+        meter.update(100)
+        meter.finish()
+        meter.finish()  # idempotent
+        text = stream.getvalue()
+        assert text.endswith("\n") and text.count("\n") == 1
+        assert "100/100" in text
+
+    def test_float_stats_render_as_percentages(self):
+        meter = ProgressMeter(total=10, stream=io.StringIO(), now=_FakeClock())
+        meter.update(5, hits=0.25)
+        assert "hits 25%" in meter.render()
+
+    def test_repaint_pads_over_a_longer_previous_line(self):
+        stream = io.StringIO()
+        clock = _FakeClock()
+        meter = ProgressMeter(
+            total=10, stream=stream, min_interval=0.0, now=clock
+        )
+        meter.update(1, note="something-long")
+        first_len = len(meter.render())
+        meter._stats.clear()
+        clock.t = 1.0
+        meter.update(2)
+        tail = stream.getvalue().rsplit("\r", 1)[-1]
+        assert len(tail) >= first_len  # padding erased the longer line

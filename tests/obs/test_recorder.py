@@ -121,6 +121,47 @@ class TestSnapshots:
         assert parent.metrics.counter("items") == 11
         assert len(parent.events()) == 2
 
+    def test_merge_snapshot_folds_histograms(self):
+        worker = Recorder()
+        worker.histogram("lat", 2.0)
+        worker.histogram("lat", 8.0)
+        parent = Recorder()
+        parent.histogram("lat", 4.0)
+        parent.merge_snapshot(worker.snapshot())
+        stats = parent.metrics.histogram_stats("lat")
+        assert stats["count"] == 3
+        assert stats["min"] == 2.0
+        assert stats["max"] == 8.0
+
+    def test_merge_snapshot_appends_run_events(self):
+        worker = Recorder()
+        worker.event("fault.injected", kind="eio")
+        parent = Recorder()
+        parent.event("run.start", points=4)
+        parent.merge_snapshot(worker.snapshot())
+        names = [e["event"] for e in parent.run_events()]
+        assert names == ["run.start", "fault.injected"]
+
+    def test_attached_event_log_sees_local_and_merged_events(self, tmp_path):
+        from repro.obs.events import EventLog, load_events
+
+        log = EventLog(tmp_path / "events.jsonl", run_id="abc123")
+        parent = Recorder()
+        parent.attach_event_log(log)
+        parent.event("run.start", points=1)
+        worker = Recorder()
+        worker.event("task.retry", count=1)
+        parent.merge_snapshot(worker.snapshot())
+        parent.event("run.finish", points=1)
+        events, corrupt = load_events(tmp_path / "events.jsonl")
+        assert corrupt == 0
+        assert [e["event"] for e in events] == [
+            "run.start",
+            "task.retry",
+            "run.finish",
+        ]
+        assert {e["run"] for e in events} == {"abc123"}
+
 
 class TestChromeTrace:
     def _trace(self):
@@ -197,4 +238,5 @@ class TestChromeTrace:
         assert json.loads(target.read_text()) == {
             "counters": {"a": 3},
             "gauges": {},
+            "histograms": {},
         }

@@ -20,6 +20,13 @@ def traced_square(task: int) -> int:
     return task * task
 
 
+def telemetry_square(task: int) -> int:
+    """Module-level worker: a histogram sample and a run event per task."""
+    obs.histogram("task.value", float(task))
+    obs.event("task.done", n=task)
+    return task * task
+
+
 def plain_square(task: int) -> int:
     return task * task
 
@@ -70,3 +77,32 @@ class TestCapture:
     def test_results_preserve_task_order(self):
         results, _ = _run(jobs=3)
         assert results == [t * t for t in TASKS]
+
+
+def _run_telemetry(jobs: int) -> obs.Recorder:
+    recorder = obs.Recorder()
+    with obs.use(recorder):
+        run_tasks(telemetry_square, TASKS, jobs=jobs)
+    return recorder
+
+
+class TestTelemetryCapture:
+    def test_parallel_histograms_match_serial(self):
+        serial = _run_telemetry(jobs=1)
+        parallel = _run_telemetry(jobs=2)
+        assert (
+            parallel.metrics.histograms() == serial.metrics.histograms()
+        ), "histogram buckets/count/extremes must merge jobs-invariantly"
+        assert (
+            parallel.metrics.histogram_stats("task.value")
+            == serial.metrics.histogram_stats("task.value")
+        )
+
+    def test_worker_run_events_come_home(self):
+        recorder = _run_telemetry(jobs=2)
+        events = [
+            e for e in recorder.run_events() if e["event"] == "task.done"
+        ]
+        assert sorted(e["n"] for e in events) == TASKS
+        # Worker-side events keep their worker's pid, like spans do.
+        assert any(e["pid"] != os.getpid() for e in events)
